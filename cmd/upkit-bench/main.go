@@ -1,0 +1,54 @@
+// Command upkit-bench regenerates the tables and figures of the UpKit
+// paper's evaluation (§VI) plus this repository's ablations, printing
+// measured values next to the paper's published numbers.
+//
+// Usage:
+//
+//	upkit-bench              # run everything
+//	upkit-bench -exp fig8a   # run one experiment
+//	upkit-bench -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"upkit/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "upkit-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *exp != "" {
+		t, err := experiments.Run(*exp)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+		return nil
+	}
+	tables, err := experiments.RunAll()
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// resetFlags lets run() be invoked repeatedly within one process.
+func resetFlags(args ...string) {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	os.Args = append([]string{"upkit-bench"}, args...)
+}
+
+func TestListFlag(t *testing.T) {
+	resetFlags("-list")
+	if err := run(); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	resetFlags("-exp", "table1")
+	if err := run(); err != nil {
+		t.Fatalf("run -exp table1: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	resetFlags("-exp", "nope")
+	if err := run(); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upkit/internal/security"
+)
+
+func TestLoadKeys(t *testing.T) {
+	dir := t.TempDir()
+	vendor := security.MustGenerateKey("dev-tool-vendor")
+	server := security.MustGenerateKey("dev-tool-server")
+	vPath := filepath.Join(dir, "vendor.pub")
+	sPath := filepath.Join(dir, "server.pub")
+	if err := os.WriteFile(vPath, security.EncodePublicKey(vendor.Public()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sPath, security.EncodePublicKey(server.Public()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := loadKeys(vPath, sPath)
+	if err != nil {
+		t.Fatalf("loadKeys: %v", err)
+	}
+	if !keys.Vendor.Equal(vendor.Public()) || !keys.Server.Equal(server.Public()) {
+		t.Fatal("loaded keys mismatch")
+	}
+}
+
+func TestLoadKeysErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.pub")
+	key := security.MustGenerateKey("dev-tool-x")
+	if err := os.WriteFile(good, security.EncodePublicKey(key.Public()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.pub")
+	if err := os.WriteFile(bad, []byte("not a key"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadKeys(filepath.Join(dir, "missing"), good); err == nil {
+		t.Error("missing vendor key accepted")
+	}
+	if _, err := loadKeys(good, bad); err == nil {
+		t.Error("malformed server key accepted")
+	}
+}

@@ -1,0 +1,123 @@
+// Command upkit-server runs an UpKit update server: it loads
+// vendor-signed image files (built with upkit-sign), and serves them to
+// pulling devices over CoAP/UDP, performing the per-request double
+// signature for each device token it receives.
+//
+// Usage:
+//
+//	upkit-sign keygen -seed demo-server -out server
+//	upkit-server -addr 127.0.0.1:5683 -http 127.0.0.1:8080 \
+//	    -key server.key -image app-v1.upk -image app-v2.upk
+//
+// A matching device simulation (cmd/upkit-device) can then pull updates
+// from it over a real UDP socket.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+
+	"upkit/internal/coap"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+)
+
+// imageList collects repeated -image flags.
+type imageList []string
+
+func (l *imageList) String() string     { return strings.Join(*l, ",") }
+func (l *imageList) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "upkit-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:5683", "UDP address to serve CoAP on")
+	httpAddr := flag.String("http", "", "optional TCP address for the HTTP API (e.g. 127.0.0.1:8080)")
+	keyPath := flag.String("key", "", "update-server private key file")
+	seed := flag.String("seed", "", "derive the server key from a seed (simulation only)")
+	suiteName := flag.String("suite", "tinycrypt", "crypto suite")
+	var images imageList
+	flag.Var(&images, "image", "vendor-signed image file (.upk); repeatable")
+	flag.Parse()
+
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	var key *security.PrivateKey
+	switch {
+	case *keyPath != "":
+		data, err := os.ReadFile(*keyPath)
+		if err != nil {
+			return err
+		}
+		key, err = security.DecodePrivateKey(data)
+		if err != nil {
+			return err
+		}
+	case *seed != "":
+		key = security.MustGenerateKey(*seed)
+	default:
+		return fmt.Errorf("need -key or -seed")
+	}
+
+	server := updateserver.New(suite, key)
+	for _, path := range images {
+		img, err := loadImage(path)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		if err := server.Publish(img); err != nil {
+			return fmt.Errorf("publish %s: %w", path, err)
+		}
+		fmt.Printf("published %s: app %#x v%d (%d bytes)\n",
+			path, img.Manifest.AppID, img.Manifest.Version, len(img.Firmware))
+	}
+
+	if *httpAddr != "" {
+		go func() {
+			fmt.Printf("serving HTTP API on %s\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, server.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, "upkit-server: http:", err)
+			}
+		}()
+	}
+	pull := coap.NewPullServer(server)
+	udp, err := coap.ListenUDP(*addr, pull.Handle)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving CoAP on %s (server pubkey %x…)\n", udp.Addr(), key.Public().Bytes()[:8])
+	return udp.Serve()
+}
+
+// loadImage parses a .upk file (manifest || firmware) into a
+// vendor-signed image.
+func loadImage(path string) (*vendorserver.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < manifest.EncodedSize {
+		return nil, fmt.Errorf("smaller than a manifest")
+	}
+	m, err := manifest.Unmarshal(data[:manifest.EncodedSize])
+	if err != nil {
+		return nil, err
+	}
+	fw := data[manifest.EncodedSize:]
+	if int(m.Size) != len(fw) {
+		return nil, fmt.Errorf("manifest says %d firmware bytes, file has %d", m.Size, len(fw))
+	}
+	return &vendorserver.Image{Manifest: *m, Firmware: fw}, nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"upkit/internal/security"
+	"upkit/internal/vendorserver"
+)
+
+func writeImageFile(t *testing.T, dir, name string, version uint16, fw []byte) string {
+	t.Helper()
+	suite := security.NewTinyCrypt()
+	vendor := vendorserver.New(suite, security.MustGenerateKey("srv-test-vendor"))
+	img, err := vendor.BuildImage(vendorserver.Release{
+		AppID: 0x2A, Version: version, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := img.Manifest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(enc, fw...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadImage(t *testing.T) {
+	dir := t.TempDir()
+	fw := make([]byte, 2048)
+	path := writeImageFile(t, dir, "v1.upk", 1, fw)
+
+	img, err := loadImage(path)
+	if err != nil {
+		t.Fatalf("loadImage: %v", err)
+	}
+	if img.Manifest.Version != 1 || int(img.Manifest.Size) != len(fw) {
+		t.Fatalf("manifest = %+v", img.Manifest)
+	}
+	if len(img.Firmware) != len(fw) {
+		t.Fatalf("firmware = %d bytes", len(img.Firmware))
+	}
+}
+
+func TestLoadImageErrors(t *testing.T) {
+	dir := t.TempDir()
+	// Missing file.
+	if _, err := loadImage(filepath.Join(dir, "nope.upk")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Too short.
+	short := filepath.Join(dir, "short.upk")
+	if err := os.WriteFile(short, []byte("tiny"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadImage(short); err == nil {
+		t.Error("short file accepted")
+	}
+	// Size mismatch between manifest and payload.
+	good := writeImageFile(t, dir, "v1.upk", 1, make([]byte, 2048))
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "trunc.upk")
+	if err := os.WriteFile(bad, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadImage(bad); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}

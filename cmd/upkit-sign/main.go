@@ -1,0 +1,371 @@
+// Command upkit-sign is the host-side signing tool: it generates key
+// pairs and builds vendor-signed update images from raw firmware
+// binaries (the generation phase of the paper, Fig. 2 step 1).
+//
+// Usage:
+//
+//	upkit-sign keygen  -out vendor            # vendor.key + vendor.pub
+//	upkit-sign release -key vendor.key -app 0x2A -version 2 \
+//	    -fw firmware.bin -out app-v2.upk
+//	upkit-sign provision -in app-v1.upk -server-key server.key \
+//	    -device 0xD0D0CAFE -out app-v1.factory.upk
+//	upkit-sign inspect -in app-v2.upk [-vendor-pub vendor.pub]
+//
+// An .upk file is the wire layout of an update image: the fixed-size
+// manifest followed by the firmware. The update server (upkit-server)
+// loads these files, adds the per-request second signature, and serves
+// them to devices.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/suit"
+	"upkit/internal/vendorserver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "upkit-sign:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: upkit-sign keygen|release|provision|export-suit|inspect-suit|inspect [flags]")
+	}
+	switch args[0] {
+	case "keygen":
+		return keygen(args[1:])
+	case "release":
+		return release(args[1:])
+	case "provision":
+		return provision(args[1:])
+	case "export-suit":
+		return exportSUIT(args[1:])
+	case "inspect-suit":
+		return inspectSUIT(args[1:])
+	case "inspect":
+		return inspect(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func keygen(args []string) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	out := fs.String("out", "upkit", "output basename (<out>.key, <out>.pub)")
+	seed := fs.String("seed", "", "derive a deterministic key from a seed (simulation only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var key *security.PrivateKey
+	var err error
+	if *seed != "" {
+		key = security.MustGenerateKey(*seed)
+	} else {
+		key, err = security.GenerateKey(rand.Reader)
+		if err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(*out+".key", security.EncodePrivateKey(key), 0o600); err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out+".pub", security.EncodePublicKey(key.Public()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s.key and %s.pub\n", *out, *out)
+	return nil
+}
+
+func parseUint32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 0, 32)
+	return uint32(v), err
+}
+
+func release(args []string) error {
+	fs := flag.NewFlagSet("release", flag.ContinueOnError)
+	keyPath := fs.String("key", "", "vendor private key file")
+	appStr := fs.String("app", "0x2A", "application/platform ID")
+	version := fs.Uint("version", 0, "release version (>= 1)")
+	linkStr := fs.String("link", "0xFFFFFFFF", "link offset (0xFFFFFFFF = position independent)")
+	fwPath := fs.String("fw", "", "raw firmware binary")
+	out := fs.String("out", "", "output image file (.upk)")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *keyPath == "" || *fwPath == "" || *out == "" {
+		return fmt.Errorf("release needs -key, -fw, and -out")
+	}
+	keyData, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	key, err := security.DecodePrivateKey(keyData)
+	if err != nil {
+		return err
+	}
+	fw, err := os.ReadFile(*fwPath)
+	if err != nil {
+		return err
+	}
+	appID, err := parseUint32(*appStr)
+	if err != nil {
+		return fmt.Errorf("bad -app: %w", err)
+	}
+	link, err := parseUint32(*linkStr)
+	if err != nil {
+		return fmt.Errorf("bad -link: %w", err)
+	}
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	vendor := vendorserver.New(suite, key)
+	img, err := vendor.BuildImage(vendorserver.Release{
+		AppID:      appID,
+		Version:    uint16(*version),
+		LinkOffset: link,
+		Firmware:   fw,
+	})
+	if err != nil {
+		return err
+	}
+	enc, err := img.Manifest.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(enc, fw...), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: app %#x v%d, %d firmware bytes, digest %x…\n",
+		*out, appID, *version, len(fw), img.Manifest.FirmwareDigest[:8])
+	return nil
+}
+
+// provision adds the update server's signature to a vendor-signed
+// image, binding it to one device ID — the factory-programming step
+// that lets a freshly flashed device pass its own boot verification.
+func provision(args []string) error {
+	fs := flag.NewFlagSet("provision", flag.ContinueOnError)
+	in := fs.String("in", "", "vendor-signed image file (.upk)")
+	serverKey := fs.String("server-key", "", "update-server private key file")
+	deviceStr := fs.String("device", "", "device ID the image is provisioned for")
+	out := fs.String("out", "", "output image file")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *serverKey == "" || *deviceStr == "" || *out == "" {
+		return fmt.Errorf("provision needs -in, -server-key, -device, and -out")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if len(data) < manifest.EncodedSize {
+		return fmt.Errorf("%s: smaller than a manifest", *in)
+	}
+	m, err := manifest.Unmarshal(data[:manifest.EncodedSize])
+	if err != nil {
+		return err
+	}
+	deviceID, err := parseUint32(*deviceStr)
+	if err != nil {
+		return fmt.Errorf("bad -device: %w", err)
+	}
+	keyData, err := os.ReadFile(*serverKey)
+	if err != nil {
+		return err
+	}
+	key, err := security.DecodePrivateKey(keyData)
+	if err != nil {
+		return err
+	}
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	m.DeviceID = deviceID
+	m.Nonce = 0xFAC70000 // factory pseudo-request
+	if err := m.SignServer(suite, key); err != nil {
+		return err
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	outData := append(enc, data[manifest.EncodedSize:]...)
+	if err := os.WriteFile(*out, outData, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: provisioned for device %#x\n", *out, deviceID)
+	return nil
+}
+
+// exportSUIT renders an image's manifest as a signed SUIT-shaped CBOR
+// envelope (IETF draft-ietf-suit-manifest interop, the paper's §VIII
+// future work).
+func exportSUIT(args []string) error {
+	fs := flag.NewFlagSet("export-suit", flag.ContinueOnError)
+	in := fs.String("in", "", "image file (.upk)")
+	keyPath := fs.String("key", "", "signing key for the SUIT envelope")
+	out := fs.String("out", "", "output envelope file (.suit)")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *keyPath == "" || *out == "" {
+		return fmt.Errorf("export-suit needs -in, -key, and -out")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if len(data) < manifest.EncodedSize {
+		return fmt.Errorf("%s: smaller than a manifest", *in)
+	}
+	m, err := manifest.Unmarshal(data[:manifest.EncodedSize])
+	if err != nil {
+		return err
+	}
+	keyData, err := os.ReadFile(*keyPath)
+	if err != nil {
+		return err
+	}
+	key, err := security.DecodePrivateKey(keyData)
+	if err != nil {
+		return err
+	}
+	cryptoSuite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	env, err := suit.Export(m, cryptoSuite, key)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, env, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: SUIT envelope, %d bytes (sequence number %d)\n", *out, len(env), m.Version)
+	return nil
+}
+
+// inspectSUIT prints a SUIT envelope in diagnostic form, optionally
+// verifying its signature.
+func inspectSUIT(args []string) error {
+	fs := flag.NewFlagSet("inspect-suit", flag.ContinueOnError)
+	in := fs.String("in", "", "SUIT envelope file (.suit)")
+	pubPath := fs.String("pub", "", "optional public key to verify against")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect-suit needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Print(suit.Diagnostic(data))
+	if *pubPath != "" {
+		pubData, err := os.ReadFile(*pubPath)
+		if err != nil {
+			return err
+		}
+		pub, err := security.DecodePublicKey(pubData)
+		if err != nil {
+			return err
+		}
+		cryptoSuite, err := security.SuiteByName(*suiteName, nil)
+		if err != nil {
+			return err
+		}
+		if _, err := suit.Parse(data, cryptoSuite, pub); err != nil {
+			fmt.Printf("signature: INVALID (%v)\n", err)
+		} else {
+			fmt.Println("signature: valid")
+		}
+	}
+	return nil
+}
+
+func inspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	in := fs.String("in", "", "image file (.upk)")
+	vendorPub := fs.String("vendor-pub", "", "vendor public key to verify against")
+	serverPub := fs.String("server-pub", "", "update-server public key to verify against")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("inspect needs -in")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if len(data) < manifest.EncodedSize {
+		return fmt.Errorf("%s: smaller than a manifest", *in)
+	}
+	m, err := manifest.Unmarshal(data[:manifest.EncodedSize])
+	if err != nil {
+		return err
+	}
+	fw := data[manifest.EncodedSize:]
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("manifest of %s\n", *in)
+	fmt.Printf("  app id       %#x\n", m.AppID)
+	fmt.Printf("  version      %d\n", m.Version)
+	fmt.Printf("  size         %d bytes (payload in file: %d)\n", m.Size, len(fw))
+	fmt.Printf("  link offset  %#x\n", m.LinkOffset)
+	fmt.Printf("  digest       %x\n", m.FirmwareDigest)
+	fmt.Printf("  device id    %#x\n", m.DeviceID)
+	fmt.Printf("  nonce        %#x\n", m.Nonce)
+	fmt.Printf("  old version  %d (differential: %v)\n", m.OldVersion, m.IsDifferential())
+	fmt.Printf("  patch size   %d\n", m.PatchSize)
+
+	if !m.IsDifferential() {
+		got := suite.Digest(fw)
+		fmt.Printf("  digest check %v\n", got == m.FirmwareDigest)
+	}
+	if *vendorPub != "" {
+		pubData, err := os.ReadFile(*vendorPub)
+		if err != nil {
+			return err
+		}
+		pub, err := security.DecodePublicKey(pubData)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  vendor sig   %v\n", m.VerifyVendorSig(suite, pub))
+	}
+	if *serverPub != "" {
+		pubData, err := os.ReadFile(*serverPub)
+		if err != nil {
+			return err
+		}
+		pub, err := security.DecodePublicKey(pubData)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  server sig   %v\n", m.VerifyServerSig(suite, pub))
+	}
+	return nil
+}

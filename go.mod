@@ -1,0 +1,3 @@
+module upkit
+
+go 1.24

@@ -1,0 +1,419 @@
+// Package agent implements UpKit's update agent: the finite-state
+// machine of §IV-B (Fig. 4) that coordinates the propagation and
+// verification phases on the device, independently of whether bytes
+// arrive over a push (BLE) or pull (CoAP) connection.
+//
+// The FSM's states are Waiting → Start update → Receive manifest →
+// Verify manifest → Receive firmware → Verify firmware → Reboot, with a
+// Cleaning state entered on any failure. The transport (push or pull)
+// simply calls RequestDeviceToken once and then Receive with each data
+// chunk; the FSM does the rest, including the paper's early rejection:
+// an invalid manifest stops the update before a single firmware byte is
+// transferred, and an invalid firmware is discarded without rebooting.
+package agent
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"upkit/internal/events"
+	"upkit/internal/manifest"
+	"upkit/internal/pipeline"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+	"upkit/internal/slot"
+	"upkit/internal/verifier"
+)
+
+// PhaseVerification is the phase name the agent charges its
+// verification work to (matching the bootloader's constant, so both
+// halves of the double verification land in the same accumulator).
+const PhaseVerification = "verification"
+
+// State identifies an FSM state (Fig. 4).
+type State int
+
+const (
+	// StateWaiting: idle until a device token is requested.
+	StateWaiting State = iota + 1
+	// StateReceiveManifest: accumulating manifest bytes.
+	StateReceiveManifest
+	// StateReceiveFirmware: streaming payload through the pipeline.
+	StateReceiveFirmware
+	// StateReadyToReboot: update verified; the device may reboot.
+	StateReadyToReboot
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateReceiveManifest:
+		return "receive-manifest"
+	case StateReceiveFirmware:
+		return "receive-firmware"
+	case StateReadyToReboot:
+		return "ready-to-reboot"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Status is what a Receive call tells the transport.
+type Status int
+
+const (
+	// StatusNeedMore: keep sending data.
+	StatusNeedMore Status = iota + 1
+	// StatusManifestAccepted: the manifest verified; send the firmware.
+	StatusManifestAccepted
+	// StatusUpdateReady: payload complete and verified; reboot when
+	// convenient.
+	StatusUpdateReady
+)
+
+// Agent errors.
+var (
+	ErrBadState   = errors.New("agent: operation invalid in current state")
+	ErrOverflow   = errors.New("agent: more payload than the manifest announced")
+	ErrNoTarget   = errors.New("agent: no target slot available")
+	ErrDiffNoBase = errors.New("agent: differential update but no base image")
+)
+
+// Config wires an Agent into a device.
+type Config struct {
+	// DeviceID and AppID identify this device; see verifier.DeviceInfo.
+	DeviceID uint32
+	AppID    uint32
+	// Targets are the slots the agent may install updates into (the
+	// non-running slots of the device's configuration).
+	Targets []*slot.Slot
+	// Running is the slot holding the currently executing firmware; it
+	// provides the current version and the base image for differential
+	// updates. May be nil on a factory-fresh device.
+	Running *slot.Slot
+	// Verifier performs the double verification.
+	Verifier *verifier.Verifier
+	// NonceSource provides device-token nonces. Defaults to a
+	// crypto-quality source if nil; tests inject deterministic readers.
+	NonceSource io.Reader
+	// SupportDifferential advertises differential-update capability in
+	// the device token (a zero current version disables it, §III-B).
+	SupportDifferential bool
+	// PipelineBuffer is the buffer-stage size; 0 selects the flash
+	// sector size of the first target slot.
+	PipelineBuffer int
+	// Clock and Phases, when both set, attribute the virtual time spent
+	// in verification to the PhaseVerification accumulator (Fig. 8a's
+	// phase breakdown).
+	Clock  *simclock.Clock
+	Phases *simclock.Timer
+	// PayloadKey, when set, enables the pipeline's decryption stage:
+	// the update server encrypts all payloads under this symmetric key,
+	// so intermediate hops see only ciphertext (§VIII future work).
+	PayloadKey []byte
+	// Events receives lifecycle events; nil drops them.
+	Events *events.Log
+}
+
+// measure charges fn's virtual time to phase when attribution is on.
+func (a *Agent) measure(phase string, fn func() error) error {
+	if a.cfg.Phases == nil || a.cfg.Clock == nil {
+		return fn()
+	}
+	return a.cfg.Phases.Measure(phase, fn)
+}
+
+// Agent is the device-side update agent.
+type Agent struct {
+	cfg   Config
+	state State
+
+	token  manifest.DeviceToken
+	target *slot.Slot
+
+	mbuf []byte
+	m    *manifest.Manifest
+
+	writer   *slot.Writer
+	pipe     *pipeline.Pipeline
+	received int
+}
+
+// New creates an agent in the Waiting state.
+func New(cfg Config) (*Agent, error) {
+	if len(cfg.Targets) == 0 {
+		return nil, ErrNoTarget
+	}
+	if cfg.Verifier == nil {
+		return nil, errors.New("agent: config needs a verifier")
+	}
+	return &Agent{cfg: cfg, state: StateWaiting}, nil
+}
+
+// State reports the current FSM state.
+func (a *Agent) State() State { return a.state }
+
+// Manifest returns the accepted manifest, or nil before acceptance.
+func (a *Agent) Manifest() *manifest.Manifest { return a.m }
+
+// Target returns the slot the current update is being written to.
+func (a *Agent) Target() *slot.Slot { return a.target }
+
+// CurrentVersion reports the newest firmware version on the device;
+// pull clients compare it with the server's advertised latest version.
+func (a *Agent) CurrentVersion() uint16 { return a.currentVersion() }
+
+// currentVersion is the newest firmware version on the device.
+func (a *Agent) currentVersion() uint16 {
+	var v uint16
+	if a.cfg.Running != nil {
+		v = a.cfg.Running.Version()
+	}
+	for _, s := range a.cfg.Targets {
+		if sv := s.Version(); sv > v {
+			v = sv
+		}
+	}
+	return v
+}
+
+// runningVersion is the version of the executing image (the base for
+// differential updates), or 0.
+func (a *Agent) runningVersion() uint16 {
+	if a.cfg.Running == nil {
+		return 0
+	}
+	return a.cfg.Running.Version()
+}
+
+// RequestDeviceToken is the Waiting → Start update transition: it
+// issues a fresh device token, erases the slot holding the oldest
+// firmware to make room, and starts accepting the manifest.
+func (a *Agent) RequestDeviceToken() (manifest.DeviceToken, error) {
+	if a.state != StateWaiting {
+		return manifest.DeviceToken{}, fmt.Errorf("%w: token request in %v", ErrBadState, a.state)
+	}
+	nonce, err := a.newNonce()
+	if err != nil {
+		return manifest.DeviceToken{}, err
+	}
+	var current uint16
+	if a.cfg.SupportDifferential {
+		current = a.runningVersion()
+	}
+	a.token = manifest.DeviceToken{
+		DeviceID:       a.cfg.DeviceID,
+		Nonce:          nonce,
+		CurrentVersion: current,
+	}
+
+	// Start update: erase the target slot with the oldest firmware.
+	a.target = a.cfg.Targets[0]
+	for _, s := range a.cfg.Targets[1:] {
+		if s.Version() < a.target.Version() {
+			a.target = s
+		}
+	}
+	w, err := a.target.BeginReceive()
+	if err != nil {
+		a.clean()
+		return manifest.DeviceToken{}, fmt.Errorf("agent: start update: %w", err)
+	}
+	a.writer = w
+	a.mbuf = make([]byte, 0, manifest.EncodedSize)
+	a.state = StateReceiveManifest
+	a.cfg.Events.Emit(events.KindTokenIssued, current, fmt.Sprintf("nonce %#x", nonce))
+	return a.token, nil
+}
+
+func (a *Agent) newNonce() (uint32, error) {
+	src := a.cfg.NonceSource
+	if src == nil {
+		return 0, errors.New("agent: no nonce source configured")
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(src, b[:]); err != nil {
+		return 0, fmt.Errorf("agent: nonce: %w", err)
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+// Token returns the device token issued for the ongoing request.
+func (a *Agent) Token() manifest.DeviceToken { return a.token }
+
+// expectedPayload is the number of wire bytes the current transfer
+// carries: the manifest's payload size plus the IV overhead when the
+// deployment encrypts payloads.
+func (a *Agent) expectedPayload() int {
+	n := int(a.m.PayloadSize())
+	if len(a.cfg.PayloadKey) > 0 {
+		n += security.EncryptedOverhead
+	}
+	return n
+}
+
+// Receive feeds update-image bytes (manifest first, then payload) into
+// the FSM. On any verification failure the FSM enters Cleaning —
+// invalidating the slot and resetting to Waiting — and returns the
+// error; the caller must not send more data for this request.
+func (a *Agent) Receive(data []byte) (Status, error) {
+	switch a.state {
+	case StateReceiveManifest:
+		need := manifest.EncodedSize - len(a.mbuf)
+		take := min(need, len(data))
+		a.mbuf = append(a.mbuf, data[:take]...)
+		rest := data[take:]
+		if len(a.mbuf) < manifest.EncodedSize {
+			return StatusNeedMore, nil
+		}
+		if err := a.acceptManifest(); err != nil {
+			a.cfg.Events.Emit(events.KindManifestRejected, 0, err.Error())
+			a.clean()
+			return StatusNeedMore, err
+		}
+		a.cfg.Events.Emit(events.KindManifestAccepted, a.m.Version, "")
+		if len(rest) > 0 {
+			return a.Receive(rest)
+		}
+		return StatusManifestAccepted, nil
+
+	case StateReceiveFirmware:
+		expected := a.expectedPayload()
+		if a.received+len(data) > expected {
+			a.clean()
+			return StatusNeedMore, fmt.Errorf("%w: %d > %d", ErrOverflow, a.received+len(data), expected)
+		}
+		if _, err := a.pipe.Write(data); err != nil {
+			a.clean()
+			return StatusNeedMore, fmt.Errorf("agent: pipeline: %w", err)
+		}
+		a.received += len(data)
+		if a.received < expected {
+			return StatusNeedMore, nil
+		}
+		if err := a.finishFirmware(); err != nil {
+			a.cfg.Events.Emit(events.KindFirmwareRejected, a.m.Version, err.Error())
+			a.clean()
+			return StatusNeedMore, err
+		}
+		a.cfg.Events.Emit(events.KindFirmwareVerified, a.m.Version, "")
+		a.cfg.Events.Emit(events.KindUpdateStaged, a.m.Version, "")
+		return StatusUpdateReady, nil
+
+	default:
+		return StatusNeedMore, fmt.Errorf("%w: data in %v", ErrBadState, a.state)
+	}
+}
+
+// acceptManifest is the Verify manifest state: decode, double-verify,
+// store the manifest, and set up the pipeline.
+func (a *Agent) acceptManifest() error {
+	m, err := manifest.Unmarshal(a.mbuf)
+	if err != nil {
+		return fmt.Errorf("agent: %w", err)
+	}
+	dev := verifier.DeviceInfo{
+		DeviceID:       a.cfg.DeviceID,
+		AppID:          a.cfg.AppID,
+		CurrentVersion: a.currentVersion(),
+	}
+	dst := verifier.SlotInfo{LinkBase: a.target.LinkBase, Capacity: a.target.Capacity()}
+	if err := a.measure(PhaseVerification, func() error {
+		return a.cfg.Verifier.VerifyManifestForAgent(m, a.token, dev, dst)
+	}); err != nil {
+		return err
+	}
+	if err := a.target.WriteManifest(m); err != nil {
+		return err
+	}
+	bufSize := a.cfg.PipelineBuffer
+	if bufSize <= 0 {
+		bufSize = a.target.Region().Mem.Geometry().SectorSize
+	}
+	if m.IsDifferential() {
+		if a.cfg.Running == nil {
+			return ErrDiffNoBase
+		}
+		base, err := a.cfg.Running.FirmwareReader()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrDiffNoBase, err)
+		}
+		a.pipe = pipeline.NewDifferential(base, a.writer, bufSize)
+	} else {
+		a.pipe = pipeline.NewFull(a.writer, bufSize)
+	}
+	if len(a.cfg.PayloadKey) > 0 {
+		if err := a.pipe.EnableDecryption(a.cfg.PayloadKey); err != nil {
+			return fmt.Errorf("agent: %w", err)
+		}
+	}
+	a.m = m
+	a.received = 0
+	a.state = StateReceiveFirmware
+	return nil
+}
+
+// finishFirmware is the Verify firmware state: close the pipeline,
+// digest-check the installed image, and mark the slot complete.
+func (a *Agent) finishFirmware() error {
+	if err := a.pipe.Close(); err != nil {
+		return fmt.Errorf("agent: pipeline close: %w", err)
+	}
+	r, err := a.target.FirmwareReader()
+	if err != nil {
+		return err
+	}
+	if err := a.measure(PhaseVerification, func() error {
+		return a.cfg.Verifier.VerifyFirmware(r, a.m)
+	}); err != nil {
+		return err
+	}
+	if err := a.target.MarkComplete(); err != nil {
+		return err
+	}
+	a.state = StateReadyToReboot
+	return nil
+}
+
+// clean implements the Cleaning state: invalidate the slot and reset
+// all FSM variables, returning to Waiting.
+func (a *Agent) clean() {
+	if a.target != nil {
+		// Invalidation failures cannot be meaningfully handled here; a
+		// torn trailer already reads as invalid.
+		_ = a.target.Invalidate()
+	}
+	a.token = manifest.DeviceToken{}
+	a.target = nil
+	a.mbuf = nil
+	a.m = nil
+	a.writer = nil
+	a.pipe = nil
+	a.received = 0
+	a.state = StateWaiting
+}
+
+// Abort cancels an in-flight update (e.g. connection lost) and cleans up.
+func (a *Agent) Abort() {
+	if a.state != StateWaiting {
+		a.clean()
+	}
+}
+
+// Reset returns the agent to Waiting after a completed update has been
+// handed to the bootloader (the device reboots; a fresh agent instance
+// runs in the new firmware).
+func (a *Agent) Reset() {
+	a.token = manifest.DeviceToken{}
+	a.target = nil
+	a.mbuf = nil
+	a.m = nil
+	a.writer = nil
+	a.pipe = nil
+	a.received = 0
+	a.state = StateWaiting
+}

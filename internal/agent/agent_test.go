@@ -1,0 +1,440 @@
+package agent
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/flash"
+	"upkit/internal/lzss"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/slot"
+	"upkit/internal/verifier"
+)
+
+type rig struct {
+	suite     security.Suite
+	vendorKey *security.PrivateKey
+	serverKey *security.PrivateKey
+	slotA     *slot.Slot // running
+	slotB     *slot.Slot // target
+	agent     *Agent
+	baseFW    []byte
+}
+
+const (
+	rigDeviceID = uint32(0xD123)
+	rigAppID    = uint32(0xAB)
+)
+
+func newRig(t *testing.T, differential bool) *rig {
+	t.Helper()
+	geo := flash.Geometry{
+		Name: "rig", Size: 256 * 1024, SectorSize: 4096, PageSize: 256,
+		EraseSector: time.Millisecond, ProgramPage: 10 * time.Microsecond,
+	}
+	mem, err := flash.New(geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := flash.NewRegion(mem, 0, 128*1024)
+	rb, _ := flash.NewRegion(mem, 128*1024, 128*1024)
+	slotA, err := slot.New("A", ra, slot.Bootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slotB, err := slot.New("B", rb, slot.Bootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := &rig{
+		suite:     security.NewTinyCrypt(),
+		vendorKey: security.MustGenerateKey("rig-vendor"),
+		serverKey: security.MustGenerateKey("rig-server"),
+		slotA:     slotA,
+		slotB:     slotB,
+		baseFW:    bytes.Repeat([]byte("base-firmware-v1"), 2000),
+	}
+
+	// Install the running v1 image into slot A.
+	r.installBase(t)
+
+	v := verifier.New(r.suite, verifier.Keys{
+		Vendor: r.vendorKey.Public(),
+		Server: r.serverKey.Public(),
+	}, nil)
+	a, err := New(Config{
+		DeviceID:            rigDeviceID,
+		AppID:               rigAppID,
+		Targets:             []*slot.Slot{slotB},
+		Running:             slotA,
+		Verifier:            v,
+		NonceSource:         security.NewDeterministicReader("nonce-stream"),
+		SupportDifferential: differential,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.agent = a
+	return r
+}
+
+// installBase writes the v1 base image into slot A directly.
+func (r *rig) installBase(t *testing.T) {
+	t.Helper()
+	w, err := r.slotA.BeginReceive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &manifest.Manifest{
+		AppID:          rigAppID,
+		Version:        1,
+		Size:           uint32(len(r.baseFW)),
+		FirmwareDigest: r.suite.Digest(r.baseFW),
+		LinkOffset:     0x0,
+		DeviceID:       rigDeviceID,
+	}
+	if err := m.SignVendor(r.suite, r.vendorKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SignServer(r.suite, r.serverKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.slotA.WriteManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(r.baseFW); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.slotA.MarkComplete(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.slotA.MarkConfirmed(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildImage produces a signed update image (manifest bytes + payload)
+// for the given token, mimicking the vendor + update server.
+func (r *rig) buildImage(t *testing.T, tok manifest.DeviceToken, newFW []byte, version uint16, diff bool, mutate func(*manifest.Manifest)) ([]byte, []byte) {
+	t.Helper()
+	m := &manifest.Manifest{
+		AppID:          rigAppID,
+		Version:        version,
+		Size:           uint32(len(newFW)),
+		FirmwareDigest: r.suite.Digest(newFW),
+		LinkOffset:     0x0,
+	}
+	var payload []byte
+	if diff {
+		payload = lzss.Encode(bsdiff.Diff(r.baseFW, newFW))
+		m.OldVersion = tok.CurrentVersion
+		m.PatchSize = uint32(len(payload))
+	} else {
+		payload = newFW
+	}
+	m.DeviceID = tok.DeviceID
+	m.Nonce = tok.Nonce
+	if mutate != nil {
+		mutate(m)
+	}
+	if err := m.SignVendor(r.suite, r.vendorKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SignServer(r.suite, r.serverKey); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, payload
+}
+
+func feedAll(t *testing.T, a *Agent, data []byte, chunk int) (Status, error) {
+	t.Helper()
+	var st Status
+	var err error
+	for i := 0; i < len(data); i += chunk {
+		end := min(i+chunk, len(data))
+		st, err = a.Receive(data[i:end])
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+func TestFullUpdateHappyPath(t *testing.T) {
+	r := newRig(t, false)
+	newFW := bytes.Repeat([]byte("shiny-new-firmware-v2"), 3000)
+
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatalf("RequestDeviceToken: %v", err)
+	}
+	if tok.DeviceID != rigDeviceID {
+		t.Fatalf("token device ID = %#x, want %#x", tok.DeviceID, rigDeviceID)
+	}
+	if tok.CurrentVersion != 0 {
+		t.Fatalf("token version = %d, want 0 (differential disabled)", tok.CurrentVersion)
+	}
+	mb, payload := r.buildImage(t, tok, newFW, 2, false, nil)
+
+	st, err := feedAll(t, r.agent, mb, 20)
+	if err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+	if st != StatusManifestAccepted {
+		t.Fatalf("status = %v, want manifest accepted", st)
+	}
+	st, err = feedAll(t, r.agent, payload, 512)
+	if err != nil {
+		t.Fatalf("payload: %v", err)
+	}
+	if st != StatusUpdateReady {
+		t.Fatalf("status = %v, want update ready", st)
+	}
+	if r.agent.State() != StateReadyToReboot {
+		t.Fatalf("state = %v, want ready-to-reboot", r.agent.State())
+	}
+
+	// The target slot holds the verified new firmware.
+	if state, _ := r.slotB.State(); state != slot.StateComplete {
+		t.Fatalf("slot B state = %v, want complete", state)
+	}
+	fr, err := r.slotB.FirmwareReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(fr)
+	if !bytes.Equal(got, newFW) {
+		t.Fatal("installed firmware mismatch")
+	}
+}
+
+func TestDifferentialUpdateHappyPath(t *testing.T) {
+	r := newRig(t, true)
+	newFW := bytes.Clone(r.baseFW)
+	copy(newFW[1000:], []byte("patched-region"))
+	newFW = append(newFW, []byte("grown tail")...)
+
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.CurrentVersion != 1 {
+		t.Fatalf("token version = %d, want 1 (differential enabled)", tok.CurrentVersion)
+	}
+	mb, payload := r.buildImage(t, tok, newFW, 2, true, nil)
+	if len(payload) >= len(newFW) {
+		t.Fatalf("differential payload (%d) not smaller than image (%d)", len(payload), len(newFW))
+	}
+	if _, err := feedAll(t, r.agent, mb, 64); err != nil {
+		t.Fatal(err)
+	}
+	st, err := feedAll(t, r.agent, payload, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUpdateReady {
+		t.Fatalf("status = %v, want update ready", st)
+	}
+	fr, err := r.slotB.FirmwareReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(fr)
+	if !bytes.Equal(got, newFW) {
+		t.Fatal("patched firmware mismatch")
+	}
+}
+
+func TestManifestAndPayloadInOneStream(t *testing.T) {
+	// A pull transport may deliver manifest and payload back to back.
+	r := newRig(t, false)
+	newFW := bytes.Repeat([]byte{7}, 9000)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, payload := r.buildImage(t, tok, newFW, 2, false, nil)
+	st, err := feedAll(t, r.agent, append(mb, payload...), 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUpdateReady {
+		t.Fatalf("status = %v, want update ready", st)
+	}
+}
+
+func TestReplayedManifestRejectedEarly(t *testing.T) {
+	r := newRig(t, false)
+	newFW := bytes.Repeat([]byte{9}, 2000)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An attacker replays an image signed for an older request (wrong
+	// nonce).
+	stale := tok
+	stale.Nonce ^= 0xFFFF
+	mb, _ := r.buildImage(t, stale, newFW, 2, false, nil)
+	_, err = feedAll(t, r.agent, mb, 64)
+	if !errors.Is(err, verifier.ErrNonce) {
+		t.Fatalf("error = %v, want ErrNonce", err)
+	}
+	// Early rejection: FSM cleaned, slot invalidated, no firmware
+	// was ever requested.
+	if r.agent.State() != StateWaiting {
+		t.Fatalf("state = %v, want waiting after cleaning", r.agent.State())
+	}
+	if st, _ := r.slotB.State(); st != slot.StateInvalid {
+		t.Fatalf("slot B = %v, want invalid", st)
+	}
+	// Further data is refused.
+	if _, err := r.agent.Receive([]byte{1}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("error = %v, want ErrBadState", err)
+	}
+}
+
+func TestDowngradeRejectedEarly(t *testing.T) {
+	r := newRig(t, false)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := r.buildImage(t, tok, []byte("old"), 1, false, nil) // device runs v1
+	if _, err := feedAll(t, r.agent, mb, 64); !errors.Is(err, verifier.ErrVersion) {
+		t.Fatalf("error = %v, want ErrVersion", err)
+	}
+}
+
+func TestTamperedFirmwareRejectedWithoutReboot(t *testing.T) {
+	r := newRig(t, false)
+	newFW := bytes.Repeat([]byte("valid-firmware"), 2000)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, payload := r.buildImage(t, tok, newFW, 2, false, nil)
+	if _, err := feedAll(t, r.agent, mb, 64); err != nil {
+		t.Fatal(err)
+	}
+	// The proxy tampers with the firmware in transit.
+	tampered := bytes.Clone(payload)
+	tampered[5000] ^= 0x01
+	_, err = feedAll(t, r.agent, tampered, 512)
+	if !errors.Is(err, verifier.ErrDigest) {
+		t.Fatalf("error = %v, want ErrDigest", err)
+	}
+	if r.agent.State() != StateWaiting {
+		t.Fatalf("state = %v, want waiting (no reboot on invalid firmware)", r.agent.State())
+	}
+	if st, _ := r.slotB.State(); st != slot.StateInvalid {
+		t.Fatalf("slot B = %v, want invalid", st)
+	}
+}
+
+func TestPayloadOverflowRejected(t *testing.T) {
+	r := newRig(t, false)
+	newFW := bytes.Repeat([]byte{3}, 1000)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, payload := r.buildImage(t, tok, newFW, 2, false, nil)
+	if _, err := feedAll(t, r.agent, mb, 64); err != nil {
+		t.Fatal(err)
+	}
+	oversized := append(bytes.Clone(payload), 0xEE)
+	if _, err := feedAll(t, r.agent, oversized, len(oversized)); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("error = %v, want ErrOverflow", err)
+	}
+}
+
+func TestDifferentialAgainstWrongBaseRejected(t *testing.T) {
+	r := newRig(t, true)
+	newFW := append(bytes.Clone(r.baseFW), []byte("v3")...)
+	tok, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch claims to be computed against v7; the device runs v1.
+	mb, _ := r.buildImage(t, tok, newFW, 8, true, func(m *manifest.Manifest) {
+		m.OldVersion = 7
+	})
+	if _, err := feedAll(t, r.agent, mb, 64); !errors.Is(err, verifier.ErrOldVersion) {
+		t.Fatalf("error = %v, want ErrOldVersion", err)
+	}
+}
+
+func TestTokenIsFreshPerRequest(t *testing.T) {
+	r := newRig(t, false)
+	tok1, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.agent.Abort()
+	tok2, err := r.agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok1.Nonce == tok2.Nonce {
+		t.Fatal("two requests produced the same nonce")
+	}
+}
+
+func TestRequestTokenTwiceRejected(t *testing.T) {
+	r := newRig(t, false)
+	if _, err := r.agent.RequestDeviceToken(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.agent.RequestDeviceToken(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("error = %v, want ErrBadState", err)
+	}
+}
+
+func TestReceiveInWaitingRejected(t *testing.T) {
+	r := newRig(t, false)
+	if _, err := r.agent.Receive([]byte{1, 2, 3}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("error = %v, want ErrBadState", err)
+	}
+}
+
+func TestAbortCleansState(t *testing.T) {
+	r := newRig(t, false)
+	if _, err := r.agent.RequestDeviceToken(); err != nil {
+		t.Fatal(err)
+	}
+	r.agent.Abort()
+	if r.agent.State() != StateWaiting {
+		t.Fatalf("state = %v, want waiting", r.agent.State())
+	}
+	if st, _ := r.slotB.State(); st != slot.StateInvalid {
+		t.Fatalf("slot B = %v, want invalid after abort", st)
+	}
+	// A new update can start cleanly.
+	if _, err := r.agent.RequestDeviceToken(); err != nil {
+		t.Fatalf("RequestDeviceToken after abort: %v", err)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); !errors.Is(err, ErrNoTarget) {
+		t.Fatalf("error = %v, want ErrNoTarget", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{StateWaiting, StateReceiveManifest, StateReceiveFirmware, StateReadyToReboot, State(42)} {
+		if s.String() == "" {
+			t.Errorf("State(%d).String() empty", int(s))
+		}
+	}
+}

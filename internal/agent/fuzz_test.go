@@ -1,0 +1,77 @@
+package agent
+
+import (
+	"math/rand"
+	"testing"
+
+	"upkit/internal/slot"
+)
+
+// Adversarial-stream tests: whatever bytes a compromised transport
+// feeds the FSM, it must never panic, never stage an update, and always
+// return to a state from which a legitimate update still works.
+
+func FuzzReceive(f *testing.F) {
+	f.Add([]byte{}, uint8(16))
+	f.Add(make([]byte, 193), uint8(1))
+	f.Add([]byte{0x55, 0x50, 0x4B, 0x54, 0x01}, uint8(7)) // UPKT magic prefix
+	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint8) {
+		r := newRig(t, false)
+		if _, err := r.agent.RequestDeviceToken(); err != nil {
+			t.Fatal(err)
+		}
+		chunk := 1 + int(chunkSel)%512
+		for i := 0; i < len(data); i += chunk {
+			end := min(i+chunk, len(data))
+			if _, err := r.agent.Receive(data[i:end]); err != nil {
+				break // rejection is the expected outcome
+			}
+		}
+		if r.agent.State() == StateReadyToReboot {
+			t.Fatal("random bytes staged an update")
+		}
+		if st, _ := r.slotB.State(); st == slot.StateComplete || st == slot.StateConfirmed {
+			t.Fatal("random bytes produced a complete slot image")
+		}
+	})
+}
+
+// After an arbitrary garbage stream is rejected, a real update must
+// still succeed: the Cleaning state fully resets the FSM.
+func TestGarbageThenLegitimateUpdate(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		r := newRig(t, false)
+		if _, err := r.agent.RequestDeviceToken(); err != nil {
+			t.Fatal(err)
+		}
+		garbage := make([]byte, rng.Intn(4096))
+		rng.Read(garbage)
+		for i := 0; i < len(garbage); i += 100 {
+			end := min(i+100, len(garbage))
+			if _, err := r.agent.Receive(garbage[i:end]); err != nil {
+				break
+			}
+		}
+		r.agent.Abort() // a transport would drop the connection here
+
+		// A clean update afterwards.
+		newFW := make([]byte, 8000)
+		rng.Read(newFW)
+		tok, err := r.agent.RequestDeviceToken()
+		if err != nil {
+			t.Fatalf("round %d: token: %v", round, err)
+		}
+		mb, payload := r.buildImage(t, tok, newFW, 2, false, nil)
+		if _, err := feedAll(t, r.agent, mb, 64); err != nil {
+			t.Fatalf("round %d: manifest: %v", round, err)
+		}
+		st, err := feedAll(t, r.agent, payload, 512)
+		if err != nil {
+			t.Fatalf("round %d: payload: %v", round, err)
+		}
+		if st != StatusUpdateReady {
+			t.Fatalf("round %d: status %v", round, st)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package mcuboot models the mcuboot bootloader as the paper's
+// comparison baseline (§II, §VI): verification happens *only* here,
+// after reboot, against a single signature.
+//
+// Differences from UpKit's bootloader that the experiments exercise:
+//
+//   - Single signature: only the image-signing (vendor) key is checked;
+//     there is no per-request server signature, so nothing binds an
+//     image to a device or a request.
+//   - No freshness: any validly signed image is installed, including an
+//     older one (downgrade) or one recorded from another session
+//     (replay) — the paper's update-freshness problem.
+//   - No agent-side checks exist at all in the mcumgr+mcuboot stack, so
+//     an invalid image is only discovered after the device has spent
+//     the full download and a reboot.
+package mcuboot
+
+import (
+	"errors"
+	"fmt"
+
+	"upkit/internal/flash"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+	"upkit/internal/slot"
+	"upkit/internal/verifier"
+)
+
+// ErrNoBootableImage mirrors the UpKit bootloader's terminal error.
+var ErrNoBootableImage = errors.New("mcuboot: no valid bootable image")
+
+// Config wires the baseline bootloader.
+type Config struct {
+	// Boot and Staging are the primary and secondary slots.
+	Boot    *slot.Slot
+	Staging *slot.Slot
+	// Scratch and Journal support the sector swap.
+	Scratch flash.Region
+	Journal flash.Region
+	// Suite and SignKey verify the single image signature.
+	Suite   security.Suite
+	SignKey *security.PublicKey
+	// AppID guards against images for other boards.
+	AppID uint32
+	// Clock and Phases mirror the UpKit bootloader instrumentation.
+	Clock  *simclock.Clock
+	Phases *simclock.Timer
+}
+
+// Result describes a completed boot.
+type Result struct {
+	Version    uint16
+	Installed  bool
+	RolledBack bool
+}
+
+// Bootloader is the baseline bootloader.
+type Bootloader struct {
+	cfg Config
+}
+
+// New creates the baseline bootloader.
+func New(cfg Config) (*Bootloader, error) {
+	if cfg.Boot == nil || cfg.Staging == nil || cfg.Suite == nil || cfg.SignKey == nil {
+		return nil, errors.New("mcuboot: incomplete configuration")
+	}
+	return &Bootloader{cfg: cfg}, nil
+}
+
+func (b *Bootloader) measure(phase string, fn func() error) error {
+	if b.cfg.Phases == nil || b.cfg.Clock == nil {
+		return fn()
+	}
+	return b.cfg.Phases.Measure(phase, fn)
+}
+
+// validate checks the single signature, the app ID, and the digest —
+// and deliberately nothing else (no device ID, no nonce, no version
+// ordering).
+func (b *Bootloader) validate(s *slot.Slot) (*manifest.Manifest, error) {
+	st, err := s.State()
+	if err != nil {
+		return nil, err
+	}
+	if !st.HasImage() {
+		return nil, fmt.Errorf("mcuboot: slot %s state %v", s.Name, st)
+	}
+	m, err := s.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	if m.AppID != b.cfg.AppID {
+		return nil, fmt.Errorf("mcuboot: image for app %#x, device runs %#x", m.AppID, b.cfg.AppID)
+	}
+	// Charge the same modelled costs as UpKit's verifier, minus the
+	// second signature.
+	v := verifier.New(b.cfg.Suite, verifier.Keys{}, b.cfg.Clock)
+	if b.cfg.Clock != nil {
+		b.cfg.Clock.Advance(b.cfg.Suite.Cost().HashCost(len(m.VendorSigningBytes())))
+		b.cfg.Clock.Advance(b.cfg.Suite.Cost().Verify)
+	}
+	if !m.VerifyVendorSig(b.cfg.Suite, b.cfg.SignKey) {
+		return nil, errors.New("mcuboot: image signature invalid")
+	}
+	r, err := s.FirmwareReader()
+	if err != nil {
+		return nil, err
+	}
+	if err := v.VerifyFirmware(r, m); err != nil {
+		return nil, fmt.Errorf("mcuboot: %w", err)
+	}
+	return m, nil
+}
+
+// Boot installs a valid staged image (regardless of its version — the
+// freshness hole) and boots the primary slot.
+func (b *Bootloader) Boot() (Result, error) {
+	boot, staging := b.cfg.Boot, b.cfg.Staging
+
+	inProgress, err := slot.SwapInProgress(b.cfg.Journal)
+	if err != nil {
+		return Result{}, err
+	}
+	installed := false
+	if inProgress {
+		if err := b.measure("loading", func() error {
+			return slot.SafeSwap(boot, staging, b.cfg.Scratch, b.cfg.Journal)
+		}); err != nil {
+			return Result{}, err
+		}
+		installed = true
+	}
+	if !installed {
+		stageErr := b.measure("verification", func() error {
+			_, verr := b.validate(staging)
+			return verr
+		})
+		if stageErr == nil {
+			if err := b.measure("loading", func() error {
+				return slot.SafeSwap(boot, staging, b.cfg.Scratch, b.cfg.Journal)
+			}); err != nil {
+				return Result{}, err
+			}
+			installed = true
+		} else if st, serr := staging.State(); serr == nil && st != slot.StateEmpty {
+			_ = staging.Invalidate()
+		}
+	}
+
+	var m *manifest.Manifest
+	bootErr := b.measure("verification", func() error {
+		var verr error
+		m, verr = b.validate(boot)
+		return verr
+	})
+	rolledBack := false
+	if bootErr != nil && installed {
+		if err := b.measure("loading", func() error {
+			return slot.SafeSwap(boot, staging, b.cfg.Scratch, b.cfg.Journal)
+		}); err != nil {
+			return Result{}, err
+		}
+		_ = staging.Invalidate()
+		installed = false
+		rolledBack = true
+		bootErr = b.measure("verification", func() error {
+			var verr error
+			m, verr = b.validate(boot)
+			return verr
+		})
+	}
+	if bootErr != nil {
+		return Result{}, fmt.Errorf("%w: %v", ErrNoBootableImage, bootErr)
+	}
+	if st, _ := boot.State(); st == slot.StateComplete {
+		if err := boot.MarkConfirmed(); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Version: m.Version, Installed: installed, RolledBack: rolledBack}, nil
+}

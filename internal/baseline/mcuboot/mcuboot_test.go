@@ -1,0 +1,205 @@
+package mcuboot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"upkit/internal/baseline/mcumgr"
+	"upkit/internal/flash"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+	"upkit/internal/slot"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+)
+
+const appID = uint32(0x42)
+
+type rig struct {
+	mem     *flash.Memory
+	clock   *simclock.Clock
+	boot    *slot.Slot
+	staging *slot.Slot
+	scratch flash.Region
+	journal flash.Region
+	suite   security.Suite
+	vendor  *vendorserver.Server
+	update  *updateserver.Server
+	bl      *Bootloader
+	agent   *mcumgr.Agent
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	clock := simclock.New()
+	geo := flash.Geometry{
+		Name: "mcuboot-rig", Size: 256 * 1024, SectorSize: 4096, PageSize: 256,
+		EraseSector: 10 * time.Millisecond, ProgramPage: 100 * time.Microsecond,
+	}
+	mem, err := flash.New(geo, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBoot, _ := flash.NewRegion(mem, 0, 96*1024)
+	rStage, _ := flash.NewRegion(mem, 96*1024, 96*1024)
+	scratch, _ := flash.NewRegion(mem, 192*1024, 4096)
+	journal, _ := flash.NewRegion(mem, 196*1024, 4096)
+	boot, err := slot.New("primary", rBoot, slot.Bootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staging, err := slot.New("secondary", rStage, slot.NonBootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := security.NewTinyCrypt()
+	vendor := vendorserver.New(suite, security.MustGenerateKey("mcuboot-vendor"))
+	update := updateserver.New(suite, security.MustGenerateKey("mcuboot-server"))
+	bl, err := New(Config{
+		Boot: boot, Staging: staging, Scratch: scratch, Journal: journal,
+		Suite: suite, SignKey: vendor.PublicKey(), AppID: appID, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{
+		mem: mem, clock: clock, boot: boot, staging: staging,
+		scratch: scratch, journal: journal, suite: suite,
+		vendor: vendor, update: update, bl: bl,
+		agent: &mcumgr.Agent{Target: staging},
+	}
+}
+
+// image builds a vendor-signed wire image (manifest || firmware).
+func (r *rig) image(t *testing.T, version uint16, fw []byte) []byte {
+	t.Helper()
+	img, err := r.vendor.BuildImage(vendorserver.Release{
+		AppID: appID, Version: version, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := img.Manifest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(enc, fw...)
+}
+
+// provision uploads an image into a slot via the mcumgr path.
+func (r *rig) provision(t *testing.T, s *slot.Slot, version uint16, fw []byte) {
+	t.Helper()
+	a := &mcumgr.Agent{Target: s}
+	if err := a.Upload(r.image(t, version, fw), 512); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootsExistingImage(t *testing.T) {
+	r := newRig(t)
+	r.provision(t, r.boot, 1, bytes.Repeat([]byte("v1"), 2000))
+	res, err := r.bl.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || res.Installed {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestInstallsValidStagedImage(t *testing.T) {
+	r := newRig(t)
+	r.provision(t, r.boot, 1, bytes.Repeat([]byte("v1"), 2000))
+	r.provision(t, r.staging, 2, bytes.Repeat([]byte("v2"), 2000))
+	res, err := r.bl.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 || !res.Installed {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// The freshness hole (§II): a validly signed OLD image is installed
+// over a newer one — mcuboot has no request binding and, in the paper's
+// configuration, no downgrade prevention.
+func TestDowngradeAttackSucceeds(t *testing.T) {
+	r := newRig(t)
+	r.provision(t, r.boot, 2, bytes.Repeat([]byte("v2"), 2000))
+	// Attacker replays the old v1 image into the staging slot.
+	r.provision(t, r.staging, 1, bytes.Repeat([]byte("v1-vulnerable"), 500))
+	res, err := r.bl.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("booted v%d; the baseline should have accepted the downgrade", res.Version)
+	}
+}
+
+// A tampered image is only caught here, after the device already spent
+// the download and a reboot; the bootloader rolls back.
+func TestTamperedImageRejectedOnlyAtBoot(t *testing.T) {
+	r := newRig(t)
+	oldFW := bytes.Repeat([]byte("v1"), 2000)
+	newFW := bytes.Repeat([]byte("v2"), 2000)
+	r.provision(t, r.boot, 1, oldFW)
+
+	wire := r.image(t, 2, newFW)
+	wire[400] ^= 0x01 // tampered in transit
+	// mcumgr happily stores it — no agent-side verification.
+	if err := r.agent.Upload(wire, 512); err != nil {
+		t.Fatalf("mcumgr must accept tampered images: %v", err)
+	}
+	st, _ := r.staging.State()
+	if st != slot.StateComplete {
+		t.Fatalf("staging state = %v, want complete (stored unverified)", st)
+	}
+
+	res, err := r.bl.Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("booted v%d, want v1 after rejection", res.Version)
+	}
+	if res.Installed {
+		t.Fatal("tampered image must not be installed")
+	}
+	if st, _ := r.staging.State(); st != slot.StateInvalid {
+		t.Fatalf("staging = %v, want invalid", st)
+	}
+}
+
+func TestWrongAppRejected(t *testing.T) {
+	r := newRig(t)
+	img, err := r.vendor.BuildImage(vendorserver.Release{
+		AppID: 0x99, Version: 2, LinkOffset: 0xFFFFFFFF,
+		Firmware: bytes.Repeat([]byte("x"), 1000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := img.Manifest.MarshalBinary()
+	if err := r.agent.Upload(append(enc, img.Firmware...), 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.bl.Boot(); !errors.Is(err, ErrNoBootableImage) {
+		t.Fatalf("error = %v, want ErrNoBootableImage", err)
+	}
+}
+
+func TestEmptyDeviceFailsToBoot(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.bl.Boot(); !errors.Is(err, ErrNoBootableImage) {
+		t.Fatalf("error = %v, want ErrNoBootableImage", err)
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("incomplete config accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Package mcumgr models the mcumgr image-management agent as the
+// paper's push-approach baseline (§II): it transports an image into the
+// secondary slot and performs *no* verification whatsoever — the
+// mcuboot bootloader discovers problems only after the reboot.
+//
+// The experiments use it to quantify what UpKit's agent-side
+// verification saves: with mcumgr, a tampered or stale image costs the
+// full download, a reboot, a bootloader rejection, and a second reboot
+// back into the old firmware.
+package mcumgr
+
+import (
+	"errors"
+	"fmt"
+
+	"upkit/internal/manifest"
+	"upkit/internal/slot"
+	"upkit/internal/transport"
+)
+
+// Agent errors.
+var (
+	ErrBadState = errors.New("mcumgr: upload not in progress")
+	ErrOverflow = errors.New("mcumgr: more data than announced")
+)
+
+// Agent is the device-side mcumgr SMP image-upload service.
+type Agent struct {
+	// Target is the secondary slot uploads land in.
+	Target *slot.Slot
+	// Link carries the SMP traffic (BLE in the paper's comparison).
+	Link *transport.Link
+
+	writer   *slot.Writer
+	expected int
+	received int
+	mbuf     []byte
+}
+
+// BeginUpload starts an image upload of total bytes (manifest +
+// payload).
+func (a *Agent) BeginUpload(total int) error {
+	w, err := a.Target.BeginReceive()
+	if err != nil {
+		return err
+	}
+	a.writer = w
+	a.expected = total
+	a.received = 0
+	a.mbuf = a.mbuf[:0]
+	return nil
+}
+
+// Chunk uploads one SMP fragment. No verification of any kind happens;
+// the bytes go straight to flash, manifest first.
+func (a *Agent) Chunk(data []byte) error {
+	if a.writer == nil {
+		return ErrBadState
+	}
+	if a.received+len(data) > a.expected {
+		return fmt.Errorf("%w: %d > %d", ErrOverflow, a.received+len(data), a.expected)
+	}
+	if a.Link != nil {
+		if _, err := a.Link.Transfer(len(data)); err != nil {
+			return err
+		}
+	}
+	a.received += len(data)
+	// Accumulate the manifest area, then stream the rest.
+	if len(a.mbuf) < manifest.EncodedSize {
+		need := manifest.EncodedSize - len(a.mbuf)
+		take := min(need, len(data))
+		a.mbuf = append(a.mbuf, data[:take]...)
+		data = data[take:]
+		if len(a.mbuf) == manifest.EncodedSize {
+			m, err := manifest.Unmarshal(a.mbuf)
+			if err != nil {
+				// Even a malformed manifest is written verbatim; the
+				// bootloader deals with it. Store raw bytes.
+				if perr := a.Target.Region().ProgramAt(0, a.mbuf); perr != nil {
+					return perr
+				}
+			} else if err := a.Target.WriteManifest(m); err != nil {
+				return err
+			}
+		}
+	}
+	if len(data) > 0 {
+		if _, err := a.writer.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Done marks the upload complete — unconditionally: mcumgr trusts the
+// transport. The device will reboot and let mcuboot decide.
+func (a *Agent) Done() error {
+	if a.writer == nil {
+		return ErrBadState
+	}
+	if a.received != a.expected {
+		return fmt.Errorf("mcumgr: upload ended at %d of %d bytes", a.received, a.expected)
+	}
+	a.writer = nil
+	return a.Target.MarkComplete()
+}
+
+// Upload performs a whole-image upload in attChunk-sized fragments.
+func (a *Agent) Upload(image []byte, chunkSize int) error {
+	if chunkSize <= 0 {
+		chunkSize = 20
+	}
+	if err := a.BeginUpload(len(image)); err != nil {
+		return err
+	}
+	for off := 0; off < len(image); off += chunkSize {
+		end := min(off+chunkSize, len(image))
+		if err := a.Chunk(image[off:end]); err != nil {
+			return err
+		}
+	}
+	return a.Done()
+}

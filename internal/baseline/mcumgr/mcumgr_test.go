@@ -1,0 +1,142 @@
+package mcumgr
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"upkit/internal/flash"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+	"upkit/internal/slot"
+	"upkit/internal/transport"
+)
+
+func newSlot(t *testing.T, clock *simclock.Clock) *slot.Slot {
+	t.Helper()
+	geo := flash.Geometry{
+		Name: "mcumgr-rig", Size: 128 * 1024, SectorSize: 4096, PageSize: 256,
+		EraseSector: time.Millisecond, ProgramPage: 10 * time.Microsecond,
+	}
+	mem, err := flash.New(geo, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, _ := flash.NewRegion(mem, 0, 64*1024)
+	s, err := slot.New("secondary", region, slot.NonBootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// wireImage builds manifest||firmware with a syntactically valid but
+// unsigned manifest — mcumgr does not care.
+func wireImage(t *testing.T, version uint16, fw []byte) []byte {
+	t.Helper()
+	suite := security.NewTinyCrypt()
+	m := manifest.Manifest{
+		AppID:          1,
+		Version:        version,
+		Size:           uint32(len(fw)),
+		FirmwareDigest: suite.Digest(fw),
+		LinkOffset:     0xFFFFFFFF,
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(enc, fw...)
+}
+
+func TestUploadStoresImageVerbatim(t *testing.T) {
+	s := newSlot(t, nil)
+	a := &Agent{Target: s}
+	fw := bytes.Repeat([]byte("anything-at-all"), 1000)
+	if err := a.Upload(wireImage(t, 3, fw), 20); err != nil {
+		t.Fatalf("Upload: %v", err)
+	}
+	st, _ := s.State()
+	if st != slot.StateComplete {
+		t.Fatalf("state = %v, want complete", st)
+	}
+	r, err := s.FirmwareReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	if !bytes.Equal(got, fw) {
+		t.Fatal("stored firmware mismatch")
+	}
+}
+
+func TestUploadAcceptsGarbage(t *testing.T) {
+	// The defining (mis)feature: no verification at all. Tampered,
+	// unsigned, or stale images are stored without complaint.
+	s := newSlot(t, nil)
+	a := &Agent{Target: s}
+	img := wireImage(t, 3, bytes.Repeat([]byte{0xAB}, 500))
+	img[10] ^= 0xFF // corrupt the manifest
+	img[300] ^= 0x1 // corrupt the firmware
+	if err := a.Upload(img, 64); err != nil {
+		t.Fatalf("mcumgr must store corrupt images: %v", err)
+	}
+	st, _ := s.State()
+	if st != slot.StateComplete {
+		t.Fatalf("state = %v, want complete", st)
+	}
+}
+
+func TestChunkBeforeBegin(t *testing.T) {
+	a := &Agent{Target: newSlot(t, nil)}
+	if err := a.Chunk([]byte{1}); !errors.Is(err, ErrBadState) {
+		t.Fatalf("error = %v, want ErrBadState", err)
+	}
+	if err := a.Done(); !errors.Is(err, ErrBadState) {
+		t.Fatalf("Done error = %v, want ErrBadState", err)
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	a := &Agent{Target: newSlot(t, nil)}
+	if err := a.BeginUpload(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Chunk(make([]byte, 11)); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("error = %v, want ErrOverflow", err)
+	}
+}
+
+func TestShortUploadRejectedAtDone(t *testing.T) {
+	a := &Agent{Target: newSlot(t, nil)}
+	img := wireImage(t, 1, make([]byte, 500))
+	if err := a.BeginUpload(len(img)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Chunk(img[:len(img)-1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Done(); err == nil {
+		t.Fatal("short upload must fail at Done")
+	}
+}
+
+func TestUploadChargesLinkTime(t *testing.T) {
+	clock := simclock.New()
+	s := newSlot(t, clock)
+	link := transport.BLE(clock, nil)
+	a := &Agent{Target: s, Link: link}
+	img := wireImage(t, 1, make([]byte, 10*1024))
+	before := clock.Now()
+	if err := a.Upload(img, 20); err != nil {
+		t.Fatal(err)
+	}
+	// ≈10.2 kB over the ~2.1 kB/s BLE link, plus per-chunk overhead:
+	// it must cost several seconds of virtual time.
+	if clock.Now()-before < 4*time.Second {
+		t.Fatalf("upload took %v; BLE timing not charged", clock.Now()-before)
+	}
+}

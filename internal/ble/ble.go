@@ -1,0 +1,242 @@
+// Package ble simulates the push interface of the paper's Zephyr
+// implementation: a BLE GATT "UpKit DFU" service through which a
+// smartphone pushes update images to the device (§V).
+//
+// The service exposes three characteristics, mirroring how Nordic-style
+// DFU services are structured:
+//
+//	token   (read)                     device token for this request
+//	control (write + notify)           transfer control and status
+//	data    (write without response)   manifest and firmware chunks
+//
+// All traffic is framed into ATT-sized chunks and charged to a
+// transport.Link with BLE timing, so the propagation-phase durations of
+// Fig. 8a emerge from the byte counts.
+package ble
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"upkit/internal/agent"
+	"upkit/internal/manifest"
+	"upkit/internal/transport"
+)
+
+// Control opcodes (central → peripheral).
+const (
+	// OpBeginManifest announces a manifest of the given length.
+	OpBeginManifest byte = 0x01
+	// OpBeginFirmware announces a firmware payload of the given length.
+	OpBeginFirmware byte = 0x02
+)
+
+// Status codes (peripheral → central, via notify).
+const (
+	// StatusOK acknowledges the last operation.
+	StatusOK byte = 0x00
+	// StatusManifestValid asks the central to start the firmware.
+	StatusManifestValid byte = 0x01
+	// StatusUpdateReady announces a fully verified update.
+	StatusUpdateReady byte = 0x02
+	// StatusRejected reports a verification failure; the transfer ends.
+	StatusRejected byte = 0xFF
+)
+
+// attPayload is the usable payload of one ATT write (BLE 4.x default
+// MTU 23 minus the 3-byte ATT header).
+const attPayload = 20
+
+// BLE errors.
+var (
+	ErrRejected     = errors.New("ble: device rejected the update")
+	ErrNotConnected = errors.New("ble: not connected")
+	ErrProtocol     = errors.New("ble: protocol violation")
+)
+
+// Peripheral is the device side of the DFU service: it adapts GATT
+// operations onto the update agent's FSM.
+type Peripheral struct {
+	Agent *agent.Agent
+
+	expect int // bytes remaining in the announced transfer
+}
+
+// NewPeripheral wraps an agent.
+func NewPeripheral(a *agent.Agent) *Peripheral { return &Peripheral{Agent: a} }
+
+// readToken services a read of the token characteristic.
+func (p *Peripheral) readToken() ([]byte, error) {
+	tok, err := p.Agent.RequestDeviceToken()
+	if err != nil {
+		return nil, err
+	}
+	return tok.MarshalBinary()
+}
+
+// writeControl services a write to the control characteristic and
+// returns the notification payload.
+func (p *Peripheral) writeControl(data []byte) byte {
+	if len(data) != 5 {
+		return StatusRejected
+	}
+	length := int(binary.BigEndian.Uint32(data[1:5]))
+	switch data[0] {
+	case OpBeginManifest, OpBeginFirmware:
+		p.expect = length
+		return StatusOK
+	default:
+		return StatusRejected
+	}
+}
+
+// writeData services a write to the data characteristic; when the
+// announced transfer completes it returns a status notification, else 0
+// with done=false.
+func (p *Peripheral) writeData(chunk []byte) (status byte, done bool) {
+	if len(chunk) > p.expect {
+		p.Agent.Abort()
+		return StatusRejected, true
+	}
+	st, err := p.Agent.Receive(chunk)
+	p.expect -= len(chunk)
+	if err != nil {
+		return StatusRejected, true
+	}
+	if p.expect > 0 {
+		return 0, false
+	}
+	switch st {
+	case agent.StatusManifestAccepted:
+		return StatusManifestValid, true
+	case agent.StatusUpdateReady:
+		return StatusUpdateReady, true
+	default:
+		// The transfer completed but the agent wants more: the control
+		// length disagreed with the manifest. Abort.
+		p.Agent.Abort()
+		return StatusRejected, true
+	}
+}
+
+// Central is the smartphone side of the connection.
+type Central struct {
+	link *transport.Link
+	peer *Peripheral
+}
+
+// Connect creates a central talking to peer over link.
+func Connect(link *transport.Link, peer *Peripheral) *Central {
+	return &Central{link: link, peer: peer}
+}
+
+// ReadDeviceToken reads the token characteristic (steps 4–5 of Fig. 2).
+func (c *Central) ReadDeviceToken() (manifest.DeviceToken, error) {
+	var tok manifest.DeviceToken
+	if c.peer == nil {
+		return tok, ErrNotConnected
+	}
+	// Read request + 10-byte response.
+	if _, err := c.link.Transfer(1); err != nil {
+		return tok, err
+	}
+	raw, err := c.peer.readToken()
+	if err != nil {
+		return tok, err
+	}
+	if _, err := c.link.Transfer(len(raw)); err != nil {
+		return tok, err
+	}
+	if err := tok.UnmarshalBinary(raw); err != nil {
+		return tok, err
+	}
+	return tok, nil
+}
+
+// control writes a 5-byte control frame and waits for the notification.
+func (c *Central) control(op byte, length int) (byte, error) {
+	frame := make([]byte, 5)
+	frame[0] = op
+	binary.BigEndian.PutUint32(frame[1:], uint32(length))
+	if _, err := c.link.Transfer(len(frame)); err != nil {
+		return 0, err
+	}
+	status := c.peer.writeControl(frame)
+	if _, err := c.link.Transfer(1); err != nil { // notification
+		return 0, err
+	}
+	return status, nil
+}
+
+// sendBlob streams data through the data characteristic as a burst of
+// write-without-response commands and returns the final status
+// notification. The air time for the whole burst is charged up front:
+// write-without-response commands pipeline back to back within
+// connection events, so there is no per-write round trip — only the
+// one-off message latency plus the connection-event stream.
+func (c *Central) sendBlob(data []byte) (byte, error) {
+	if _, err := c.link.Transfer(len(data)); err != nil {
+		return 0, err
+	}
+	for off := 0; off < len(data); off += attPayload {
+		end := min(off+attPayload, len(data))
+		status, done := c.peer.writeData(data[off:end])
+		if done {
+			if _, err := c.link.Transfer(1); err != nil { // notification
+				return 0, err
+			}
+			if end < len(data) && status != StatusRejected {
+				return 0, fmt.Errorf("%w: early completion at %d of %d", ErrProtocol, end, len(data))
+			}
+			return status, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: transfer ended without status", ErrProtocol)
+}
+
+// SendManifest pushes the manifest (step 8) and reports whether the
+// device accepted it (steps 9–11).
+func (c *Central) SendManifest(manifestBytes []byte) error {
+	if c.peer == nil {
+		return ErrNotConnected
+	}
+	status, err := c.control(OpBeginManifest, len(manifestBytes))
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("%w: control status %#02x", ErrRejected, status)
+	}
+	status, err = c.sendBlob(manifestBytes)
+	if err != nil {
+		return err
+	}
+	if status != StatusManifestValid {
+		return fmt.Errorf("%w: manifest status %#02x", ErrRejected, status)
+	}
+	return nil
+}
+
+// SendFirmware pushes the payload (step 12) and reports whether the
+// device verified the complete update (steps 13–14).
+func (c *Central) SendFirmware(payload []byte) error {
+	if c.peer == nil {
+		return ErrNotConnected
+	}
+	status, err := c.control(OpBeginFirmware, len(payload))
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return fmt.Errorf("%w: control status %#02x", ErrRejected, status)
+	}
+	status, err = c.sendBlob(payload)
+	if err != nil {
+		return err
+	}
+	if status != StatusUpdateReady {
+		return fmt.Errorf("%w: firmware status %#02x", ErrRejected, status)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package ble
+
+import (
+	"testing"
+	"time"
+
+	"upkit/internal/agent"
+	"upkit/internal/flash"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/slot"
+	"upkit/internal/transport"
+	"upkit/internal/verifier"
+)
+
+// White-box tests for the GATT framing edge cases a hostile central can
+// produce.
+
+func newPeripheral(t *testing.T) *Peripheral {
+	t.Helper()
+	geo := flash.Geometry{
+		Name: "ble-int", Size: 128 * 1024, SectorSize: 4096, PageSize: 256,
+		EraseSector: time.Millisecond, ProgramPage: 10 * time.Microsecond,
+	}
+	mem, err := flash.New(geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, _ := flash.NewRegion(mem, 0, 64*1024)
+	target, err := slot.New("t", region, slot.Bootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := security.MustGenerateKey("ble-int")
+	ver := verifier.New(security.NewTinyCrypt(), verifier.Keys{
+		Vendor: key.Public(), Server: key.Public(),
+	}, nil)
+	a, err := agent.New(agent.Config{
+		DeviceID:    1,
+		AppID:       1,
+		Targets:     []*slot.Slot{target},
+		Verifier:    ver,
+		NonceSource: security.NewDeterministicReader("ble-int-nonce"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewPeripheral(a)
+}
+
+func TestWriteControlMalformedFrames(t *testing.T) {
+	p := newPeripheral(t)
+	for _, frame := range [][]byte{nil, {0x01}, {0x01, 0, 0, 0}, make([]byte, 6)} {
+		if status := p.writeControl(frame); status != StatusRejected {
+			t.Errorf("frame %v: status %#02x, want rejected", frame, status)
+		}
+	}
+}
+
+func TestWriteControlUnknownOpcode(t *testing.T) {
+	p := newPeripheral(t)
+	if status := p.writeControl([]byte{0x77, 0, 0, 0, 10}); status != StatusRejected {
+		t.Errorf("unknown opcode status %#02x, want rejected", status)
+	}
+}
+
+func TestWriteDataOverAnnouncedLength(t *testing.T) {
+	p := newPeripheral(t)
+	if _, err := p.Agent.RequestDeviceToken(); err != nil {
+		t.Fatal(err)
+	}
+	if status := p.writeControl([]byte{OpBeginManifest, 0, 0, 0, 10}); status != StatusOK {
+		t.Fatalf("control status %#02x", status)
+	}
+	// 11 bytes exceed the announced 10: the peripheral must abort.
+	status, done := p.writeData(make([]byte, 11))
+	if !done || status != StatusRejected {
+		t.Fatalf("status %#02x done %v, want rejected", status, done)
+	}
+	if p.Agent.State() != agent.StateWaiting {
+		t.Fatalf("agent state %v, want waiting after abort", p.Agent.State())
+	}
+}
+
+func TestControlLengthShorterThanManifest(t *testing.T) {
+	// The central announces fewer bytes than a manifest needs; when the
+	// transfer "completes", the agent still wants more, and the
+	// peripheral must reject instead of hanging.
+	p := newPeripheral(t)
+	if _, err := p.Agent.RequestDeviceToken(); err != nil {
+		t.Fatal(err)
+	}
+	if status := p.writeControl([]byte{OpBeginManifest, 0, 0, 0, 10}); status != StatusOK {
+		t.Fatal("control rejected")
+	}
+	var status byte
+	var done bool
+	for i := 0; i < 10 && !done; i += 5 {
+		status, done = p.writeData(make([]byte, 5))
+	}
+	if !done || status != StatusRejected {
+		t.Fatalf("status %#02x done %v, want rejected at announced end", status, done)
+	}
+}
+
+func TestReadTokenWhileBusyFails(t *testing.T) {
+	p := newPeripheral(t)
+	if _, err := p.readToken(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.readToken(); err == nil {
+		t.Fatal("second token read during an active update must fail")
+	}
+}
+
+func TestCentralOverDownLink(t *testing.T) {
+	p := newPeripheral(t)
+	link := transport.BLE(nil, nil)
+	link.Down = true
+	c := Connect(link, p)
+	if _, err := c.ReadDeviceToken(); err == nil {
+		t.Fatal("read over a down link must fail")
+	}
+	if err := c.SendManifest(make([]byte, manifest.EncodedSize)); err == nil {
+		t.Fatal("send over a down link must fail")
+	}
+}
+
+func TestCentralNotConnected(t *testing.T) {
+	c := Connect(transport.BLE(nil, nil), nil)
+	if _, err := c.ReadDeviceToken(); err != ErrNotConnected {
+		t.Fatalf("error = %v, want ErrNotConnected", err)
+	}
+	if err := c.SendManifest(nil); err != ErrNotConnected {
+		t.Fatalf("error = %v, want ErrNotConnected", err)
+	}
+	if err := c.SendFirmware(nil); err != ErrNotConnected {
+		t.Fatalf("error = %v, want ErrNotConnected", err)
+	}
+}

@@ -1,0 +1,156 @@
+package ble_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"upkit/internal/agent"
+	"upkit/internal/ble"
+	"upkit/internal/manifest"
+	"upkit/internal/platform"
+	"upkit/internal/testbed"
+)
+
+const fwSize = 24 * 1024
+
+// bedWithV2 builds a push testbed with v2 published and returns the bed
+// plus a connected central.
+func bedWithV2(t *testing.T) (*testbed.Bed, *ble.Central) {
+	t.Helper()
+	b, err := testbed.New(testbed.Options{Approach: platform.Push},
+		testbed.MakeFirmware("ble-v1", fwSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, testbed.MakeFirmware("ble-v2", fwSize)); err != nil {
+		t.Fatal(err)
+	}
+	peripheral := ble.NewPeripheral(b.Device.Agent)
+	return b, ble.Connect(b.Link, peripheral)
+}
+
+func TestPushProtocolHappyPath(t *testing.T) {
+	b, central := bedWithV2(t)
+	tok, err := central.ReadDeviceToken()
+	if err != nil {
+		t.Fatalf("ReadDeviceToken: %v", err)
+	}
+	if tok.DeviceID == 0 || tok.Nonce == 0 {
+		t.Fatalf("token = %+v", tok)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := central.SendManifest(u.ManifestBytes); err != nil {
+		t.Fatalf("SendManifest: %v", err)
+	}
+	if err := central.SendFirmware(u.Payload); err != nil {
+		t.Fatalf("SendFirmware: %v", err)
+	}
+	if !b.Device.ReadyToReboot() {
+		t.Fatal("device not ready to reboot after full transfer")
+	}
+}
+
+func TestManifestBeforeTokenRejected(t *testing.T) {
+	b, central := bedWithV2(t)
+	// Build a valid image for a made-up token — but the device never
+	// issued one, so its FSM is still Waiting.
+	u, err := b.Update.PrepareUpdate(0x2A, manifest.DeviceToken{DeviceID: 0xD0D0CAFE, Nonce: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = central.SendManifest(u.ManifestBytes)
+	if !errors.Is(err, ble.ErrRejected) {
+		t.Fatalf("error = %v, want ErrRejected", err)
+	}
+}
+
+func TestCorruptManifestRejectedWithStatus(t *testing.T) {
+	b, central := bedWithV2(t)
+	tok, err := central.ReadDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := bytes.Clone(u.ManifestBytes)
+	bad[30] ^= 0xFF
+	if err := central.SendManifest(bad); !errors.Is(err, ble.ErrRejected) {
+		t.Fatalf("error = %v, want ErrRejected", err)
+	}
+	// FSM cleaned up.
+	if b.Device.Agent.State() != agent.StateWaiting {
+		t.Fatalf("agent state = %v, want waiting", b.Device.Agent.State())
+	}
+}
+
+func TestFirmwareLengthMismatchRejected(t *testing.T) {
+	b, central := bedWithV2(t)
+	tok, err := central.ReadDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := central.SendManifest(u.ManifestBytes); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated payload: the announced length disagrees with the
+	// manifest, so the transfer must end rejected, not hang.
+	if err := central.SendFirmware(u.Payload[:len(u.Payload)-100]); err == nil {
+		t.Fatal("short firmware must be rejected")
+	}
+	if b.Device.ReadyToReboot() {
+		t.Fatal("device staged a truncated update")
+	}
+}
+
+func TestFirmwareWithoutManifestRejected(t *testing.T) {
+	b, central := bedWithV2(t)
+	tok, err := central.ReadDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Skip the manifest entirely: the FSM treats the payload bytes as a
+	// manifest and rejects them.
+	if err := central.SendFirmware(u.Payload); err == nil {
+		t.Fatal("firmware without manifest must be rejected")
+	}
+}
+
+func TestAirTimeScalesWithPayload(t *testing.T) {
+	b, central := bedWithV2(t)
+	tok, err := central.ReadDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.Device.Clock.Now()
+	if err := central.SendManifest(u.ManifestBytes); err != nil {
+		t.Fatal(err)
+	}
+	manifestTime := b.Device.Clock.Now() - before
+
+	before = b.Device.Clock.Now()
+	if err := central.SendFirmware(u.Payload); err != nil {
+		t.Fatal(err)
+	}
+	firmwareTime := b.Device.Clock.Now() - before
+	if firmwareTime < 20*manifestTime {
+		t.Fatalf("firmware air time %v not ≫ manifest air time %v", firmwareTime, manifestTime)
+	}
+}

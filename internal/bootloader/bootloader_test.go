@@ -1,0 +1,435 @@
+package bootloader
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"upkit/internal/flash"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+	"upkit/internal/slot"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+	"upkit/internal/verifier"
+)
+
+const (
+	blDeviceID = uint32(0xB007)
+	blAppID    = uint32(0x42)
+)
+
+type blRig struct {
+	mem       *flash.Memory
+	clock     *simclock.Clock
+	boot      *slot.Slot
+	alt       *slot.Slot
+	scratch   flash.Region
+	journal   flash.Region
+	suite     security.Suite
+	vendor    *vendorserver.Server
+	update    *updateserver.Server
+	serverKey *security.PrivateKey
+	ver       *verifier.Verifier
+}
+
+func newBLRig(t *testing.T, altKind slot.Kind) *blRig {
+	t.Helper()
+	clock := simclock.New()
+	geo := flash.Geometry{
+		Name: "bl", Size: 256 * 1024, SectorSize: 4096, PageSize: 256,
+		EraseSector: 40 * time.Millisecond, ProgramPage: time.Millisecond,
+		ReadPage: 5 * time.Microsecond,
+	}
+	mem, err := flash.New(geo, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBoot, _ := flash.NewRegion(mem, 0, 96*1024)
+	rAlt, _ := flash.NewRegion(mem, 96*1024, 96*1024)
+	scratch, _ := flash.NewRegion(mem, 192*1024, 4096)
+	journal, _ := flash.NewRegion(mem, 196*1024, 4096)
+	boot, err := slot.New("boot", rBoot, slot.Bootable, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := slot.New("alt", rAlt, altKind, slot.AnyLink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := security.NewTinyCrypt()
+	vendor := vendorserver.New(suite, security.MustGenerateKey("bl-vendor"))
+	serverKey := security.MustGenerateKey("bl-server")
+	update := updateserver.New(suite, serverKey)
+	ver := verifier.New(suite, verifier.Keys{
+		Vendor: vendor.PublicKey(),
+		Server: update.PublicKey(),
+	}, clock)
+	return &blRig{
+		mem: mem, clock: clock, boot: boot, alt: alt,
+		scratch: scratch, journal: journal,
+		suite: suite, vendor: vendor, update: update, serverKey: serverKey, ver: ver,
+	}
+}
+
+// install writes a fully signed image of the given version into s, the
+// way the agent would after a successful receive.
+func (r *blRig) install(t *testing.T, s *slot.Slot, version uint16, fw []byte) {
+	t.Helper()
+	img, err := r.vendor.BuildImage(vendorserver.Release{
+		AppID: blAppID, Version: version, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := img.Manifest
+	m.DeviceID = blDeviceID
+	m.Nonce = uint32(version) * 1000
+	if err := m.SignServer(r.suite, r.serverKey); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.BeginReceive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteManifest(&m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(fw); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkComplete(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *blRig) bootloader(t *testing.T, mode Mode) *Bootloader {
+	t.Helper()
+	b, err := New(Config{
+		Mode: mode, Boot: r.boot, Alt: r.alt,
+		Scratch: r.scratch, Journal: r.journal,
+		Verifier: r.ver, DeviceID: blDeviceID, AppID: blAppID,
+		Clock: r.clock, JumpTime: 100 * time.Millisecond,
+		Phases: simclock.NewTimer(r.clock),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func slotFirmware(t *testing.T, s *slot.Slot) []byte {
+	t.Helper()
+	fr, err := s.FirmwareReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestStaticBootExistingImage(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	fw := bytes.Repeat([]byte("v1"), 3000)
+	r.install(t, r.boot, 1, fw)
+
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if res.Booted != r.boot || res.Version != 1 || res.Installed || res.RolledBack {
+		t.Fatalf("result = %+v", res)
+	}
+	if st, _ := r.boot.State(); st != slot.StateConfirmed {
+		t.Fatalf("boot slot state = %v, want confirmed", st)
+	}
+}
+
+func TestStaticBootInstallsNewerStagedImage(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	oldFW := bytes.Repeat([]byte("v1"), 3000)
+	newFW := bytes.Repeat([]byte("v2!"), 4000)
+	r.install(t, r.boot, 1, oldFW)
+	r.install(t, r.alt, 2, newFW)
+
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatalf("Boot: %v", err)
+	}
+	if !res.Installed || res.Version != 2 || res.Booted != r.boot {
+		t.Fatalf("result = %+v", res)
+	}
+	if !bytes.Equal(slotFirmware(t, r.boot), newFW) {
+		t.Fatal("boot slot does not hold the new firmware")
+	}
+	// The previous image is preserved in staging (swap, not copy).
+	if !bytes.Equal(slotFirmware(t, r.alt), oldFW) {
+		t.Fatal("staging slot no longer holds the previous firmware")
+	}
+}
+
+func TestStaticBootSkipsOlderStagedImage(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	r.install(t, r.boot, 3, bytes.Repeat([]byte("v3"), 1000))
+	r.install(t, r.alt, 2, bytes.Repeat([]byte("v2"), 1000))
+
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed {
+		t.Fatal("an older staged image must not be installed")
+	}
+	if res.Version != 3 {
+		t.Fatalf("booted v%d, want v3", res.Version)
+	}
+}
+
+func TestStaticBootRejectsTamperedStagedImage(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	oldFW := bytes.Repeat([]byte("v1"), 2000)
+	newFW := bytes.Repeat([]byte("v2"), 2000)
+	r.install(t, r.boot, 1, oldFW)
+	r.install(t, r.alt, 2, newFW)
+	// Flip one firmware byte in the staged image, after the agent's
+	// checks (e.g. flash corruption while powered off). The firmware
+	// area begins one page (256 B) into the slot.
+	if err := r.alt.Region().Mem.Corrupt(r.alt.Region().Offset+1000, 0x01); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed {
+		t.Fatal("tampered staged image must not be installed")
+	}
+	if res.Version != 1 {
+		t.Fatalf("booted v%d, want v1", res.Version)
+	}
+	if st, _ := r.alt.State(); st != slot.StateInvalid {
+		t.Fatalf("staging state = %v, want invalid", st)
+	}
+}
+
+func TestStaticBootIgnoresHalfReceivedImage(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	r.install(t, r.boot, 1, bytes.Repeat([]byte("v1"), 1000))
+	// Device lost power during propagation: staging is mid-receive.
+	if _, err := r.alt.BeginReceive(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Installed || res.Version != 1 {
+		t.Fatalf("result = %+v, want plain v1 boot", res)
+	}
+}
+
+func TestStaticBootResumesInterruptedSwap(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	oldFW := bytes.Repeat([]byte("v1"), 3000)
+	newFW := bytes.Repeat([]byte("v2"), 3000)
+	r.install(t, r.boot, 1, oldFW)
+	r.install(t, r.alt, 2, newFW)
+
+	// First boot: power fails partway through the install swap.
+	r.mem.FailAfter(120)
+	_, err := r.bootloader(t, ModeStatic).Boot()
+	if !errors.Is(err, flash.ErrPowerLoss) {
+		t.Fatalf("error = %v, want ErrPowerLoss", err)
+	}
+	r.mem.ClearFault()
+
+	// Second boot: the journal drives the swap to completion.
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatalf("Boot after power loss: %v", err)
+	}
+	if res.Version != 2 || !res.Installed {
+		t.Fatalf("result = %+v, want installed v2", res)
+	}
+	if !bytes.Equal(slotFirmware(t, r.boot), newFW) {
+		t.Fatal("boot slot does not hold the new firmware after resume")
+	}
+}
+
+func TestStaticBootNoImageAnywhere(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	if _, err := r.bootloader(t, ModeStatic).Boot(); !errors.Is(err, ErrNoBootableImage) {
+		t.Fatalf("error = %v, want ErrNoBootableImage", err)
+	}
+}
+
+func TestABBootPicksNewestValid(t *testing.T) {
+	r := newBLRig(t, slot.Bootable)
+	r.install(t, r.boot, 1, bytes.Repeat([]byte("v1"), 1000))
+	r.install(t, r.alt, 2, bytes.Repeat([]byte("v2"), 1000))
+
+	res, err := r.bootloader(t, ModeAB).Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Booted != r.alt || res.Version != 2 {
+		t.Fatalf("result = %+v, want slot alt v2", res)
+	}
+	if res.Installed {
+		t.Fatal("A/B boot must never move images")
+	}
+	if st, _ := r.alt.State(); st != slot.StateConfirmed {
+		t.Fatalf("alt state = %v, want confirmed", st)
+	}
+}
+
+func TestABBootRollsBackToOlderValidImage(t *testing.T) {
+	r := newBLRig(t, slot.Bootable)
+	r.install(t, r.boot, 1, bytes.Repeat([]byte("v1"), 1000))
+	r.install(t, r.alt, 2, bytes.Repeat([]byte("v2"), 1000))
+	// Corrupt a byte inside the newer image's firmware area.
+	if err := r.alt.Region().Mem.Corrupt(r.alt.Region().Offset+1000, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.bootloader(t, ModeAB).Boot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || !res.RolledBack {
+		t.Fatalf("result = %+v, want rolled-back v1", res)
+	}
+	if st, _ := r.alt.State(); st != slot.StateInvalid {
+		t.Fatalf("corrupt slot state = %v, want invalid", st)
+	}
+}
+
+func TestABBootBothInvalid(t *testing.T) {
+	r := newBLRig(t, slot.Bootable)
+	if _, err := r.bootloader(t, ModeAB).Boot(); !errors.Is(err, ErrNoBootableImage) {
+		t.Fatalf("error = %v, want ErrNoBootableImage", err)
+	}
+}
+
+func TestABLoadingMuchFasterThanStatic(t *testing.T) {
+	// Fig. 8c's shape: loading in A/B mode is a jump; static mode swaps
+	// whole slots.
+	fw := bytes.Repeat([]byte("xy"), 30*1024)
+
+	rStatic := newBLRig(t, slot.NonBootable)
+	rStatic.install(t, rStatic.boot, 1, bytes.Repeat([]byte("v1"), 1000))
+	rStatic.install(t, rStatic.alt, 2, fw)
+	blStatic := rStatic.bootloader(t, ModeStatic)
+	phasesStatic := simclock.NewTimer(rStatic.clock)
+	blStatic.cfg.Phases = phasesStatic
+	if _, err := blStatic.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	rAB := newBLRig(t, slot.Bootable)
+	rAB.install(t, rAB.boot, 1, bytes.Repeat([]byte("v1"), 1000))
+	rAB.install(t, rAB.alt, 2, fw)
+	blAB := rAB.bootloader(t, ModeAB)
+	phasesAB := simclock.NewTimer(rAB.clock)
+	blAB.cfg.Phases = phasesAB
+	if _, err := blAB.Boot(); err != nil {
+		t.Fatal(err)
+	}
+
+	staticLoad := phasesStatic.Phase(PhaseLoading)
+	abLoad := phasesAB.Phase(PhaseLoading)
+	if abLoad >= staticLoad/5 {
+		t.Fatalf("A/B loading %v not ≪ static loading %v", abLoad, staticLoad)
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	r.install(t, r.boot, 1, bytes.Repeat([]byte("v1"), 2000))
+	b := r.bootloader(t, ModeStatic)
+	phases := simclock.NewTimer(r.clock)
+	b.cfg.Phases = phases
+	if _, err := b.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	if phases.Phase(PhaseVerification) <= 0 {
+		t.Error("verification phase not attributed")
+	}
+	if phases.Phase(PhaseLoading) < 100*time.Millisecond {
+		t.Errorf("loading phase = %v, want >= jump time", phases.Phase(PhaseLoading))
+	}
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	r := newBLRig(t, slot.NonBootable)
+	cases := []Config{
+		{},
+		{Mode: ModeStatic, Boot: r.boot, Verifier: r.ver},             // no staging
+		{Mode: ModeAB, Boot: r.boot, Alt: r.alt, Verifier: r.ver},     // alt not bootable
+		{Mode: Mode(9), Boot: r.boot, Alt: r.alt, Verifier: r.ver},    // unknown mode
+		{Mode: ModeStatic, Boot: r.boot, Alt: r.alt, Verifier: r.ver}, // no scratch/journal
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeStatic.String() != "static" || ModeAB.String() != "A/B" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must still render")
+	}
+}
+
+func TestStaticBootRollsBackWhenResumedImageIsCorrupt(t *testing.T) {
+	// The hardest static-mode path: the install swap is interrupted by a
+	// power loss, and the staged image turns out corrupt (flash decay in
+	// a sector the journal had not yet moved). After the resume
+	// completes the swap, the boot-side verification catches the corrupt
+	// image and the bootloader must swap back to the previous firmware.
+	r := newBLRig(t, slot.NonBootable)
+	oldFW := bytes.Repeat([]byte("v1"), 3000)
+	newFW := bytes.Repeat([]byte("v2"), 3000)
+	r.install(t, r.boot, 1, oldFW)
+	r.install(t, r.alt, 2, newFW)
+
+	// Interrupt the swap after roughly one sector's worth of operations.
+	r.mem.FailAfter(40)
+	if _, err := r.bootloader(t, ModeStatic).Boot(); !errors.Is(err, flash.ErrPowerLoss) {
+		t.Fatalf("expected power loss during install swap")
+	}
+	r.mem.ClearFault()
+
+	// Corrupt a byte of the NEW image in a staging sector that has not
+	// been swapped yet (the 6 kB image spans sectors 0–1; the fault
+	// stopped the swap inside sector 0, so corrupt sector 1).
+	if err := r.alt.Region().Mem.Corrupt(r.alt.Region().Offset+4096+500, 0x01); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := r.bootloader(t, ModeStatic).Boot()
+	if err != nil {
+		t.Fatalf("Boot after resume: %v", err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("booted v%d, want rollback to v1", res.Version)
+	}
+	if !res.RolledBack {
+		t.Fatalf("result = %+v, want RolledBack", res)
+	}
+	if !bytes.Equal(slotFirmware(t, r.boot), oldFW) {
+		t.Fatal("boot slot does not hold the old firmware after rollback")
+	}
+	if st, _ := r.alt.State(); st != slot.StateInvalid {
+		t.Fatalf("staging = %v, want invalid (corrupt image rejected)", st)
+	}
+}

@@ -1,0 +1,233 @@
+package bsdiff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Patch container format (sequentially applicable, see package doc):
+//
+//	header:  magic "UPBSDIF1" | oldSize uint32 | newSize uint32
+//	record:  diffLen uint32 | extraLen uint32 | seek int32
+//	         diffLen bytes (new minus old, bytewise)
+//	         extraLen bytes (literal new data)
+//
+// Records repeat until exactly newSize output bytes have been produced.
+const (
+	patchMagic       = "UPBSDIF1"
+	patchHeaderSize  = len(patchMagic) + 4 + 4
+	recordHeaderSize = 4 + 4 + 4
+)
+
+// Patch stream errors.
+var (
+	ErrBadPatchHeader  = errors.New("bsdiff: bad patch header")
+	ErrPatchCorrupt    = errors.New("bsdiff: corrupt patch")
+	ErrPatchTrailing   = errors.New("bsdiff: data after end of patch")
+	ErrPatchIncomplete = errors.New("bsdiff: patch ended early")
+)
+
+// patchWriter accumulates an encoded patch.
+type patchWriter struct {
+	buf bytes.Buffer
+}
+
+func (w *patchWriter) writeHeader(oldSize, newSize int) {
+	w.buf.WriteString(patchMagic)
+	var sz [8]byte
+	binary.BigEndian.PutUint32(sz[0:4], uint32(oldSize))
+	binary.BigEndian.PutUint32(sz[4:8], uint32(newSize))
+	w.buf.Write(sz[:])
+}
+
+func (w *patchWriter) writeRecord(diff, extra []byte, seek int) {
+	var hdr [recordHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(diff)))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(extra)))
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(int32(seek)))
+	w.buf.Write(hdr[:])
+	w.buf.Write(diff)
+	w.buf.Write(extra)
+}
+
+// PatchSizes reads the old and new image sizes from an encoded patch
+// without applying it.
+func PatchSizes(patch []byte) (oldSize, newSize int, err error) {
+	if len(patch) < patchHeaderSize || string(patch[:len(patchMagic)]) != patchMagic {
+		return 0, 0, ErrBadPatchHeader
+	}
+	oldSize = int(binary.BigEndian.Uint32(patch[len(patchMagic):]))
+	newSize = int(binary.BigEndian.Uint32(patch[len(patchMagic)+4:]))
+	return oldSize, newSize, nil
+}
+
+// applierState enumerates what the Applier expects next.
+type applierState int
+
+const (
+	applierHeader applierState = iota + 1
+	applierRecord
+	applierDiff
+	applierExtra
+	applierDone
+)
+
+// Applier applies a patch as it streams in, reading the old image from
+// an io.ReaderAt (on a device: the other flash slot) and emitting new
+// image bytes incrementally.
+type Applier struct {
+	old io.ReaderAt
+
+	state  applierState
+	hdr    [patchHeaderSize]byte
+	hdrN   int
+	record [recordHeaderSize]byte
+	recN   int
+
+	oldSize, newSize int
+	oldPos, emitted  int
+
+	diffLeft, extraLeft int
+	seek                int
+
+	oldBuf []byte
+}
+
+// NewApplier returns an applier that reads old-image bytes from old.
+func NewApplier(old io.ReaderAt) *Applier {
+	return &Applier{old: old, state: applierHeader, oldBuf: make([]byte, 512)}
+}
+
+// NewSize reports the declared output size, or -1 before the header has
+// been received.
+func (a *Applier) NewSize() int {
+	if a.state == applierHeader {
+		return -1
+	}
+	return a.newSize
+}
+
+// Done reports whether the full new image has been produced.
+func (a *Applier) Done() bool { return a.state == applierDone }
+
+// Feed consumes a chunk of patch bytes, invoking emit with new-image
+// bytes as they become available. The slice passed to emit is only valid
+// during the call.
+func (a *Applier) Feed(chunk []byte, emit func([]byte) error) error {
+	for len(chunk) > 0 {
+		switch a.state {
+		case applierHeader:
+			n := copy(a.hdr[a.hdrN:], chunk)
+			a.hdrN += n
+			chunk = chunk[n:]
+			if a.hdrN < patchHeaderSize {
+				continue
+			}
+			if string(a.hdr[:len(patchMagic)]) != patchMagic {
+				return fmt.Errorf("%w: magic %q", ErrBadPatchHeader, a.hdr[:len(patchMagic)])
+			}
+			a.oldSize = int(binary.BigEndian.Uint32(a.hdr[len(patchMagic):]))
+			a.newSize = int(binary.BigEndian.Uint32(a.hdr[len(patchMagic)+4:]))
+			if a.newSize == 0 {
+				a.state = applierDone
+			} else {
+				a.state = applierRecord
+			}
+		case applierRecord:
+			n := copy(a.record[a.recN:], chunk)
+			a.recN += n
+			chunk = chunk[n:]
+			if a.recN < recordHeaderSize {
+				continue
+			}
+			a.recN = 0
+			a.diffLeft = int(binary.BigEndian.Uint32(a.record[0:4]))
+			a.extraLeft = int(binary.BigEndian.Uint32(a.record[4:8]))
+			a.seek = int(int32(binary.BigEndian.Uint32(a.record[8:12])))
+			if a.emitted+a.diffLeft+a.extraLeft > a.newSize {
+				return fmt.Errorf("%w: record overruns new size", ErrPatchCorrupt)
+			}
+			a.advanceState()
+		case applierDiff:
+			n := min(len(chunk), a.diffLeft)
+			out := make([]byte, n)
+			copy(out, chunk[:n])
+			if err := a.addOldBytes(out); err != nil {
+				return err
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+			a.emitted += n
+			a.oldPos += n
+			a.diffLeft -= n
+			chunk = chunk[n:]
+			a.advanceState()
+		case applierExtra:
+			n := min(len(chunk), a.extraLeft)
+			if err := emit(chunk[:n]); err != nil {
+				return err
+			}
+			a.emitted += n
+			a.extraLeft -= n
+			chunk = chunk[n:]
+			a.advanceState()
+		case applierDone:
+			return ErrPatchTrailing
+		}
+	}
+	return nil
+}
+
+// advanceState moves between diff, extra, and record states as the
+// current record drains, applying the seek once the record completes.
+func (a *Applier) advanceState() {
+	if a.diffLeft > 0 {
+		a.state = applierDiff
+		return
+	}
+	if a.extraLeft > 0 {
+		a.state = applierExtra
+		return
+	}
+	// Record complete: apply the old-position seek.
+	a.oldPos += a.seek
+	a.seek = 0
+	if a.emitted == a.newSize {
+		a.state = applierDone
+	} else {
+		a.state = applierRecord
+	}
+}
+
+// addOldBytes adds old[oldPos+i] to out[i] in place. Positions outside
+// the old image contribute zero, matching canonical bspatch.
+func (a *Applier) addOldBytes(out []byte) error {
+	for i := 0; i < len(out); {
+		pos := a.oldPos + i
+		if pos < 0 || pos >= a.oldSize {
+			i++
+			continue
+		}
+		n := min(len(out)-i, a.oldSize-pos, len(a.oldBuf))
+		if _, err := a.old.ReadAt(a.oldBuf[:n], int64(pos)); err != nil {
+			return fmt.Errorf("bsdiff: read old image: %w", err)
+		}
+		for k := range n {
+			out[i+k] += a.oldBuf[k]
+		}
+		i += n
+	}
+	return nil
+}
+
+// Close checks that the patch was complete.
+func (a *Applier) Close() error {
+	if a.state != applierDone {
+		return fmt.Errorf("%w: emitted %d of %d bytes", ErrPatchIncomplete, a.emitted, a.newSize)
+	}
+	return nil
+}

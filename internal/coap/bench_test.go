@@ -1,0 +1,45 @@
+package coap
+
+import "testing"
+
+func benchMessage() *Message {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 77, Token: []byte{1, 2, 3, 4}}
+	m.SetPath(PathImage)
+	m.AddOption(OptUriQuery, []byte("d=d0d0cafe"))
+	m.AddOption(OptUriQuery, []byte("n=beef"))
+	m.AddOption(OptBlock2, Block{Num: 512, SZX: 2}.Marshal())
+	return m
+}
+
+func BenchmarkMessageMarshal(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for range b.N {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageUnmarshal(b *testing.B) {
+	enc, err := benchMessage().Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		if _, err := Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockRoundTrip(b *testing.B) {
+	for range b.N {
+		blk := Block{Num: uint32(b.N % 4096), More: true, SZX: 2}
+		if _, err := ParseBlock(blk.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package coap
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"upkit/internal/transport"
+)
+
+// Handler processes one CoAP request and produces the response.
+type Handler func(req *Message) *Message
+
+// Exchanger performs one confirmable request/response exchange.
+type Exchanger interface {
+	Exchange(req *Message) (*Message, error)
+}
+
+// ErrTimeout is returned when a UDP exchange receives no response.
+var ErrTimeout = errors.New("coap: timeout")
+
+// LinkExchanger runs exchanges against an in-process handler through a
+// simulated radio link: every request and response is actually encoded
+// and decoded by the codec, and its wire size is charged to the link.
+//
+// Confirmable semantics are honoured: when the link's loss model drops
+// a request or response frame, the exchange retransmits after a timeout
+// (charged to the clock), up to MaxRetransmit attempts — RFC 7252 §4.2.
+type LinkExchanger struct {
+	Link    *transport.Link
+	Handler Handler
+
+	// MaxRetransmit bounds retransmissions per exchange; 0 selects the
+	// RFC 7252 default of 4.
+	MaxRetransmit int
+	// AckTimeout is the (virtual) wait before a retransmission; 0
+	// selects 2 s, the RFC default.
+	AckTimeout time.Duration
+
+	nextMID uint16
+}
+
+// Exchange implements Exchanger.
+func (e *LinkExchanger) Exchange(req *Message) (*Message, error) {
+	e.nextMID++
+	req.MessageID = e.nextMID
+	enc, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	retries := e.MaxRetransmit
+	if retries <= 0 {
+		retries = 4
+	}
+	timeout := e.AckTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := e.once(req, enc)
+		if err == nil {
+			return resp, nil
+		}
+		if !errors.Is(err, transport.ErrLost) || attempt >= retries {
+			return nil, err
+		}
+		// Retransmission timeout with binary exponential backoff.
+		if e.Link.Clock != nil {
+			e.Link.Clock.Advance(timeout << uint(attempt))
+		}
+	}
+}
+
+// once performs a single request/response attempt.
+func (e *LinkExchanger) once(req *Message, enc []byte) (*Message, error) {
+	if _, err := e.Link.Transfer(len(enc)); err != nil {
+		return nil, err
+	}
+	// The server re-parses the exact bytes the client produced.
+	parsed, err := Unmarshal(enc)
+	if err != nil {
+		return nil, fmt.Errorf("coap: server parse: %w", err)
+	}
+	resp := e.Handler(parsed)
+	if resp == nil {
+		return nil, fmt.Errorf("coap: no response for %s %s", req.Code, req.Path())
+	}
+	resp.MessageID = parsed.MessageID
+	resp.Token = parsed.Token
+	respEnc, err := resp.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := e.Link.Transfer(len(respEnc)); err != nil {
+		return nil, err
+	}
+	return Unmarshal(respEnc)
+}
+
+// UDPServer serves CoAP over a real UDP socket (used by
+// cmd/upkit-server so host tools can exercise the same code path).
+type UDPServer struct {
+	conn    *net.UDPConn
+	handler Handler
+}
+
+// ListenUDP binds addr (e.g. "127.0.0.1:5683") and serves handler until
+// Close. Serving runs on the caller's goroutine via Serve.
+func ListenUDP(addr string, handler Handler) (*UDPServer, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: listen %s: %w", addr, err)
+	}
+	return &UDPServer{conn: conn, handler: handler}, nil
+}
+
+// Addr returns the bound address.
+func (s *UDPServer) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Serve processes datagrams until the connection is closed.
+func (s *UDPServer) Serve() error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		req, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue // silently drop malformed datagrams
+		}
+		resp := s.handler(req)
+		if resp == nil {
+			continue
+		}
+		resp.MessageID = req.MessageID
+		resp.Token = req.Token
+		if resp.Type == Confirmable {
+			resp.Type = Acknowledgement
+		}
+		enc, err := resp.Marshal()
+		if err != nil {
+			continue
+		}
+		if _, err := s.conn.WriteToUDP(enc, peer); err != nil {
+			return err
+		}
+	}
+}
+
+// Close shuts the server down.
+func (s *UDPServer) Close() error { return s.conn.Close() }
+
+// UDPExchanger exchanges messages with a remote CoAP server over UDP
+// with a simple retransmission schedule.
+type UDPExchanger struct {
+	conn    *net.UDPConn
+	nextMID uint16
+	// Timeout is the per-attempt response timeout.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first attempt.
+	Retries int
+}
+
+// DialUDP connects to a CoAP server at addr.
+func DialUDP(addr string) (*UDPExchanger, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: resolve %s: %w", addr, err)
+	}
+	conn, err := net.DialUDP("udp", nil, udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("coap: dial %s: %w", addr, err)
+	}
+	return &UDPExchanger{conn: conn, Timeout: 2 * time.Second, Retries: 3}, nil
+}
+
+// Close releases the socket.
+func (e *UDPExchanger) Close() error { return e.conn.Close() }
+
+// Exchange implements Exchanger with retransmission.
+func (e *UDPExchanger) Exchange(req *Message) (*Message, error) {
+	e.nextMID++
+	req.MessageID = e.nextMID
+	enc, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	for attempt := 0; attempt <= e.Retries; attempt++ {
+		if _, err := e.conn.Write(enc); err != nil {
+			return nil, err
+		}
+		if err := e.conn.SetReadDeadline(time.Now().Add(e.Timeout)); err != nil {
+			return nil, err
+		}
+		n, err := e.conn.Read(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue
+			}
+			return nil, err
+		}
+		resp, err := Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		if resp.MessageID != req.MessageID {
+			continue // stale retransmission answer
+		}
+		return resp, nil
+	}
+	return nil, ErrTimeout
+}

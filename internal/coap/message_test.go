@@ -1,0 +1,229 @@
+package coap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: 0x1234,
+		Token:     []byte{1, 2, 3, 4},
+		Payload:   []byte("hello"),
+	}
+	m.SetPath("/upkit/version")
+	m.AddOption(OptUriQuery, []byte("app=2a"))
+
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != m.Type || got.Code != m.Code || got.MessageID != m.MessageID {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Token, m.Token) {
+		t.Fatal("token mismatch")
+	}
+	if got.Path() != "/upkit/version" {
+		t.Fatalf("path = %q", got.Path())
+	}
+	if v, ok := got.Query("app"); !ok || v != "2a" {
+		t.Fatalf("query = %q, %v", v, ok)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestMessageNoPayloadNoOptions(t *testing.T) {
+	m := &Message{Type: Acknowledgement, Code: CodeEmpty, MessageID: 7}
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != 4 {
+		t.Fatalf("empty message = %d bytes, want 4", len(enc))
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MessageID != 7 || len(got.Options) != 0 || len(got.Payload) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestLargeOptionDeltasAndLengths(t *testing.T) {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	// Deltas needing 13- and 14-extensions, and a long value.
+	m.AddOption(3, []byte("h"))
+	m.AddOption(300, bytes.Repeat([]byte("x"), 500))
+	m.AddOption(2000, []byte("far"))
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Options) != 3 {
+		t.Fatalf("options = %d, want 3", len(got.Options))
+	}
+	if got.Options[1].Number != 300 || len(got.Options[1].Value) != 500 {
+		t.Fatalf("option 1 = %d/%d bytes", got.Options[1].Number, len(got.Options[1].Value))
+	}
+	if got.Options[2].Number != 2000 {
+		t.Fatalf("option 2 number = %d", got.Options[2].Number)
+	}
+}
+
+func TestOptionsSortedOnMarshal(t *testing.T) {
+	m := &Message{Type: Confirmable, Code: CodeGET, MessageID: 1}
+	m.AddOption(OptBlock2, Block{Num: 1, SZX: 2}.Marshal())
+	m.AddOption(OptUriPath, []byte("upkit")) // lower number added later
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options[0].Number != OptUriPath {
+		t.Fatal("options not sorted by number on the wire")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncatedMessage},
+		{"short", []byte{0x40, 0x01}, ErrTruncatedMessage},
+		{"bad version", []byte{0x80, 0x01, 0, 0}, ErrBadVersion},
+		{"token overflow", []byte{0x49, 0x01, 0, 0}, ErrBadToken},
+		{"truncated token", []byte{0x44, 0x01, 0, 0, 1, 2}, ErrTruncatedMessage},
+		{"payload marker only", []byte{0x40, 0x01, 0, 0, 0xFF}, ErrTruncatedMessage},
+		{"reserved nibble", []byte{0x40, 0x01, 0, 0, 0xF0}, ErrBadOption},
+		{"truncated option", []byte{0x40, 0x01, 0, 0, 0x03, 'a'}, ErrTruncatedMessage},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMarshalRejectsLongToken(t *testing.T) {
+	m := &Message{Token: make([]byte, 9)}
+	if _, err := m.Marshal(); !errors.Is(err, ErrBadToken) {
+		t.Fatalf("error = %v, want ErrBadToken", err)
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	cases := []Block{
+		{Num: 0, More: false, SZX: 0},
+		{Num: 0, More: true, SZX: 2},
+		{Num: 15, More: true, SZX: 6},
+		{Num: 4095, More: false, SZX: 4},
+		{Num: 1 << 19, More: true, SZX: 2},
+	}
+	for _, b := range cases {
+		got, err := ParseBlock(b.Marshal())
+		if err != nil {
+			t.Fatalf("%+v: %v", b, err)
+		}
+		if got != b {
+			t.Fatalf("round trip: got %+v, want %+v", got, b)
+		}
+	}
+}
+
+func TestBlockSize(t *testing.T) {
+	if (Block{SZX: 2}).Size() != 64 {
+		t.Fatal("SZX 2 must be 64 bytes")
+	}
+	szx, err := SZXForSize(64)
+	if err != nil || szx != 2 {
+		t.Fatalf("SZXForSize(64) = %d, %v", szx, err)
+	}
+	if _, err := SZXForSize(100); err == nil {
+		t.Fatal("SZXForSize(100) must fail")
+	}
+	if _, err := ParseBlock(make([]byte, 4)); !errors.Is(err, ErrBadOption) {
+		t.Fatal("4-byte block option must be rejected")
+	}
+}
+
+func TestCodeString(t *testing.T) {
+	if CodeContent.String() != "2.05" {
+		t.Fatalf("CodeContent = %q, want 2.05", CodeContent.String())
+	}
+	if CodeNotFound.String() != "4.04" {
+		t.Fatalf("CodeNotFound = %q, want 4.04", CodeNotFound.String())
+	}
+	if CodeGET.Class() != 0 || CodeContent.Class() != 2 || CodeIntErr.Class() != 5 {
+		t.Fatal("code classes wrong")
+	}
+}
+
+// Property: any message assembled from arbitrary token/payload/option
+// values survives the codec.
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(tok []byte, payload []byte, optVals [][]byte) bool {
+		if len(tok) > 8 {
+			tok = tok[:8]
+		}
+		m := &Message{Type: Confirmable, Code: CodePOST, MessageID: 99, Token: tok, Payload: payload}
+		num := uint16(1)
+		for _, v := range optVals {
+			if len(v) > 1000 {
+				v = v[:1000]
+			}
+			m.AddOption(num, v)
+			num += 17
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(enc)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got.Token, m.Token) {
+			return false
+		}
+		// Zero-length payloads are legitimately dropped (no marker).
+		if len(payload) > 0 && !bytes.Equal(got.Payload, payload) {
+			return false
+		}
+		if len(got.Options) != len(m.Options) {
+			return false
+		}
+		for i := range got.Options {
+			if got.Options[i].Number != m.Options[i].Number ||
+				!bytes.Equal(got.Options[i].Value, m.Options[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

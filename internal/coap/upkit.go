@@ -1,0 +1,302 @@
+package coap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"upkit/internal/agent"
+	"upkit/internal/manifest"
+	"upkit/internal/updateserver"
+)
+
+// UpKit's CoAP resource layout for the pull approach (Fig. 2, steps
+// 3–7 collapsed into a poll):
+//
+//	GET  /upkit/version?app=<hex>      → 2-byte latest version
+//	POST /upkit/request?app=<hex>      body: device token (10 B)
+//	                                   → manifest (193 B)
+//	GET  /upkit/image?d=<hex>&n=<hex>  → payload, Block2 transfer
+const (
+	PathVersion = "/upkit/version"
+	PathRequest = "/upkit/request"
+	PathImage   = "/upkit/image"
+)
+
+// DefaultBlockSize is the Block2 size used by the pull client; 64 bytes
+// fits a single 802.15.4 frame after 6LoWPAN compression.
+const DefaultBlockSize = 64
+
+// Pull client errors.
+var (
+	ErrServerRefused = errors.New("coap: server refused request")
+	ErrNoUpdate      = errors.New("coap: no newer version available")
+)
+
+// sessionKey identifies one prepared update: the double signature binds
+// the image to exactly this device and nonce.
+type sessionKey struct {
+	deviceID uint32
+	nonce    uint32
+}
+
+// PullServer adapts an update server to CoAP for pulling devices.
+type PullServer struct {
+	Updates *updateserver.Server
+
+	mu       sync.Mutex
+	sessions map[sessionKey][]byte
+}
+
+// NewPullServer wraps updates.
+func NewPullServer(updates *updateserver.Server) *PullServer {
+	return &PullServer{Updates: updates, sessions: make(map[sessionKey][]byte)}
+}
+
+// Handle is the CoAP Handler for the UpKit resources.
+func (s *PullServer) Handle(req *Message) *Message {
+	switch {
+	case req.Code == CodeGET && req.Path() == PathVersion:
+		return s.handleVersion(req)
+	case req.Code == CodePOST && req.Path() == PathRequest:
+		return s.handleRequest(req)
+	case req.Code == CodeGET && req.Path() == PathImage:
+		return s.handleImage(req)
+	default:
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+}
+
+func parseHexQuery(req *Message, key string) (uint32, bool) {
+	raw, ok := req.Query(key)
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(raw, 16, 32)
+	if err != nil {
+		return 0, false
+	}
+	return uint32(v), true
+}
+
+func (s *PullServer) handleVersion(req *Message) *Message {
+	appID, ok := parseHexQuery(req, "app")
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	v, ok := s.Updates.Latest(appID)
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+	payload := make([]byte, 2)
+	binary.BigEndian.PutUint16(payload, v)
+	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: payload}
+}
+
+func (s *PullServer) handleRequest(req *Message) *Message {
+	appID, ok := parseHexQuery(req, "app")
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	var tok manifest.DeviceToken
+	if err := tok.UnmarshalBinary(req.Payload); err != nil {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	u, err := s.Updates.PrepareUpdate(appID, tok)
+	if err != nil {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+	s.mu.Lock()
+	s.sessions[sessionKey{tok.DeviceID, tok.Nonce}] = u.Payload
+	s.mu.Unlock()
+	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: u.ManifestBytes}
+}
+
+func (s *PullServer) handleImage(req *Message) *Message {
+	deviceID, ok1 := parseHexQuery(req, "d")
+	nonce, ok2 := parseHexQuery(req, "n")
+	if !ok1 || !ok2 {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	s.mu.Lock()
+	payload, ok := s.sessions[sessionKey{deviceID, nonce}]
+	s.mu.Unlock()
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+
+	block := Block{SZX: 2} // default 64-byte blocks
+	if raw, has := req.Option(OptBlock2); has {
+		b, err := ParseBlock(raw)
+		if err != nil {
+			return &Message{Type: Acknowledgement, Code: CodeBadReq}
+		}
+		block = b
+	}
+	size := block.Size()
+	start := int(block.Num) * size
+	if start >= len(payload) {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	end := min(start+size, len(payload))
+	// Copy the block: the response travels through transports (and, in
+	// attack experiments, hostile hops) that must not be able to reach
+	// back into the stored session payload.
+	chunk := make([]byte, end-start)
+	copy(chunk, payload[start:end])
+	resp := &Message{Type: Acknowledgement, Code: CodeContent, Payload: chunk}
+	respBlock := Block{Num: block.Num, More: end < len(payload), SZX: block.SZX}
+	resp.AddOption(OptBlock2, respBlock.Marshal())
+	if block.Num == 0 {
+		var sz [4]byte
+		binary.BigEndian.PutUint32(sz[:], uint32(len(payload)))
+		resp.AddOption(OptSize2, sz[:])
+	}
+	return resp
+}
+
+// PullClient drives a device's update agent through the pull flow.
+type PullClient struct {
+	// Ex performs the exchanges (simulated link or UDP).
+	Ex Exchanger
+	// Agent is the device's update agent.
+	Agent *agent.Agent
+	// AppID is the application to poll for.
+	AppID uint32
+	// BlockSize is the Block2 size (default DefaultBlockSize).
+	BlockSize int
+
+	token []byte
+}
+
+// appQuery renders the app=... query option value.
+func (c *PullClient) appQuery() []byte {
+	return []byte(fmt.Sprintf("app=%x", c.AppID))
+}
+
+// Poll asks the server for the latest version (step 3, as a poll).
+func (c *PullClient) Poll() (uint16, error) {
+	req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
+	req.SetPath(PathVersion)
+	req.AddOption(OptUriQuery, c.appQuery())
+	resp, err := c.Ex.Exchange(req)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Code != CodeContent || len(resp.Payload) != 2 {
+		return 0, fmt.Errorf("%w: %s", ErrServerRefused, resp.Code)
+	}
+	return binary.BigEndian.Uint16(resp.Payload), nil
+}
+
+func (c *PullClient) nextToken() []byte {
+	if c.token == nil {
+		c.token = []byte{0x75, 0x6B, 0, 0}
+	}
+	c.token[2]++
+	if c.token[2] == 0 {
+		c.token[3]++
+	}
+	return append([]byte{}, c.token...)
+}
+
+// CheckAndUpdate performs one full pull update cycle: poll the version,
+// and if a newer one exists, request it with a fresh device token,
+// verify the manifest, and stream the image into the agent. It returns
+// true when a verified update is staged and the device should reboot.
+func (c *PullClient) CheckAndUpdate() (bool, error) {
+	latest, err := c.Poll()
+	if err != nil {
+		return false, err
+	}
+	if latest <= c.Agent.CurrentVersion() {
+		return false, ErrNoUpdate
+	}
+
+	tok, err := c.Agent.RequestDeviceToken()
+	if err != nil {
+		return false, err
+	}
+	tokBytes, err := tok.MarshalBinary()
+	if err != nil {
+		c.Agent.Abort()
+		return false, err
+	}
+	req := &Message{Type: Confirmable, Code: CodePOST, Token: c.nextToken(), Payload: tokBytes}
+	req.SetPath(PathRequest)
+	req.AddOption(OptUriQuery, c.appQuery())
+	resp, err := c.Ex.Exchange(req)
+	if err != nil {
+		c.Agent.Abort()
+		return false, err
+	}
+	if resp.Code != CodeContent {
+		c.Agent.Abort()
+		return false, fmt.Errorf("%w: %s", ErrServerRefused, resp.Code)
+	}
+
+	status, err := c.Agent.Receive(resp.Payload)
+	if err != nil {
+		return false, fmt.Errorf("coap: manifest rejected: %w", err)
+	}
+	if status != agent.StatusManifestAccepted {
+		c.Agent.Abort()
+		return false, fmt.Errorf("coap: unexpected agent status %v after manifest", status)
+	}
+
+	return c.fetchImage(tok)
+}
+
+// fetchImage streams the payload blocks into the agent (step 7 + 12).
+func (c *PullClient) fetchImage(tok manifest.DeviceToken) (bool, error) {
+	size := c.BlockSize
+	if size <= 0 {
+		size = DefaultBlockSize
+	}
+	szx, err := SZXForSize(size)
+	if err != nil {
+		c.Agent.Abort()
+		return false, err
+	}
+	query := []byte(fmt.Sprintf("d=%x", tok.DeviceID))
+	query2 := []byte(fmt.Sprintf("n=%x", tok.Nonce))
+	for num := uint32(0); ; num++ {
+		req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
+		req.SetPath(PathImage)
+		req.AddOption(OptUriQuery, query)
+		req.AddOption(OptUriQuery, query2)
+		req.AddOption(OptBlock2, Block{Num: num, SZX: szx}.Marshal())
+		resp, err := c.Ex.Exchange(req)
+		if err != nil {
+			c.Agent.Abort()
+			return false, err
+		}
+		if resp.Code != CodeContent {
+			c.Agent.Abort()
+			return false, fmt.Errorf("%w: %s for block %d", ErrServerRefused, resp.Code, num)
+		}
+		status, err := c.Agent.Receive(resp.Payload)
+		if err != nil {
+			return false, fmt.Errorf("coap: firmware rejected: %w", err)
+		}
+		raw, has := resp.Option(OptBlock2)
+		if !has {
+			c.Agent.Abort()
+			return false, fmt.Errorf("%w: missing Block2 in response", ErrServerRefused)
+		}
+		b, err := ParseBlock(raw)
+		if err != nil {
+			c.Agent.Abort()
+			return false, err
+		}
+		if !b.More {
+			if status != agent.StatusUpdateReady {
+				c.Agent.Abort()
+				return false, fmt.Errorf("coap: transfer ended but agent status is %v", status)
+			}
+			return true, nil
+		}
+	}
+}

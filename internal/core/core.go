@@ -1,0 +1,63 @@
+// Package core curates UpKit's primary contribution — the novel update
+// architecture of §III — as one import point for the device-side
+// framework. The pieces live in focused sibling packages; this package
+// names the ensemble and documents how they realise the paper's three
+// headline properties:
+//
+//   - Update freshness without transport security: the update server's
+//     per-request signature covers the device token (ID + nonce +
+//     current version) embedded in the Manifest; the Verifier checks it
+//     in the agent before a single firmware byte is transferred.
+//   - Early rejection: the Agent FSM verifies the manifest at step 9 of
+//     Fig. 2 and the firmware digest at step 13, so invalid software
+//     never causes a reboot — the Bootloader is the backstop, not the
+//     first line.
+//   - Transport agnosticism: the Agent exposes RequestDeviceToken and
+//     Receive only; the BLE push and CoAP pull bindings in their own
+//     packages drive the identical FSM.
+//
+// The Verifier type is deliberately shared: the same module is linked
+// into both the agent and the bootloader (§IV-D), which is what lets a
+// fleet operator ship verifier fixes inside ordinary updates even
+// though the bootloader itself is immutable.
+package core
+
+import (
+	"upkit/internal/agent"
+	"upkit/internal/bootloader"
+	"upkit/internal/manifest"
+	"upkit/internal/pipeline"
+	"upkit/internal/verifier"
+)
+
+// The core framework surface (Fig. 3's common modules).
+type (
+	// Manifest is the double-signed update-image metadata.
+	Manifest = manifest.Manifest
+	// DeviceToken is the per-request freshness token.
+	DeviceToken = manifest.DeviceToken
+	// Agent is the update-agent FSM (Fig. 4).
+	Agent = agent.Agent
+	// AgentConfig wires an Agent into a device.
+	AgentConfig = agent.Config
+	// Verifier is the shared verifier module (§IV-D).
+	Verifier = verifier.Verifier
+	// Bootloader performs boot-side verification and loading.
+	Bootloader = bootloader.Bootloader
+	// BootloaderConfig wires a Bootloader to slots and keys.
+	BootloaderConfig = bootloader.Config
+	// Pipeline is the configurable write pipeline (Fig. 5).
+	Pipeline = pipeline.Pipeline
+)
+
+// Update-process phases (§II): the paper's Fig. 1/2 decomposition used
+// throughout the timing experiments.
+const (
+	// PhaseVerification covers both the agent-side and boot-side checks.
+	PhaseVerification = bootloader.PhaseVerification
+	// PhaseLoading covers slot installation, reboot, and the jump.
+	PhaseLoading = bootloader.PhaseLoading
+	// PhasePropagation is the remainder of an update's wall time: radio
+	// transfer plus the flash work performed while receiving.
+	PhasePropagation = "propagation"
+)

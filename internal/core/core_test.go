@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"testing"
+
+	"upkit/internal/agent"
+	"upkit/internal/bootloader"
+	"upkit/internal/core"
+)
+
+// The architectural invariant §IV-D relies on: the agent and the
+// bootloader consume the *same* verifier type, so a verifier fix
+// shipped in an update-agent image covers the checks the bootloader
+// performs too. The aliases make that a compile-time fact.
+func TestVerifierIsSharedBetweenAgentAndBootloader(t *testing.T) {
+	var v *core.Verifier
+	// Both configs accept the identical pointer type; assignment would
+	// not compile otherwise.
+	_ = agent.Config{Verifier: v}
+	_ = bootloader.Config{Verifier: v}
+}
+
+func TestPhaseNamesAgree(t *testing.T) {
+	if core.PhaseVerification != agent.PhaseVerification {
+		t.Fatal("agent and bootloader verification phases must share one accumulator")
+	}
+	if core.PhaseVerification != bootloader.PhaseVerification {
+		t.Fatal("core phase name drifted from the bootloader's")
+	}
+	if core.PhaseLoading != bootloader.PhaseLoading {
+		t.Fatal("loading phase name drifted")
+	}
+	if core.PhasePropagation == core.PhaseVerification || core.PhasePropagation == core.PhaseLoading {
+		t.Fatal("phase names must be distinct")
+	}
+}

@@ -1,0 +1,62 @@
+package device
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Flash-state persistence: a simulated device can be stopped and
+// resumed across process runs (cmd/upkit-device's -state flag). Only
+// the flash content persists — exactly what survives a power cycle on
+// real hardware; RAM state (agent FSM, nonces) does not, and the next
+// start goes through the bootloader like any reboot.
+
+// stateFiles returns the chip image paths under dir.
+func stateFiles(dir string) (internal, external string) {
+	return filepath.Join(dir, "internal-flash.bin"), filepath.Join(dir, "external-flash.bin")
+}
+
+// SaveState writes the device's flash content under dir.
+func (d *Device) SaveState(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("device: save state: %w", err)
+	}
+	internalPath, externalPath := stateFiles(dir)
+	if err := d.Internal.SaveToFile(internalPath); err != nil {
+		return err
+	}
+	if d.External != nil {
+		if err := d.External.SaveToFile(externalPath); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreState loads previously saved flash content from dir, then
+// boots the device (the power-on path). Missing state files mean a
+// factory-fresh device and are not an error; restored is false then.
+func (d *Device) RestoreState(dir string) (restored bool, err error) {
+	internalPath, externalPath := stateFiles(dir)
+	if _, err := os.Stat(internalPath); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("device: restore state: %w", err)
+	}
+	if err := d.Internal.RestoreFromFile(internalPath); err != nil {
+		return false, err
+	}
+	if d.External != nil {
+		if _, err := os.Stat(externalPath); err == nil {
+			if err := d.External.RestoreFromFile(externalPath); err != nil {
+				return false, err
+			}
+		}
+	}
+	if _, err := d.Reboot(); err != nil {
+		return false, fmt.Errorf("device: boot restored state: %w", err)
+	}
+	return true, nil
+}

@@ -1,0 +1,134 @@
+package device_test
+
+import (
+	"testing"
+
+	"upkit/internal/device"
+	"upkit/internal/platform"
+	"upkit/internal/testbed"
+)
+
+// Persistence tests: a device's flash state survives a "process
+// restart" (save, rebuild, restore) and the restored device both runs
+// the same firmware and can take further updates.
+
+func TestSaveAndRestoreState(t *testing.T) {
+	dir := t.TempDir()
+	v1 := testbed.MakeFirmware("persist-v1", 32*1024)
+	bed, err := testbed.New(testbed.Options{Seed: "persist"}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bed.PublishVersion(2, testbed.MakeFirmware("persist-v2", 32*1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bed.PullUpdate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bed.Device.SaveState(dir); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+
+	// "Restart": a brand-new bed with the same identity and keys; its
+	// fresh device restores the saved flash.
+	bed2, err := testbed.New(testbed.Options{Seed: "persist"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := bed2.Device.RestoreState(dir)
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if !restored {
+		t.Fatal("state not restored")
+	}
+	if got := bed2.Device.RunningVersion(); got != 2 {
+		t.Fatalf("restored device runs v%d, want v2", got)
+	}
+
+	// And it keeps updating: publish v3 on the new bed's server (its
+	// release store is fresh — only the device state persisted).
+	v3 := testbed.MakeFirmware("persist-v3", 32*1024)
+	if err := bed2.PublishVersion(3, v3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := bed2.PullUpdate()
+	if err != nil {
+		t.Fatalf("update after restore: %v", err)
+	}
+	if res.Version != 3 {
+		t.Fatalf("booted v%d, want v3", res.Version)
+	}
+}
+
+func TestRestoreStateMissingDirIsFresh(t *testing.T) {
+	d, err := device.New(baseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := d.RestoreState(t.TempDir())
+	if err != nil {
+		t.Fatalf("RestoreState: %v", err)
+	}
+	if restored {
+		t.Fatal("empty dir reported as restored")
+	}
+}
+
+func TestRestoreStateAcrossExternalFlash(t *testing.T) {
+	dir := t.TempDir()
+	mcu := platform.CC2650()
+	opts := baseOptions()
+	opts.MCU = mcu
+	opts.SlotBytes = 64 * 1024
+	d, err := device.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a marker into external flash and save.
+	if err := d.External.Program(0, []byte{0x5A}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveState(dir); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := device.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No bootable image exists, so the post-restore boot fails — but the
+	// external content must land first; check via direct restore.
+	if err := d2.External.RestoreFromFile(dir + "/external-flash.bin"); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 1)
+	if err := d2.External.Read(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x5A {
+		t.Fatalf("external marker = %#x, want 0x5A", got[0])
+	}
+}
+
+func TestRecoveryWithAutoSlotSizing(t *testing.T) {
+	// Regression: WithRecovery plus SlotBytes == 0 must divide the chip
+	// three ways instead of overflowing it with the recovery region.
+	opts := baseOptions()
+	opts.SlotBytes = 0
+	opts.WithRecovery = true
+	d, err := device.New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if d.Recovery == nil {
+		t.Fatal("no recovery slot")
+	}
+	if d.SlotA.Region().Length != d.Recovery.Region().Length {
+		t.Fatalf("slot/recovery sizes differ: %d vs %d",
+			d.SlotA.Region().Length, d.Recovery.Region().Length)
+	}
+	end := d.Recovery.Region().Offset + d.Recovery.Region().Length
+	if end > platform.NRF52840().Internal.Size {
+		t.Fatalf("recovery region ends at %#x, past the chip", end)
+	}
+}

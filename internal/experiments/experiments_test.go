@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric cell.
+func cell(t *testing.T, tab *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(tab.Rows[row][col], "%"), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tab.ID, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+// within asserts |measured-paper| <= tol*paper.
+func within(t *testing.T, what string, measured, paper, tol float64) {
+	t.Helper()
+	if paper == 0 {
+		return
+	}
+	dev := (measured - paper) / paper
+	if dev < -tol || dev > tol {
+		t.Errorf("%s = %.2f, paper %.2f (deviation %.1f%%, tolerance ±%.0f%%)",
+			what, measured, paper, dev*100, tol*100)
+	}
+}
+
+func TestTable1MatchesPaperExactly(t *testing.T) {
+	tab, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if got, want := tab.Rows[i][2], tab.Rows[i][4]; got != want {
+			t.Errorf("row %d flash = %s, paper %s", i, got, want)
+		}
+		if got, want := tab.Rows[i][3], tab.Rows[i][5]; got != want {
+			t.Errorf("row %d RAM = %s, paper %s", i, got, want)
+		}
+	}
+}
+
+func TestTable2MatchesPaperExactly(t *testing.T) {
+	tab, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		if got, want := tab.Rows[i][2], tab.Rows[i][4]; got != want {
+			t.Errorf("row %d flash = %s, paper %s", i, got, want)
+		}
+		if got, want := tab.Rows[i][3], tab.Rows[i][5]; got != want {
+			t.Errorf("row %d RAM = %s, paper %s", i, got, want)
+		}
+	}
+}
+
+func TestFig7DeltasMatchPaper(t *testing.T) {
+	for _, gen := range []Generator{Fig7a, Fig7b, Fig7c} {
+		tab, err := gen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Row 2 is the measured delta, row 3 the paper's.
+		if tab.Rows[2][1] != tab.Rows[3][1] || tab.Rows[2][2] != tab.Rows[3][2] {
+			t.Errorf("%s: delta %v/%v, paper %v/%v", tab.ID,
+				tab.Rows[2][1], tab.Rows[2][2], tab.Rows[3][1], tab.Rows[3][2])
+		}
+	}
+}
+
+func TestFig8aWithinTolerance(t *testing.T) {
+	tab, err := Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 push, row 1 pull; cols: 1 prop, 2 ver, 3 load, 4 total,
+	// 5..8 paper.
+	for row, name := range []string{"push", "pull"} {
+		within(t, name+" propagation", cell(t, tab, row, 1), cell(t, tab, row, 5), 0.05)
+		within(t, name+" verification", cell(t, tab, row, 2), cell(t, tab, row, 6), 0.15)
+		within(t, name+" loading", cell(t, tab, row, 3), cell(t, tab, row, 7), 0.10)
+		within(t, name+" total", cell(t, tab, row, 4), cell(t, tab, row, 8), 0.05)
+	}
+	// The ordering the paper reports: push total < pull total, push
+	// propagation > pull propagation, push loading < pull loading.
+	if !(cell(t, tab, 0, 4) < cell(t, tab, 1, 4)) {
+		t.Error("push total should beat pull total")
+	}
+	if !(cell(t, tab, 0, 1) > cell(t, tab, 1, 1)) {
+		t.Error("push propagation should exceed pull propagation")
+	}
+	if !(cell(t, tab, 0, 3) < cell(t, tab, 1, 3)) {
+		t.Error("pull loading should exceed push loading")
+	}
+}
+
+func TestFig8bWithinTolerance(t *testing.T) {
+	tab, err := Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1: OS change (paper 66%), row 2: app change (paper 82%).
+	osRed := cell(t, tab, 1, 3)
+	appRed := cell(t, tab, 2, 3)
+	if osRed < 55 || osRed > 72 {
+		t.Errorf("OS-change reduction = %.1f%%, want ≈66%%", osRed)
+	}
+	if appRed < 74 || appRed > 88 {
+		t.Errorf("app-change reduction = %.1f%%, want ≈82%%", appRed)
+	}
+	if appRed <= osRed {
+		t.Error("a 1000-byte app change must save more than an OS upgrade")
+	}
+	// The payloads must be genuinely differential.
+	if cell(t, tab, 1, 1) >= fig8ImageSize/2 {
+		t.Error("OS-change patch not substantially smaller than the image")
+	}
+	if cell(t, tab, 2, 1) >= fig8ImageSize/10 {
+		t.Error("app-change patch should be under 10% of the image")
+	}
+}
+
+func TestFig8cWithinTolerance(t *testing.T) {
+	tab, err := Fig8c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := cell(t, tab, 1, 2)
+	if red < 88 || red > 96 {
+		t.Errorf("A/B loading reduction = %.1f%%, want ≈92%%", red)
+	}
+}
+
+func TestAblationEarlyReject(t *testing.T) {
+	tab, err := AblationEarlyReject()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UpKit never wastes a reboot; the baseline wastes one per attack.
+	if cell(t, tab, 0, 3) != 0 || cell(t, tab, 2, 3) != 0 {
+		t.Error("UpKit must not reboot on invalid updates")
+	}
+	if cell(t, tab, 1, 3) < 1 || cell(t, tab, 3, 3) < 1 {
+		t.Error("the baseline must waste at least one reboot")
+	}
+	// The replayed update costs UpKit almost nothing (manifest only).
+	if upkitReplay := cell(t, tab, 2, 2); upkitReplay > 1 {
+		t.Errorf("UpKit replay rejection took %.2fs; should be sub-second", upkitReplay)
+	}
+	if !strings.Contains(tab.Rows[3][5], "SUCCEEDED") {
+		t.Error("the baseline replay row should report the successful attack")
+	}
+}
+
+func TestAblationFreshnessMatrix(t *testing.T) {
+	tab, err := AblationFreshness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	// UpKit blocks everything.
+	for col := 1; col <= 3; col++ {
+		if tab.Rows[0][col] != "blocked" {
+			t.Errorf("UpKit col %d = %q, want blocked", col, tab.Rows[0][col])
+		}
+	}
+	// mcumgr+mcuboot and LwM2M-via-gateway block nothing.
+	for _, row := range []int{1, 2} {
+		for col := 1; col <= 3; col++ {
+			if tab.Rows[row][col] != "ACCEPTED" {
+				t.Errorf("%s col %d = %q, want ACCEPTED", tab.Rows[row][0], col, tab.Rows[row][col])
+			}
+		}
+	}
+	// LwM2M with direct TLS blocks replay/downgrade.
+	if tab.Rows[3][1] != "blocked" || tab.Rows[3][2] != "blocked" {
+		t.Errorf("LwM2M direct TLS = %v, want blocked", tab.Rows[3][1:3])
+	}
+}
+
+func TestAblationBufferMonotone(t *testing.T) {
+	tab, err := AblationBufferSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page programs must be non-increasing in buffer size, and the
+	// smallest buffer must be strictly worse than the page-sized one.
+	prev := cell(t, tab, 0, 1)
+	for i := 1; i < len(tab.Rows); i++ {
+		cur := cell(t, tab, i, 1)
+		if cur > prev {
+			t.Errorf("page programs increased from %v to %v at row %d", prev, cur, i)
+		}
+		prev = cur
+	}
+	if cell(t, tab, 0, 1) <= cell(t, tab, len(tab.Rows)-1, 1) {
+		t.Error("a sub-page buffer should cost extra page programs")
+	}
+}
+
+func TestAblationSignature(t *testing.T) {
+	tab, err := AblationDoubleSignature()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(tab.Rows[0][2], "rejected") {
+		t.Errorf("server-key-only forgery verdict = %q", tab.Rows[0][2])
+	}
+	if !strings.HasPrefix(tab.Rows[1][2], "rejected") {
+		t.Errorf("vendor-key-only forgery verdict = %q", tab.Rows[1][2])
+	}
+	if !strings.HasPrefix(tab.Rows[2][2], "ACCEPTED") {
+		t.Errorf("both-keys verdict = %q (the design goal is single-key resilience)", tab.Rows[2][2])
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	}
+	if _, err := Run("fig7a"); err != nil {
+		t.Fatalf("Run(fig7a): %v", err)
+	}
+	if _, err := Run("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Columns: []string{"A", "LongHeader"}}
+	tab.AddRow("v", 1.5)
+	tab.Notes = append(tab.Notes, "a note")
+	out := tab.Render()
+	for _, want := range []string{"== x — demo ==", "LongHeader", "1.50", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationFlashWear(t *testing.T) {
+	tab, err := AblationFlashWear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticErases := cell(t, tab, 0, 1)
+	abErases := cell(t, tab, 1, 1)
+	if abErases >= staticErases/2 {
+		t.Errorf("A/B erases (%v) should be well under half of static (%v)", abErases, staticErases)
+	}
+	if cell(t, tab, 1, 3) >= cell(t, tab, 0, 3) {
+		t.Error("A/B max per-sector wear should be lower than static")
+	}
+}
+
+func TestAblationConfidentiality(t *testing.T) {
+	tab, err := AblationConfidentiality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: full/plain, full/encrypted, diff/plain, diff/encrypted.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		plainWire := cell(t, tab, pair[0], 2)
+		encWire := cell(t, tab, pair[1], 2)
+		if encWire != plainWire+16 {
+			t.Errorf("encrypted wire = %v, want plain %v + 16 (IV)", encWire, plainWire)
+		}
+		plainTime := cell(t, tab, pair[0], 3)
+		encTime := cell(t, tab, pair[1], 3)
+		if encTime < plainTime || encTime > plainTime*1.02 {
+			t.Errorf("encrypted time %v vs plain %v: overhead should be tiny and non-negative", encTime, plainTime)
+		}
+	}
+}
+
+func TestAblationLossyLink(t *testing.T) {
+	tab, err := AblationLossyLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The perfect-link row must succeed, and time must increase
+	// monotonically with the loss rate.
+	if tab.Rows[0][3] != "updated" {
+		t.Fatalf("perfect link outcome = %q", tab.Rows[0][3])
+	}
+	prev := cell(t, tab, 0, 1)
+	for i := 1; i < len(tab.Rows); i++ {
+		cur := cell(t, tab, i, 1)
+		if cur <= prev {
+			t.Errorf("row %d: time %v not greater than %v", i, cur, prev)
+		}
+		prev = cur
+	}
+	// Every moderate-loss row still updates.
+	for i := 1; i <= 3; i++ {
+		if tab.Rows[i][3] != "updated" {
+			t.Errorf("row %d outcome = %q, want updated", i, tab.Rows[i][3])
+		}
+	}
+}
+
+func TestMatrixTime(t *testing.T) {
+	tab, err := MatrixTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	// A/B loading must beat static loading on the same MCU.
+	if !(cell(t, tab, 1, 4) < cell(t, tab, 0, 4)) {
+		t.Error("nRF52840 A/B loading not below static")
+	}
+	if !(cell(t, tab, 4, 4) < cell(t, tab, 3, 4)) {
+		t.Error("CC2538 A/B loading not below static")
+	}
+	// Totals are consistent: phases sum to the total.
+	for i := range tab.Rows {
+		sum := cell(t, tab, i, 2) + cell(t, tab, i, 3) + cell(t, tab, i, 4)
+		total := cell(t, tab, i, 5)
+		if sum < total*0.999 || sum > total*1.001 {
+			t.Errorf("row %d: phases sum %.2f != total %.2f", i, sum, total)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/verifier"
+)
+
+// Small fixtures shared by the signature-analysis ablation.
+
+func newVerifier(suite security.Suite, vendorKey, serverKey *security.PrivateKey) *verifier.Verifier {
+	return verifier.New(suite, verifier.Keys{
+		Vendor: vendorKey.Public(),
+		Server: serverKey.Public(),
+	}, nil)
+}
+
+func verifierDevice() verifier.DeviceInfo {
+	return verifier.DeviceInfo{DeviceID: 0xD1, AppID: 0x2A, CurrentVersion: 1}
+}
+
+func verifierSlot() verifier.SlotInfo {
+	return verifier.SlotInfo{LinkBase: 0xFFFFFFFF, Capacity: 1 << 20}
+}
+
+// evilManifest builds an unsigned manifest for attacker firmware that
+// matches the victim's token and device fields exactly — only the
+// signatures can stop it.
+func evilManifest(suite security.Suite, fw []byte, tok manifest.DeviceToken) *manifest.Manifest {
+	return &manifest.Manifest{
+		AppID:          0x2A,
+		Version:        9,
+		Size:           uint32(len(fw)),
+		FirmwareDigest: suite.Digest(fw),
+		LinkOffset:     0xFFFFFFFF,
+		DeviceID:       tok.DeviceID,
+		Nonce:          tok.Nonce,
+	}
+}

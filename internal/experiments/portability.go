@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"upkit/internal/footprint"
+	"upkit/internal/platform"
+)
+
+// Portability regenerates the paper's §VI-A code-reuse analysis:
+// "UpKit's bootloader's code is highly portable: for each platform,
+// approx. 91% of the code is platform-independent" and "in average,
+// only 23.5% of the [agent] code is platform-specific". The model
+// classifies each linked component as common or platform-specific and
+// reports the shares.
+func Portability() (*Table, error) {
+	t := &Table{
+		ID:      "portability",
+		Title:   "Share of platform-independent code (§VI-A)",
+		Columns: []string{"Build", "Common flash B", "Specific flash B", "Portable", "Paper"},
+	}
+
+	// Components that are platform-independent by construction: the
+	// common modules of Fig. 3.
+	common := map[string]bool{
+		"fsm":           true,
+		"pipeline":      true,
+		"memory-module": true,
+		"verifier":      true,
+	}
+	// Crypto libraries are shared source but count as common modules in
+	// the paper's analysis (they are portable C libraries).
+	isCommon := func(name string) bool {
+		if common[name] {
+			return true
+		}
+		return len(name) > 7 && name[:7] == "crypto:"
+	}
+
+	addRow := func(b footprint.Build, paperPortable float64) {
+		var commonFlash, specificFlash int
+		for _, c := range b.Components {
+			if isCommon(c.Name) {
+				commonFlash += c.Size.Flash
+			} else {
+				specificFlash += c.Size.Flash
+			}
+		}
+		total := commonFlash + specificFlash
+		share := float64(commonFlash) / float64(total)
+		t.AddRow(b.Name, commonFlash, specificFlash, pct(share), pct(paperPortable))
+	}
+
+	// Bootloader: the paper says ~91% portable. In the link-size model
+	// the OS base (flash driver + startup) is the platform-specific 9%.
+	for _, os := range platform.AllOSes() {
+		b, err := footprint.UpKitBootloader(os, "tinydtls")
+		if err != nil {
+			return nil, err
+		}
+		addRow(b, footprint.BootloaderPortableShare)
+	}
+	// Agent: ~76.5% portable on average (the network stack and OS base
+	// are the platform-specific portion of the *UpKit* code; the model
+	// counts whole stacks, so shares come out lower — see note).
+	for _, cfg := range []struct {
+		os       platform.OS
+		approach platform.Approach
+	}{
+		{platform.Zephyr, platform.Pull},
+		{platform.RIOT, platform.Pull},
+		{platform.Contiki, platform.Pull},
+		{platform.Zephyr, platform.Push},
+	} {
+		b, err := footprint.UpKitAgent(cfg.os, cfg.approach, "tinydtls")
+		if err != nil {
+			return nil, err
+		}
+		addRow(b, footprint.AgentPortableShare)
+	}
+	t.Notes = append(t.Notes,
+		"the paper's percentages count UpKit's own source lines; this table classifies linked bytes, so OS kernels and network stacks (which UpKit reuses, not writes) dominate the platform-specific column for agents",
+		fmt.Sprintf("paper: bootloader %.0f%% platform-independent, agent %.1f%% (§VI-A)",
+			footprint.BootloaderPortableShare*100, footprint.AgentPortableShare*100))
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Generator produces one experiment table.
+type Generator func() (*Table, error)
+
+// registry maps experiment IDs to their generators, in the paper's
+// order plus the ablations.
+var registry = []struct {
+	ID  string
+	Gen Generator
+}{
+	{"table1", Table1},
+	{"table2", Table2},
+	{"fig7a", Fig7a},
+	{"fig7b", Fig7b},
+	{"fig7c", Fig7c},
+	{"fig8a", Fig8a},
+	{"fig8b", Fig8b},
+	{"fig8c", Fig8c},
+	{"ablation-early-reject", AblationEarlyReject},
+	{"ablation-freshness", AblationFreshness},
+	{"ablation-buffer", AblationBufferSize},
+	{"ablation-signature", AblationDoubleSignature},
+	{"ablation-wear", AblationFlashWear},
+	{"ablation-confidentiality", AblationConfidentiality},
+	{"portability", Portability},
+	{"ablation-loss", AblationLossyLink},
+	{"matrix-time", MatrixTime},
+}
+
+// IDs lists all experiment IDs in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string) (*Table, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Gen()
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, known)
+}
+
+// RunAll executes every experiment in order.
+func RunAll() ([]*Table, error) {
+	out := make([]*Table, 0, len(registry))
+	for _, e := range registry {
+		t, err := e.Gen()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,91 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI), plus ablations for the design choices DESIGN.md
+// calls out. Each experiment returns a Table that pairs measured values
+// with the paper's published numbers; cmd/upkit-bench and the
+// repository-level benchmarks print them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment result.
+type Table struct {
+	// ID is the registry key ("table1", "fig8a", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells, one slice per row.
+	Rows [][]string
+	// Notes carry caveats and calibration remarks.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns an aligned plain-text rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// pct renders a ratio as "NN.N%".
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// deviation renders measured-vs-paper as a signed percentage.
+func deviation(measured, paper float64) string {
+	if paper == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (measured-paper)/paper*100)
+}

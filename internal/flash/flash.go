@@ -1,0 +1,279 @@
+// Package flash simulates the NOR flash memories of constrained IoT
+// platforms (nRF52840, CC2650, CC2538) with the semantics UpKit's memory
+// interface depends on:
+//
+//   - erase-before-write: programming may only clear bits (1 → 0); a
+//     sector erase resets every bit to 1 (byte 0xFF);
+//   - sector-granular erase and page-granular program operations, each
+//     with a modelled duration charged to a virtual clock;
+//   - separate internal and external banks (the CC2650 stores its
+//     non-bootable slot on external SPI flash, §V);
+//   - fault injection (power loss after N programs) used by the
+//     robustness experiments;
+//   - operation statistics (erases, programs, bytes moved) consumed by
+//     the energy model.
+//
+// Timing is modelled, content is real: every byte written here is a byte
+// the update pipeline actually produced.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"upkit/internal/simclock"
+)
+
+// Errors reported by flash operations.
+var (
+	// ErrOutOfRange is returned for accesses beyond the chip size or
+	// not aligned as required.
+	ErrOutOfRange = errors.New("flash: access out of range")
+	// ErrNotErased is returned when a program operation tries to set a
+	// bit from 0 to 1, which NOR flash cannot do without an erase.
+	ErrNotErased = errors.New("flash: programming would set bits without erase")
+	// ErrPowerLoss is returned once the injected fault triggers; the
+	// device simulation treats it as an unexpected reset.
+	ErrPowerLoss = errors.New("flash: simulated power loss")
+)
+
+// Geometry describes one flash chip and its operation costs.
+type Geometry struct {
+	// Name labels the chip in logs and stats ("nrf52840-internal").
+	Name string
+	// Size is the chip capacity in bytes; must be a multiple of SectorSize.
+	Size int
+	// SectorSize is the erase granularity in bytes.
+	SectorSize int
+	// PageSize is the program granularity in bytes; must divide SectorSize.
+	PageSize int
+
+	// EraseSector is the modelled duration of one sector erase.
+	EraseSector time.Duration
+	// ProgramPage is the modelled duration of one page program.
+	ProgramPage time.Duration
+	// ReadPage is the modelled duration of reading one page (external
+	// SPI flash is much slower than memory-mapped internal flash).
+	ReadPage time.Duration
+
+	// External marks off-chip (SPI) flash, which cannot hold a bootable
+	// slot because the CPU cannot execute from it.
+	External bool
+}
+
+// Validate reports whether the geometry is internally consistent.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Size <= 0 || g.SectorSize <= 0 || g.PageSize <= 0:
+		return fmt.Errorf("flash: geometry %q: sizes must be positive", g.Name)
+	case g.Size%g.SectorSize != 0:
+		return fmt.Errorf("flash: geometry %q: size %d not a multiple of sector size %d", g.Name, g.Size, g.SectorSize)
+	case g.SectorSize%g.PageSize != 0:
+		return fmt.Errorf("flash: geometry %q: sector size %d not a multiple of page size %d", g.Name, g.SectorSize, g.PageSize)
+	default:
+		return nil
+	}
+}
+
+// Stats counts physical operations since the chip was created. The
+// energy model converts these into charge estimates.
+type Stats struct {
+	SectorErases int
+	PagePrograms int
+	BytesRead    int
+	BytesWritten int
+}
+
+// Memory is one simulated flash chip. All methods are safe for
+// concurrent use.
+type Memory struct {
+	mu    sync.Mutex
+	geo   Geometry
+	data  []byte
+	clock *simclock.Clock
+	stats Stats
+
+	// eraseCounts tracks wear per sector (diagnostics and tests).
+	eraseCounts []int
+
+	// failAfter < 0 disables fault injection; otherwise it is the number
+	// of remaining program/erase operations before ErrPowerLoss.
+	failAfter int
+}
+
+// New creates a chip with the given geometry, fully erased. A nil clock
+// disables timing (operations are instantaneous).
+func New(geo Geometry, clock *simclock.Clock) (*Memory, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, geo.Size)
+	for i := range data {
+		data[i] = 0xFF
+	}
+	return &Memory{
+		geo:         geo,
+		data:        data,
+		clock:       clock,
+		eraseCounts: make([]int, geo.Size/geo.SectorSize),
+		failAfter:   -1,
+	}, nil
+}
+
+// Geometry returns the chip description.
+func (m *Memory) Geometry() Geometry { return m.geo }
+
+// Stats returns a snapshot of the operation counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// EraseCount reports how many times sector has been erased.
+func (m *Memory) EraseCount(sector int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sector < 0 || sector >= len(m.eraseCounts) {
+		return 0
+	}
+	return m.eraseCounts[sector]
+}
+
+// FailAfter arms fault injection: after n more program/erase operations
+// every subsequent operation returns ErrPowerLoss. n = 0 fails the next
+// operation. Pass a negative n to disarm.
+func (m *Memory) FailAfter(n int) {
+	m.mu.Lock()
+	m.failAfter = n
+	m.mu.Unlock()
+}
+
+// ClearFault disarms fault injection, as if power returned.
+func (m *Memory) ClearFault() { m.FailAfter(-1) }
+
+// consumeFaultLocked decrements the fault counter and reports whether
+// this operation must fail. Callers hold m.mu.
+func (m *Memory) consumeFaultLocked() bool {
+	if m.failAfter < 0 {
+		return false
+	}
+	if m.failAfter == 0 {
+		return true
+	}
+	m.failAfter--
+	return false
+}
+
+func (m *Memory) advance(d time.Duration) {
+	if m.clock != nil {
+		m.clock.Advance(d)
+	}
+}
+
+// EraseSector erases the sector containing offset, resetting it to 0xFF.
+// The offset must be sector-aligned.
+func (m *Memory) EraseSector(offset int) error {
+	if offset < 0 || offset >= m.geo.Size || offset%m.geo.SectorSize != 0 {
+		return fmt.Errorf("%w: erase at %#x", ErrOutOfRange, offset)
+	}
+	m.mu.Lock()
+	if m.consumeFaultLocked() {
+		m.mu.Unlock()
+		return ErrPowerLoss
+	}
+	for i := offset; i < offset+m.geo.SectorSize; i++ {
+		m.data[i] = 0xFF
+	}
+	m.stats.SectorErases++
+	m.eraseCounts[offset/m.geo.SectorSize]++
+	m.mu.Unlock()
+	m.advance(m.geo.EraseSector)
+	return nil
+}
+
+// Program writes data at offset. The write may span pages but not the
+// chip end, and may only clear bits: each target byte b and source byte
+// s must satisfy b&s == s. On an injected power loss the write stops at
+// an arbitrary page boundary, leaving a torn write behind — exactly the
+// hazard UpKit's bootloader verification exists to catch.
+func (m *Memory) Program(offset int, data []byte) error {
+	if offset < 0 || offset+len(data) > m.geo.Size {
+		return fmt.Errorf("%w: program [%#x,%#x)", ErrOutOfRange, offset, offset+len(data))
+	}
+	if len(data) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	// Pre-check NOR semantics before touching anything.
+	for i, s := range data {
+		if m.data[offset+i]&s != s {
+			m.mu.Unlock()
+			return fmt.Errorf("%w: at %#x", ErrNotErased, offset+i)
+		}
+	}
+	pages := 0
+	written := 0
+	torn := false
+	for start := 0; start < len(data); {
+		if m.consumeFaultLocked() {
+			torn = true
+			break
+		}
+		pageEnd := ((offset+start)/m.geo.PageSize + 1) * m.geo.PageSize
+		end := min(len(data), pageEnd-offset)
+		for i := start; i < end; i++ {
+			m.data[offset+i] &= data[i]
+		}
+		written += end - start
+		pages++
+		start = end
+	}
+	m.stats.PagePrograms += pages
+	m.stats.BytesWritten += written
+	m.mu.Unlock()
+	m.advance(time.Duration(pages) * m.geo.ProgramPage)
+	if torn {
+		return ErrPowerLoss
+	}
+	return nil
+}
+
+// Read copies len(buf) bytes starting at offset into buf. Reads never
+// fail from injected power loss (the bus is passive), only from range
+// errors.
+func (m *Memory) Read(offset int, buf []byte) error {
+	if offset < 0 || offset+len(buf) > m.geo.Size {
+		return fmt.Errorf("%w: read [%#x,%#x)", ErrOutOfRange, offset, offset+len(buf))
+	}
+	m.mu.Lock()
+	copy(buf, m.data[offset:offset+len(buf)])
+	m.stats.BytesRead += len(buf)
+	m.mu.Unlock()
+	pages := (len(buf) + m.geo.PageSize - 1) / m.geo.PageSize
+	m.advance(time.Duration(pages) * m.geo.ReadPage)
+	return nil
+}
+
+// Snapshot returns a copy of the chip content (test helper).
+func (m *Memory) Snapshot() []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]byte, len(m.data))
+	copy(out, m.data)
+	return out
+}
+
+// Corrupt flips the bits of mask at offset, bypassing NOR semantics.
+// It models radiation/attack-induced corruption for verifier tests.
+func (m *Memory) Corrupt(offset int, mask byte) error {
+	if offset < 0 || offset >= m.geo.Size {
+		return fmt.Errorf("%w: corrupt at %#x", ErrOutOfRange, offset)
+	}
+	m.mu.Lock()
+	m.data[offset] ^= mask
+	m.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,298 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"upkit/internal/simclock"
+)
+
+func testGeometry() Geometry {
+	return Geometry{
+		Name:        "test-chip",
+		Size:        64 * 1024,
+		SectorSize:  4096,
+		PageSize:    256,
+		EraseSector: 80 * time.Millisecond,
+		ProgramPage: 2 * time.Millisecond,
+		ReadPage:    10 * time.Microsecond,
+	}
+}
+
+func newTestMemory(t *testing.T) *Memory {
+	t.Helper()
+	mem, err := New(testGeometry(), nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return mem
+}
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Geometry)
+		ok   bool
+	}{
+		{"valid", func(g *Geometry) {}, true},
+		{"zero size", func(g *Geometry) { g.Size = 0 }, false},
+		{"negative sector", func(g *Geometry) { g.SectorSize = -1 }, false},
+		{"size not multiple of sector", func(g *Geometry) { g.Size = 4097 }, false},
+		{"sector not multiple of page", func(g *Geometry) { g.PageSize = 300 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGeometry()
+			tc.mut(&g)
+			err := g.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate accepted invalid geometry")
+			}
+		})
+	}
+}
+
+func TestNewChipIsErased(t *testing.T) {
+	mem := newTestMemory(t)
+	buf := make([]byte, 1024)
+	if err := mem.Read(0, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	for i, b := range buf {
+		if b != 0xFF {
+			t.Fatalf("byte %d = %#x, want 0xFF (erased)", i, b)
+		}
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	mem := newTestMemory(t)
+	data := []byte("hello constrained world")
+	if err := mem.Program(100, data); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	got := make([]byte, len(data))
+	if err := mem.Read(100, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+}
+
+func TestProgramEnforcesNORSemantics(t *testing.T) {
+	mem := newTestMemory(t)
+	if err := mem.Program(0, []byte{0x0F}); err != nil {
+		t.Fatalf("first program: %v", err)
+	}
+	// Clearing more bits is allowed (0x0F -> 0x0D clears bit 1).
+	if err := mem.Program(0, []byte{0x0D}); err != nil {
+		t.Fatalf("bit-clearing program: %v", err)
+	}
+	// Setting a bit back requires an erase.
+	if err := mem.Program(0, []byte{0xFF}); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("bit-setting program error = %v, want ErrNotErased", err)
+	}
+	// After erase the write works again.
+	if err := mem.EraseSector(0); err != nil {
+		t.Fatalf("EraseSector: %v", err)
+	}
+	if err := mem.Program(0, []byte{0xFF, 0xAB}); err != nil {
+		t.Fatalf("program after erase: %v", err)
+	}
+}
+
+func TestProgramRejectedWriteLeavesDataIntact(t *testing.T) {
+	mem := newTestMemory(t)
+	if err := mem.Program(0, []byte{0x00, 0x00}); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	// This write fails NOR validation on the second byte and must not
+	// modify the first.
+	if err := mem.Program(0, []byte{0x00, 0x01}); !errors.Is(err, ErrNotErased) {
+		t.Fatalf("error = %v, want ErrNotErased", err)
+	}
+	got := make([]byte, 2)
+	if err := mem.Read(0, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte{0x00, 0x00}) {
+		t.Fatalf("rejected write modified flash: %v", got)
+	}
+}
+
+func TestEraseSectorAlignment(t *testing.T) {
+	mem := newTestMemory(t)
+	if err := mem.EraseSector(1); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("unaligned erase error = %v, want ErrOutOfRange", err)
+	}
+	if err := mem.EraseSector(testGeometry().Size); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range erase error = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	mem := newTestMemory(t)
+	size := testGeometry().Size
+	if err := mem.Program(size-1, []byte{1, 2}); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Program past end error = %v, want ErrOutOfRange", err)
+	}
+	if err := mem.Read(-1, make([]byte, 1)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("Read(-1) error = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestTimingChargesClock(t *testing.T) {
+	clock := simclock.New()
+	mem, err := New(testGeometry(), clock)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := mem.EraseSector(0); err != nil {
+		t.Fatalf("EraseSector: %v", err)
+	}
+	if got := clock.Now(); got != 80*time.Millisecond {
+		t.Fatalf("clock after erase = %v, want 80ms", got)
+	}
+	// A 512-byte program spanning two 256-byte pages charges two page
+	// programs.
+	if err := mem.Program(0, make([]byte, 512)); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	if got := clock.Now(); got != 84*time.Millisecond {
+		t.Fatalf("clock after program = %v, want 84ms", got)
+	}
+}
+
+func TestStatsAndWearTracking(t *testing.T) {
+	mem := newTestMemory(t)
+	if err := mem.EraseSector(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.EraseSector(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.EraseSector(4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Program(0, make([]byte, 300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Read(0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	st := mem.Stats()
+	if st.SectorErases != 3 {
+		t.Errorf("SectorErases = %d, want 3", st.SectorErases)
+	}
+	if st.PagePrograms != 2 {
+		t.Errorf("PagePrograms = %d, want 2 (300B spans 2 pages)", st.PagePrograms)
+	}
+	if st.BytesWritten != 300 {
+		t.Errorf("BytesWritten = %d, want 300", st.BytesWritten)
+	}
+	if st.BytesRead != 100 {
+		t.Errorf("BytesRead = %d, want 100", st.BytesRead)
+	}
+	if got := mem.EraseCount(0); got != 2 {
+		t.Errorf("EraseCount(0) = %d, want 2", got)
+	}
+	if got := mem.EraseCount(1); got != 1 {
+		t.Errorf("EraseCount(1) = %d, want 1", got)
+	}
+}
+
+func TestPowerLossInjection(t *testing.T) {
+	mem := newTestMemory(t)
+	mem.FailAfter(1) // one more operation succeeds, then power loss
+	if err := mem.EraseSector(0); err != nil {
+		t.Fatalf("erase before fault: %v", err)
+	}
+	if err := mem.EraseSector(4096); !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("error = %v, want ErrPowerLoss", err)
+	}
+	mem.ClearFault()
+	if err := mem.EraseSector(4096); err != nil {
+		t.Fatalf("erase after ClearFault: %v", err)
+	}
+}
+
+func TestPowerLossTearsWrite(t *testing.T) {
+	mem := newTestMemory(t)
+	// Allow exactly 2 page programs of the 4-page write.
+	mem.FailAfter(2)
+	err := mem.Program(0, bytes.Repeat([]byte{0xAB}, 1024))
+	if !errors.Is(err, ErrPowerLoss) {
+		t.Fatalf("error = %v, want ErrPowerLoss", err)
+	}
+	got := make([]byte, 1024)
+	mem.ClearFault()
+	if err := mem.Read(0, got); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	// First two pages written, rest still erased: a torn write.
+	if !bytes.Equal(got[:512], bytes.Repeat([]byte{0xAB}, 512)) {
+		t.Error("first half of torn write missing")
+	}
+	if !bytes.Equal(got[512:], bytes.Repeat([]byte{0xFF}, 512)) {
+		t.Error("second half of torn write unexpectedly written")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	mem := newTestMemory(t)
+	if err := mem.Program(10, []byte{0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Corrupt(10, 0x80); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	got := make([]byte, 1)
+	if err := mem.Read(10, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0x80 {
+		t.Fatalf("corrupted byte = %#x, want 0x80", got[0])
+	}
+}
+
+// Property: for any erased offset and payload, program-then-read returns
+// the payload.
+func TestQuickProgramRead(t *testing.T) {
+	mem := newTestMemory(t)
+	size := testGeometry().Size
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 4096 {
+			data = data[:4096]
+		}
+		offset := int(off) % (size - len(data))
+		// Erase the covered sectors first so the write is legal.
+		g := testGeometry()
+		first := offset / g.SectorSize * g.SectorSize
+		for s := first; s < offset+len(data); s += g.SectorSize {
+			if err := mem.EraseSector(s); err != nil {
+				return false
+			}
+		}
+		if err := mem.Program(offset, data); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if err := mem.Read(offset, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// OpenMode selects the behaviour of a region handle, mirroring the open
+// modes of UpKit's memory interface (§V of the paper).
+type OpenMode int
+
+const (
+	// ReadOnly allows only reads.
+	ReadOnly OpenMode = iota + 1
+	// WriteAll erases the entire region at open so the caller can write
+	// continuously.
+	WriteAll
+	// SequentialRewrite erases each sector automatically the first time
+	// the write position enters it. Writes must be strictly sequential.
+	SequentialRewrite
+)
+
+// String returns the paper's spelling of the mode.
+func (m OpenMode) String() string {
+	switch m {
+	case ReadOnly:
+		return "READ_ONLY"
+	case WriteAll:
+		return "WRITE_ALL"
+	case SequentialRewrite:
+		return "SEQUENTIAL_REWRITE"
+	default:
+		return fmt.Sprintf("OpenMode(%d)", int(m))
+	}
+}
+
+// Handle errors.
+var (
+	ErrClosed        = errors.New("flash: handle closed")
+	ErrReadOnly      = errors.New("flash: write on READ_ONLY handle")
+	ErrNonSequential = errors.New("flash: SEQUENTIAL_REWRITE requires sequential writes")
+)
+
+// Region is a window onto a flash chip, aligned to sector boundaries.
+// Slots are built on regions.
+type Region struct {
+	Mem    *Memory
+	Offset int
+	Length int
+}
+
+// NewRegion validates alignment and bounds and returns the region.
+func NewRegion(mem *Memory, offset, length int) (Region, error) {
+	geo := mem.Geometry()
+	switch {
+	case offset < 0 || length <= 0 || offset+length > geo.Size:
+		return Region{}, fmt.Errorf("%w: region [%#x,%#x)", ErrOutOfRange, offset, offset+length)
+	case offset%geo.SectorSize != 0 || length%geo.SectorSize != 0:
+		return Region{}, fmt.Errorf("flash: region [%#x,%#x) not sector aligned", offset, offset+length)
+	}
+	return Region{Mem: mem, Offset: offset, Length: length}, nil
+}
+
+// Sectors reports how many erase sectors the region spans.
+func (r Region) Sectors() int { return r.Length / r.Mem.Geometry().SectorSize }
+
+// Erase erases every sector in the region.
+func (r Region) Erase() error {
+	geo := r.Mem.Geometry()
+	for off := r.Offset; off < r.Offset+r.Length; off += geo.SectorSize {
+		if err := r.Mem.EraseSector(off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAt reads into buf at the region-relative offset.
+func (r Region) ReadAt(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > r.Length {
+		return fmt.Errorf("%w: region read [%#x,%#x)", ErrOutOfRange, off, off+len(buf))
+	}
+	return r.Mem.Read(r.Offset+off, buf)
+}
+
+// ProgramAt programs data at the region-relative offset.
+func (r Region) ProgramAt(off int, data []byte) error {
+	if off < 0 || off+len(data) > r.Length {
+		return fmt.Errorf("%w: region program [%#x,%#x)", ErrOutOfRange, off, off+len(data))
+	}
+	return r.Mem.Program(r.Offset+off, data)
+}
+
+// EraseSectorAt erases the sector containing the region-relative offset.
+func (r Region) EraseSectorAt(off int) error {
+	if off < 0 || off >= r.Length {
+		return fmt.Errorf("%w: region erase at %#x", ErrOutOfRange, off)
+	}
+	geo := r.Mem.Geometry()
+	return r.Mem.EraseSector(r.Offset + off - (r.Offset+off)%geo.SectorSize)
+}
+
+// Handle is a POSIX-like file handle over a region, implementing the
+// open/read/write/close surface of UpKit's memory interface. It
+// satisfies io.Reader, io.Writer, and io.Seeker.
+type Handle struct {
+	region Region
+	mode   OpenMode
+	pos    int
+	closed bool
+	// erasedThrough is the end of the erased prefix for
+	// SequentialRewrite mode.
+	erasedThrough int
+}
+
+var (
+	_ io.Reader = (*Handle)(nil)
+	_ io.Writer = (*Handle)(nil)
+	_ io.Seeker = (*Handle)(nil)
+	_ io.Closer = (*Handle)(nil)
+)
+
+// Open opens the region in the given mode. WriteAll erases the whole
+// region immediately.
+func (r Region) Open(mode OpenMode) (*Handle, error) {
+	h := &Handle{region: r, mode: mode}
+	switch mode {
+	case ReadOnly, SequentialRewrite:
+	case WriteAll:
+		if err := r.Erase(); err != nil {
+			return nil, fmt.Errorf("flash: WRITE_ALL open: %w", err)
+		}
+		h.erasedThrough = r.Length
+	default:
+		return nil, fmt.Errorf("flash: open: invalid mode %v", mode)
+	}
+	return h, nil
+}
+
+// Read reads from the current position.
+func (h *Handle) Read(p []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if h.pos >= h.region.Length {
+		return 0, io.EOF
+	}
+	n := min(len(p), h.region.Length-h.pos)
+	if err := h.region.ReadAt(h.pos, p[:n]); err != nil {
+		return 0, err
+	}
+	h.pos += n
+	return n, nil
+}
+
+// Write programs p at the current position. In SequentialRewrite mode
+// the position must never move backwards between writes, and sectors are
+// erased on first entry.
+func (h *Handle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	if h.mode == ReadOnly {
+		return 0, ErrReadOnly
+	}
+	if h.pos+len(p) > h.region.Length {
+		return 0, fmt.Errorf("%w: write past region end", ErrOutOfRange)
+	}
+	if h.mode == SequentialRewrite {
+		if h.pos < h.erasedThrough-h.region.Mem.Geometry().SectorSize {
+			// Writing into an already-passed sector would need a
+			// re-erase that would destroy neighbouring data.
+			return 0, ErrNonSequential
+		}
+		for h.erasedThrough < h.pos+len(p) {
+			if err := h.region.EraseSectorAt(h.erasedThrough); err != nil {
+				return 0, err
+			}
+			h.erasedThrough += h.region.Mem.Geometry().SectorSize
+		}
+	}
+	if err := h.region.ProgramAt(h.pos, p); err != nil {
+		return 0, err
+	}
+	h.pos += len(p)
+	return len(p), nil
+}
+
+// Seek implements io.Seeker.
+func (h *Handle) Seek(offset int64, whence int) (int64, error) {
+	if h.closed {
+		return 0, ErrClosed
+	}
+	var next int64
+	switch whence {
+	case io.SeekStart:
+		next = offset
+	case io.SeekCurrent:
+		next = int64(h.pos) + offset
+	case io.SeekEnd:
+		next = int64(h.region.Length) + offset
+	default:
+		return 0, fmt.Errorf("flash: seek: invalid whence %d", whence)
+	}
+	if next < 0 || next > int64(h.region.Length) {
+		return 0, fmt.Errorf("%w: seek to %d", ErrOutOfRange, next)
+	}
+	h.pos = int(next)
+	return next, nil
+}
+
+// Close marks the handle unusable. The flash content is already durable;
+// Close exists for interface symmetry with file-backed memories.
+func (h *Handle) Close() error {
+	h.closed = true
+	return nil
+}

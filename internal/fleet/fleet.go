@@ -1,0 +1,237 @@
+// Package fleet orchestrates update campaigns across many devices —
+// the operational layer on top of UpKit's per-device update flow.
+//
+// The paper's architecture ends at "the update server propagates the
+// image to the IoT device(s)"; a real deployment rolls a release out in
+// waves: a canary fraction first, a failure-rate gate, then the general
+// population, with bounded retries per device. This package implements
+// exactly that, device-agnostically: anything satisfying Updater can be
+// campaigned — simulated testbeds here, real device connections in a
+// production port.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Updater is one device's update entry point.
+type Updater interface {
+	// ID identifies the device.
+	ID() uint32
+	// Version reports the currently running firmware version.
+	Version() uint16
+	// TryUpdate performs one update attempt (poll, transfer, verify,
+	// reboot) and returns the version running afterwards.
+	TryUpdate() (uint16, error)
+}
+
+// Status is a device's campaign outcome.
+type Status int
+
+// Campaign outcomes.
+const (
+	// StatusPending: not yet attempted.
+	StatusPending Status = iota + 1
+	// StatusUpdated: running the target version.
+	StatusUpdated
+	// StatusFailed: all attempts exhausted.
+	StatusFailed
+	// StatusSkipped: campaign aborted before this device was attempted.
+	StatusSkipped
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusUpdated:
+		return "updated"
+	case StatusFailed:
+		return "failed"
+	case StatusSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Policy tunes a campaign.
+type Policy struct {
+	// CanaryFraction is the share of the fleet updated first
+	// (rounded up, at least one device). Zero disables canarying.
+	CanaryFraction float64
+	// MaxCanaryFailureRate aborts the campaign when the canary wave's
+	// failure rate exceeds it (e.g. 0 = abort on any canary failure).
+	MaxCanaryFailureRate float64
+	// MaxRetries is the number of extra attempts per device after the
+	// first failure.
+	MaxRetries int
+	// Parallelism bounds concurrent device updates per wave; 0 means 4.
+	Parallelism int
+}
+
+// ErrCampaignAborted is wrapped into Run's error when the canary gate
+// trips.
+var ErrCampaignAborted = errors.New("fleet: campaign aborted by canary gate")
+
+// Result is one device's final state.
+type Result struct {
+	DeviceID uint32
+	Status   Status
+	Version  uint16
+	Attempts int
+	// Err is the last error for failed devices.
+	Err error
+}
+
+// Report summarises a campaign.
+type Report struct {
+	Target  uint16
+	Results []Result
+	Aborted bool
+}
+
+// Counts tallies outcomes.
+func (r *Report) Counts() (updated, failed, skipped int) {
+	for _, res := range r.Results {
+		switch res.Status {
+		case StatusUpdated:
+			updated++
+		case StatusFailed:
+			failed++
+		case StatusSkipped:
+			skipped++
+		}
+	}
+	return
+}
+
+// Campaign rolls one target version across a fleet.
+type Campaign struct {
+	target  uint16
+	policy  Policy
+	devices []Updater
+}
+
+// New creates a campaign for target across devices.
+func New(target uint16, policy Policy, devices []Updater) (*Campaign, error) {
+	if len(devices) == 0 {
+		return nil, errors.New("fleet: empty fleet")
+	}
+	if target == 0 {
+		return nil, errors.New("fleet: target version must be >= 1")
+	}
+	if policy.CanaryFraction < 0 || policy.CanaryFraction > 1 {
+		return nil, fmt.Errorf("fleet: canary fraction %f out of [0,1]", policy.CanaryFraction)
+	}
+	return &Campaign{target: target, policy: policy, devices: devices}, nil
+}
+
+// Run executes the campaign: canary wave, gate, then the rest. The
+// returned report always covers every device; err wraps
+// ErrCampaignAborted when the gate tripped.
+func (c *Campaign) Run() (*Report, error) {
+	report := &Report{Target: c.target}
+	results := make([]Result, len(c.devices))
+	for i, d := range c.devices {
+		results[i] = Result{DeviceID: d.ID(), Status: StatusPending, Version: d.Version()}
+	}
+
+	canary := 0
+	if c.policy.CanaryFraction > 0 {
+		canary = int(float64(len(c.devices))*c.policy.CanaryFraction + 0.999999)
+		canary = max(1, min(canary, len(c.devices)))
+	}
+
+	c.wave(results, 0, canary)
+	if canary > 0 {
+		var failed int
+		for _, r := range results[:canary] {
+			if r.Status == StatusFailed {
+				failed++
+			}
+		}
+		rate := float64(failed) / float64(canary)
+		if rate > c.policy.MaxCanaryFailureRate {
+			for i := canary; i < len(results); i++ {
+				results[i].Status = StatusSkipped
+			}
+			report.Results = results
+			report.Aborted = true
+			return report, fmt.Errorf("%w: %d of %d canaries failed", ErrCampaignAborted, failed, canary)
+		}
+	}
+	c.wave(results, canary, len(c.devices))
+	report.Results = results
+	return report, nil
+}
+
+// wave updates devices[from:to] with bounded parallelism.
+func (c *Campaign) wave(results []Result, from, to int) {
+	parallelism := c.policy.Parallelism
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i := from; i < to; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[idx] = c.updateOne(c.devices[idx])
+		}(i)
+	}
+	wg.Wait()
+}
+
+// updateOne drives a single device with retries.
+func (c *Campaign) updateOne(d Updater) Result {
+	res := Result{DeviceID: d.ID(), Version: d.Version()}
+	if res.Version >= c.target {
+		res.Status = StatusUpdated // already there (or newer)
+		return res
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.policy.MaxRetries; attempt++ {
+		res.Attempts++
+		v, err := d.TryUpdate()
+		if err == nil && v >= c.target {
+			res.Status = StatusUpdated
+			res.Version = v
+			return res
+		}
+		if err == nil {
+			lastErr = fmt.Errorf("fleet: device %#x ended on v%d, want v%d", d.ID(), v, c.target)
+		} else {
+			lastErr = err
+		}
+	}
+	res.Status = StatusFailed
+	res.Version = d.Version()
+	res.Err = lastErr
+	return res
+}
+
+// Render returns a sorted, human-readable campaign summary.
+func (r *Report) Render() string {
+	updated, failed, skipped := r.Counts()
+	out := fmt.Sprintf("campaign to v%d: %d updated, %d failed, %d skipped",
+		r.Target, updated, failed, skipped)
+	if r.Aborted {
+		out += " (ABORTED by canary gate)"
+	}
+	sorted := make([]Result, len(r.Results))
+	copy(sorted, r.Results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].DeviceID < sorted[j].DeviceID })
+	for _, res := range sorted {
+		out += fmt.Sprintf("\n  device %#08x: %-7s v%d (%d attempts)",
+			res.DeviceID, res.Status, res.Version, res.Attempts)
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeDevice is a scriptable Updater.
+type fakeDevice struct {
+	id       uint32
+	version  atomic.Uint32
+	failures atomic.Int32 // TryUpdate fails while > 0
+	attempts atomic.Int32
+	target   uint16
+}
+
+func newFake(id uint32, version uint16, failures int) *fakeDevice {
+	d := &fakeDevice{id: id, target: 0}
+	d.version.Store(uint32(version))
+	d.failures.Store(int32(failures))
+	return d
+}
+
+func (d *fakeDevice) ID() uint32      { return d.id }
+func (d *fakeDevice) Version() uint16 { return uint16(d.version.Load()) }
+func (d *fakeDevice) TryUpdate() (uint16, error) {
+	d.attempts.Add(1)
+	if d.failures.Add(-1) >= 0 {
+		return d.Version(), errors.New("radio glitch")
+	}
+	d.version.Store(uint32(d.target))
+	return d.target, nil
+}
+
+func makeFleet(n int, version uint16, target uint16) []*fakeDevice {
+	out := make([]*fakeDevice, n)
+	for i := range out {
+		out[i] = newFake(uint32(0x100+i), version, 0)
+		out[i].target = target
+	}
+	return out
+}
+
+func updaters(devs []*fakeDevice) []Updater {
+	out := make([]Updater, len(devs))
+	for i, d := range devs {
+		out[i] = d
+	}
+	return out
+}
+
+func TestCampaignAllSucceed(t *testing.T) {
+	devs := makeFleet(10, 1, 2)
+	c, err := New(2, Policy{CanaryFraction: 0.2, MaxRetries: 1}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	updated, failed, skipped := report.Counts()
+	if updated != 10 || failed != 0 || skipped != 0 {
+		t.Fatalf("counts = %d/%d/%d", updated, failed, skipped)
+	}
+	for _, d := range devs {
+		if d.Version() != 2 {
+			t.Fatalf("device %#x on v%d", d.id, d.Version())
+		}
+	}
+}
+
+func TestCanaryGateAbortsCampaign(t *testing.T) {
+	devs := makeFleet(10, 1, 2)
+	// The first two devices (the canaries) never succeed.
+	devs[0].failures.Store(1000)
+	devs[1].failures.Store(1000)
+	c, err := New(2, Policy{CanaryFraction: 0.2, MaxCanaryFailureRate: 0.4, MaxRetries: 1}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if !errors.Is(err, ErrCampaignAborted) {
+		t.Fatalf("error = %v, want ErrCampaignAborted", err)
+	}
+	if !report.Aborted {
+		t.Fatal("report not marked aborted")
+	}
+	updated, failed, skipped := report.Counts()
+	if failed != 2 || skipped != 8 || updated != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 0/2/8", updated, failed, skipped)
+	}
+	// The general population must never have been touched.
+	for _, d := range devs[2:] {
+		if d.attempts.Load() != 0 {
+			t.Fatalf("non-canary device %#x was attempted during an aborted campaign", d.id)
+		}
+	}
+}
+
+func TestCanaryGateTolerance(t *testing.T) {
+	devs := makeFleet(10, 1, 2)
+	devs[0].failures.Store(1000) // 1 of 5 canaries fails = 20%
+	c, err := New(2, Policy{CanaryFraction: 0.5, MaxCanaryFailureRate: 0.25, MaxRetries: 0}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatalf("Run: %v (20%% failure is under the 25%% gate)", err)
+	}
+	updated, failed, skipped := report.Counts()
+	if updated != 9 || failed != 1 || skipped != 0 {
+		t.Fatalf("counts = %d/%d/%d, want 9/1/0", updated, failed, skipped)
+	}
+}
+
+func TestRetriesRecoverTransientFailures(t *testing.T) {
+	devs := makeFleet(4, 1, 2)
+	devs[2].failures.Store(2) // fails twice, then succeeds
+	c, err := New(2, Policy{MaxRetries: 2}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, failed, _ := report.Counts()
+	if updated != 4 || failed != 0 {
+		t.Fatalf("counts = %d updated %d failed", updated, failed)
+	}
+	for _, res := range report.Results {
+		if res.DeviceID == devs[2].id && res.Attempts != 3 {
+			t.Fatalf("flaky device attempts = %d, want 3", res.Attempts)
+		}
+	}
+}
+
+func TestAlreadyCurrentDevicesSkipAttempts(t *testing.T) {
+	devs := makeFleet(3, 2, 2) // already on the target
+	c, err := New(2, Policy{}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, _, _ := report.Counts()
+	if updated != 3 {
+		t.Fatalf("updated = %d, want 3", updated)
+	}
+	for _, d := range devs {
+		if d.attempts.Load() != 0 {
+			t.Fatal("already-current device was attempted")
+		}
+	}
+}
+
+func TestDeviceEndingOnWrongVersionFails(t *testing.T) {
+	d := newFake(0x1, 1, 0)
+	d.target = 2 // updates, but the campaign wants v3
+	c, err := New(3, Policy{MaxRetries: 0}, []Updater{d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Results[0].Status != StatusFailed {
+		t.Fatalf("status = %v, want failed", report.Results[0].Status)
+	}
+	if report.Results[0].Err == nil {
+		t.Fatal("failed result missing error")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, Policy{}, nil); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := New(0, Policy{}, []Updater{newFake(1, 1, 0)}); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := New(1, Policy{CanaryFraction: 1.5}, []Updater{newFake(1, 1, 0)}); err == nil {
+		t.Error("canary fraction 1.5 accepted")
+	}
+}
+
+func TestParallelWaves(t *testing.T) {
+	devs := makeFleet(64, 1, 2)
+	c, err := New(2, Policy{Parallelism: 16}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated, _, _ := report.Counts(); updated != 64 {
+		t.Fatalf("updated = %d, want 64", updated)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	devs := makeFleet(2, 1, 2)
+	c, err := New(2, Policy{}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := report.Render()
+	for _, want := range []string{"campaign to v2", "2 updated", "updated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "ABORTED") {
+		t.Error("non-aborted campaign rendered as aborted")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for _, s := range []Status{StatusPending, StatusUpdated, StatusFailed, StatusSkipped, Status(9)} {
+		if s.String() == "" {
+			t.Errorf("Status(%d).String() empty", int(s))
+		}
+	}
+	_ = fmt.Sprint(StatusUpdated)
+}

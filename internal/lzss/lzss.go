@@ -1,0 +1,299 @@
+// Package lzss implements the LZSS compression scheme UpKit uses for
+// differential updates (§IV-C). The paper follows Stolikj et al. in
+// choosing LZSS — an LZ77 refinement — because its decompressor needs
+// almost no RAM or code space: the device-side working set here is a
+// single 1 KiB ring buffer (1 KiB sliding window, 3–66 byte matches).
+//
+// The encoder is host-side (update server); the decoder is device-side
+// and therefore push-streaming: the update agent feeds it network-sized
+// chunks and it emits decompressed bytes incrementally into the write
+// pipeline, so no full-image buffer ever exists in device RAM.
+package lzss
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Compression format parameters. Stolikj et al. (the paper's source
+// for the algorithm choice) favour a small window with long matches:
+// the dominant content in UpKit's use case is bsdiff output, whose long
+// zero runs compress at the maximum-match ratio. A 1 KiB window keeps
+// device RAM tiny while 66-byte matches give ≈29:1 on zero runs.
+const (
+	windowSize = 1024 // sliding-window size; distances are 10 bits
+	minMatch   = 3    // shorter matches are emitted as literals
+	maxMatch   = 66   // 6-bit length field encodes length-minMatch
+)
+
+// headerSize is the stream header: 4-byte magic + 4-byte decoded length.
+const headerSize = 8
+
+var magic = [4]byte{'L', 'Z', 'S', 'S'}
+
+// Decoding errors.
+var (
+	ErrBadHeader  = errors.New("lzss: bad stream header")
+	ErrCorrupt    = errors.New("lzss: corrupt stream")
+	ErrTrailing   = errors.New("lzss: data after end of stream")
+	ErrIncomplete = errors.New("lzss: stream ended before declared length")
+)
+
+// Encode compresses src. The output always begins with an 8-byte header
+// carrying the decoded length, so the decoder knows when it is done
+// without a sentinel token.
+func Encode(src []byte) []byte {
+	out := make([]byte, headerSize, headerSize+len(src)/2+16)
+	copy(out, magic[:])
+	binary.BigEndian.PutUint32(out[4:], uint32(len(src)))
+
+	// head maps a 3-byte prefix hash to the most recent position; prev
+	// chains earlier positions, bounded by the window.
+	const hashBits = 14
+	head := make([]int32, 1<<hashBits)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, len(src))
+
+	hash := func(i int) uint32 {
+		v := uint32(src[i]) | uint32(src[i+1])<<8 | uint32(src[i+2])<<16
+		return (v * 2654435761) >> (32 - hashBits)
+	}
+
+	var (
+		flagPos  = -1 // index of the current flag byte in out
+		flagBit  = 8  // bits used in the current flag byte
+		emitFlag = func(isLiteral bool) {
+			if flagBit == 8 {
+				out = append(out, 0)
+				flagPos = len(out) - 1
+				flagBit = 0
+			}
+			if isLiteral {
+				out[flagPos] |= 1 << flagBit
+			}
+			flagBit++
+		}
+	)
+
+	insert := func(i int) {
+		if i+minMatch <= len(src) {
+			h := hash(i)
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+	}
+
+	for i := 0; i < len(src); {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			limit := maxMatch
+			if rem := len(src) - i; rem < limit {
+				limit = rem
+			}
+			// Walk the hash chain, bounded to keep encoding O(n).
+			tries := 64
+			for cand := head[hash(i)]; cand >= 0 && tries > 0; cand = prev[cand] {
+				tries--
+				dist := i - int(cand)
+				if dist > windowSize {
+					break
+				}
+				if dist == 0 {
+					continue
+				}
+				l := 0
+				for l < limit && src[int(cand)+l] == src[i+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestDist = l, dist
+					if l == limit {
+						break
+					}
+				}
+			}
+		}
+		if bestLen >= minMatch {
+			emitFlag(false)
+			// Two-byte token: dddddddd ddllllll
+			// (10-bit distance-1, 6-bit length-minMatch).
+			d := bestDist - 1
+			out = append(out,
+				byte(d>>2),
+				byte(d&0x03)<<6|byte(bestLen-minMatch))
+			for k := range bestLen {
+				insert(i + k)
+			}
+			i += bestLen
+		} else {
+			emitFlag(true)
+			out = append(out, src[i])
+			insert(i)
+			i++
+		}
+	}
+	return out
+}
+
+// decoderState enumerates what the decoder expects next.
+type decoderState int
+
+const (
+	stateHeader decoderState = iota + 1
+	stateFlags
+	stateToken
+	stateDone
+)
+
+// Decoder is a push-streaming LZSS decompressor. Feed it input chunks of
+// any size; it calls emit with decompressed output as soon as bytes are
+// available. Its entire state is the 1 KiB window ring plus a few bytes
+// — the same working set as the C routine on a constrained device.
+type Decoder struct {
+	state decoderState
+
+	header  [headerSize]byte
+	headerN int
+	total   int // declared decoded length
+	emitted int
+
+	flags     byte
+	flagsLeft int
+
+	pending   [2]byte // partial match token
+	pendingN  int
+	isLiteral bool
+
+	window [windowSize]byte
+	wpos   int
+}
+
+// NewDecoder returns a decoder ready to receive the stream header.
+func NewDecoder() *Decoder {
+	return &Decoder{state: stateHeader}
+}
+
+// DecodedLength reports the total decoded length declared by the stream
+// header, or -1 if the header has not arrived yet.
+func (d *Decoder) DecodedLength() int {
+	if d.state == stateHeader {
+		return -1
+	}
+	return d.total
+}
+
+// Done reports whether the full declared output has been produced.
+func (d *Decoder) Done() bool { return d.state == stateDone }
+
+// Feed consumes chunk, invoking emit zero or more times with decoded
+// bytes. The slice passed to emit is only valid for the duration of the
+// call. Feeding data after Done returns ErrTrailing.
+func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
+	out := make([]byte, 0, 2*len(chunk))
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := emit(out)
+		out = out[:0]
+		return err
+	}
+	push := func(b byte) {
+		out = append(out, b)
+		d.window[d.wpos] = b
+		d.wpos = (d.wpos + 1) % windowSize
+		d.emitted++
+	}
+
+	for _, b := range chunk {
+		switch d.state {
+		case stateHeader:
+			d.header[d.headerN] = b
+			d.headerN++
+			if d.headerN == headerSize {
+				if [4]byte(d.header[:4]) != magic {
+					return fmt.Errorf("%w: magic %q", ErrBadHeader, d.header[:4])
+				}
+				d.total = int(binary.BigEndian.Uint32(d.header[4:]))
+				if d.total == 0 {
+					d.state = stateDone
+				} else {
+					d.state = stateFlags
+				}
+			}
+		case stateFlags:
+			d.flags = b
+			d.flagsLeft = 8
+			d.state = stateToken
+			d.pendingN = 0
+			d.isLiteral = d.flags&1 == 1
+		case stateToken:
+			if d.isLiteral {
+				push(b)
+			} else {
+				d.pending[d.pendingN] = b
+				d.pendingN++
+				if d.pendingN < 2 {
+					continue
+				}
+				dist := (int(d.pending[0])<<2 | int(d.pending[1])>>6) + 1
+				length := int(d.pending[1]&0x3F) + minMatch
+				if dist > d.emitted {
+					return fmt.Errorf("%w: match distance %d exceeds output %d", ErrCorrupt, dist, d.emitted)
+				}
+				if d.emitted+length > d.total {
+					return fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+				}
+				start := (d.wpos - dist + windowSize*2) % windowSize
+				for k := range length {
+					push(d.window[(start+k)%windowSize])
+				}
+				d.pendingN = 0
+			}
+			if d.emitted == d.total {
+				d.state = stateDone
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			d.flags >>= 1
+			d.flagsLeft--
+			if d.flagsLeft == 0 {
+				d.state = stateFlags
+			} else {
+				d.isLiteral = d.flags&1 == 1
+			}
+		case stateDone:
+			return ErrTrailing
+		}
+	}
+	return flush()
+}
+
+// Close checks that the stream is complete.
+func (d *Decoder) Close() error {
+	if d.state != stateDone {
+		return fmt.Errorf("%w: got %d of %d bytes", ErrIncomplete, d.emitted, d.total)
+	}
+	return nil
+}
+
+// Decode is the one-shot convenience used by tests and host tools.
+func Decode(src []byte) ([]byte, error) {
+	d := NewDecoder()
+	var out []byte
+	if err := d.Feed(src, func(p []byte) error {
+		out = append(out, p...)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package manifest
+
+import (
+	"testing"
+
+	"upkit/internal/security"
+)
+
+func BenchmarkMarshal(b *testing.B) {
+	m := sampleManifest()
+	b.ReportAllocs()
+	for range b.N {
+		if _, err := m.MarshalBinary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	enc, _ := sampleManifest().MarshalBinary()
+	b.ReportAllocs()
+	for range b.N {
+		if _, err := Unmarshal(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDoubleSign(b *testing.B) {
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("bench-vendor")
+	serverKey := security.MustGenerateKey("bench-server")
+	m := sampleManifest()
+	b.ReportAllocs()
+	for range b.N {
+		if err := m.SignVendor(suite, vendorKey); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.SignServer(suite, serverKey); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDoubleVerify(b *testing.B) {
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("bench-vendor")
+	serverKey := security.MustGenerateKey("bench-server")
+	m := sampleManifest()
+	if err := m.SignVendor(suite, vendorKey); err != nil {
+		b.Fatal(err)
+	}
+	if err := m.SignServer(suite, serverKey); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		if !m.VerifyVendorSig(suite, vendorKey.Public()) ||
+			!m.VerifyServerSig(suite, serverKey.Public()) {
+			b.Fatal("verification failed")
+		}
+	}
+}

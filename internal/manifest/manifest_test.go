@@ -1,0 +1,289 @@
+package manifest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"upkit/internal/security"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		AppID:          0xA11CE5,
+		Version:        7,
+		Size:           102400,
+		FirmwareDigest: security.Digest{1, 2, 3, 4},
+		LinkOffset:     0x2_0000,
+		DeviceID:       0xDEADBEEF,
+		Nonce:          0xCAFE0001,
+		OldVersion:     6,
+		PatchSize:      2048,
+	}
+}
+
+func TestEncodedSizeIsStable(t *testing.T) {
+	// The wire format is a contract with deployed devices: 51-byte
+	// vendor part + 64-byte signature + 14-byte token part + 64-byte
+	// signature.
+	if EncodedSize != 193 {
+		t.Fatalf("EncodedSize = %d, want 193", EncodedSize)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	m.VendorSig = security.Signature{0xAA, 0xBB}
+	m.ServerSig = security.Signature{0xCC, 0xDD}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if len(enc) != EncodedSize {
+		t.Fatalf("encoded length = %d, want %d", len(enc), EncodedSize)
+	}
+	got, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if *got != *m {
+		t.Fatalf("round trip mismatch:\n got  %+v\n want %+v", got, m)
+	}
+}
+
+func TestUnmarshalRejectsTruncated(t *testing.T) {
+	m := sampleManifest()
+	enc, _ := m.MarshalBinary()
+	for _, n := range []int{0, 1, EncodedSize - 1, EncodedSize + 1} {
+		buf := make([]byte, n)
+		copy(buf, enc)
+		if _, err := Unmarshal(buf); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Unmarshal(%d bytes) error = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadMagic(t *testing.T) {
+	m := sampleManifest()
+	enc, _ := m.MarshalBinary()
+	enc[0] ^= 0xFF
+	if _, err := Unmarshal(enc); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("error = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestUnmarshalRejectsBadFormatVersion(t *testing.T) {
+	m := sampleManifest()
+	enc, _ := m.MarshalBinary()
+	enc[4] = 99
+	if _, err := Unmarshal(enc); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("error = %v, want ErrBadVersion", err)
+	}
+}
+
+func TestDeviceTokenRoundTrip(t *testing.T) {
+	tok := DeviceToken{DeviceID: 0x01020304, Nonce: 0x05060708, CurrentVersion: 42}
+	enc, err := tok.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	if len(enc) != TokenEncodedSize {
+		t.Fatalf("token length = %d, want %d", len(enc), TokenEncodedSize)
+	}
+	var got DeviceToken
+	if err := got.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if got != tok {
+		t.Fatalf("round trip mismatch: got %+v, want %+v", got, tok)
+	}
+}
+
+func TestDeviceTokenRejectsWrongLength(t *testing.T) {
+	var tok DeviceToken
+	if err := tok.UnmarshalBinary(make([]byte, TokenEncodedSize-1)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("error = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSupportsDifferential(t *testing.T) {
+	if (DeviceToken{CurrentVersion: 0}).SupportsDifferential() {
+		t.Error("version 0 must mean no differential support")
+	}
+	if !(DeviceToken{CurrentVersion: 3}).SupportsDifferential() {
+		t.Error("non-zero version must mean differential support")
+	}
+}
+
+func TestIsDifferentialAndPayloadSize(t *testing.T) {
+	m := sampleManifest() // OldVersion=6, PatchSize=2048
+	if !m.IsDifferential() {
+		t.Fatal("manifest with OldVersion != 0 must be differential")
+	}
+	if got := m.PayloadSize(); got != 2048 {
+		t.Fatalf("PayloadSize() = %d, want patch size 2048", got)
+	}
+	m.OldVersion = 0
+	if m.IsDifferential() {
+		t.Fatal("manifest with OldVersion == 0 must be full-image")
+	}
+	if got := m.PayloadSize(); got != m.Size {
+		t.Fatalf("PayloadSize() = %d, want firmware size %d", got, m.Size)
+	}
+}
+
+func TestDoubleSignatureVerifies(t *testing.T) {
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("vendor")
+	serverKey := security.MustGenerateKey("server")
+
+	m := sampleManifest()
+	if err := m.SignVendor(suite, vendorKey); err != nil {
+		t.Fatalf("SignVendor: %v", err)
+	}
+	if err := m.SignServer(suite, serverKey); err != nil {
+		t.Fatalf("SignServer: %v", err)
+	}
+	if !m.VerifyVendorSig(suite, vendorKey.Public()) {
+		t.Fatal("vendor signature did not verify")
+	}
+	if !m.VerifyServerSig(suite, serverKey.Public()) {
+		t.Fatal("server signature did not verify")
+	}
+	// Cross-check: the wrong key must not verify either signature.
+	if m.VerifyVendorSig(suite, serverKey.Public()) {
+		t.Fatal("vendor signature verified with server key")
+	}
+	if m.VerifyServerSig(suite, vendorKey.Public()) {
+		t.Fatal("server signature verified with vendor key")
+	}
+}
+
+// The server signature must cover the token fields: re-signing is needed
+// for every request, which is what grants freshness.
+func TestServerSigCoversTokenFields(t *testing.T) {
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("vendor")
+	serverKey := security.MustGenerateKey("server")
+
+	m := sampleManifest()
+	if err := m.SignVendor(suite, vendorKey); err != nil {
+		t.Fatalf("SignVendor: %v", err)
+	}
+	if err := m.SignServer(suite, serverKey); err != nil {
+		t.Fatalf("SignServer: %v", err)
+	}
+
+	mutations := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"nonce", func(m *Manifest) { m.Nonce++ }},
+		{"device id", func(m *Manifest) { m.DeviceID++ }},
+		{"old version", func(m *Manifest) { m.OldVersion++ }},
+		{"patch size", func(m *Manifest) { m.PatchSize++ }},
+		{"vendor sig", func(m *Manifest) { m.VendorSig[0] ^= 1 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *m
+			tc.mut(&cp)
+			if cp.VerifyServerSig(suite, serverKey.Public()) {
+				t.Fatalf("server signature still verified after mutating %s", tc.name)
+			}
+		})
+	}
+}
+
+// The vendor signature must cover every firmware-description field.
+func TestVendorSigCoversFirmwareFields(t *testing.T) {
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("vendor")
+
+	m := sampleManifest()
+	if err := m.SignVendor(suite, vendorKey); err != nil {
+		t.Fatalf("SignVendor: %v", err)
+	}
+	mutations := []struct {
+		name string
+		mut  func(*Manifest)
+	}{
+		{"app id", func(m *Manifest) { m.AppID++ }},
+		{"version", func(m *Manifest) { m.Version++ }},
+		{"size", func(m *Manifest) { m.Size++ }},
+		{"digest", func(m *Manifest) { m.FirmwareDigest[0] ^= 1 }},
+		{"link offset", func(m *Manifest) { m.LinkOffset++ }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := *m
+			tc.mut(&cp)
+			if cp.VerifyVendorSig(suite, vendorKey.Public()) {
+				t.Fatalf("vendor signature still verified after mutating %s", tc.name)
+			}
+		})
+	}
+	// Vendor signature must NOT cover token fields — the server fills
+	// those later, per request.
+	cp := *m
+	cp.Nonce++
+	cp.DeviceID++
+	if !cp.VerifyVendorSig(suite, vendorKey.Public()) {
+		t.Fatal("vendor signature must be independent of token fields")
+	}
+}
+
+// Property: every manifest survives an encode/decode round trip intact.
+func TestQuickManifestRoundTrip(t *testing.T) {
+	f := func(appID uint32, version uint16, size uint32, digest [32]byte,
+		linkOffset, deviceID, nonce uint32, oldVersion uint16, patchSize uint32,
+		vsig, ssig [64]byte) bool {
+		m := Manifest{
+			AppID:          appID,
+			Version:        version,
+			Size:           size,
+			FirmwareDigest: security.Digest(digest),
+			LinkOffset:     linkOffset,
+			VendorSig:      security.Signature(vsig),
+			DeviceID:       deviceID,
+			Nonce:          nonce,
+			OldVersion:     oldVersion,
+			PatchSize:      patchSize,
+			ServerSig:      security.Signature(ssig),
+		}
+		enc, err := m.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(enc)
+		return err == nil && *got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption of the encoding either fails to
+// parse or decodes to a different manifest (no silent aliasing), except
+// in the signature fields which are opaque until verification.
+func TestQuickCorruptionNeverAliases(t *testing.T) {
+	m := sampleManifest()
+	enc, _ := m.MarshalBinary()
+	f := func(pos uint16, delta byte) bool {
+		if delta == 0 {
+			return true
+		}
+		i := int(pos) % len(enc)
+		bad := bytes.Clone(enc)
+		bad[i] ^= delta
+		got, err := Unmarshal(bad)
+		if err != nil {
+			return true // rejected: fine
+		}
+		return *got != *m // decoded, but must differ somewhere
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package pipeline
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/lzss"
+	"upkit/internal/security"
+)
+
+func benchImage(size int) []byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]byte, size)
+	for i := range out {
+		out[i] = byte(rng.Intn(32))
+	}
+	return out
+}
+
+func BenchmarkFullPipeline64kB(b *testing.B) {
+	img := benchImage(64 * 1024)
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	for range b.N {
+		p := NewFull(io.Discard, 4096)
+		if _, err := p.Write(img); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDifferentialPipeline64kB(b *testing.B) {
+	old := benchImage(64 * 1024)
+	new := bytes.Clone(old)
+	copy(new[10000:], []byte("benchmark-patch-region"))
+	payload := lzss.Encode(bsdiff.Diff(old, new))
+	b.SetBytes(int64(len(new)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		p := NewDifferential(bytes.NewReader(old), io.Discard, 4096)
+		if _, err := p.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncryptedPipeline64kB(b *testing.B) {
+	img := benchImage(64 * 1024)
+	key := bytes.Repeat([]byte{0x11}, 16)
+	payload, err := security.EncryptPayload(key, img, security.NewDeterministicReader("bench-iv"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(img)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		p := NewFull(io.Discard, 4096)
+		if err := p.EnableDecryption(key); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/lzss"
+	"upkit/internal/security"
+)
+
+func encKey() []byte { return bytes.Repeat([]byte{0x5A}, 16) }
+
+func encrypt(t *testing.T, plain []byte) []byte {
+	t.Helper()
+	enc, err := security.EncryptPayload(encKey(), plain, security.NewDeterministicReader("pipe-iv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func TestEncryptedFullPipeline(t *testing.T) {
+	fw := bytes.Repeat([]byte("cipher-firmware"), 2000)
+	payload := encrypt(t, fw)
+	for _, chunk := range []int{1, 13, 300, len(payload)} {
+		var sink countingSink
+		p := NewFull(&sink, 4096)
+		if err := p.EnableDecryption(encKey()); err != nil {
+			t.Fatal(err)
+		}
+		if !p.IsEncrypted() {
+			t.Fatal("IsEncrypted should report true")
+		}
+		feedChunked(t, p, payload, chunk)
+		if !bytes.Equal(sink.Bytes(), fw) {
+			t.Fatalf("chunk=%d: decrypted output mismatch", chunk)
+		}
+	}
+}
+
+func TestEncryptedDifferentialPipeline(t *testing.T) {
+	old := bytes.Repeat([]byte("base-image"), 3000)
+	new := bytes.Clone(old)
+	copy(new[4000:], []byte("patched-here"))
+	plainPayload := lzss.Encode(bsdiff.Diff(old, new))
+	payload := encrypt(t, plainPayload)
+
+	var sink countingSink
+	p := NewDifferential(bytes.NewReader(old), &sink, 4096)
+	if err := p.EnableDecryption(encKey()); err != nil {
+		t.Fatal(err)
+	}
+	feedChunked(t, p, payload, 77)
+	if !bytes.Equal(sink.Bytes(), new) {
+		t.Fatal("decrypted+patched output mismatch")
+	}
+}
+
+func TestEnableDecryptionAfterDataRejected(t *testing.T) {
+	p := NewFull(&countingSink{}, 64)
+	if _, err := p.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EnableDecryption(encKey()); err == nil {
+		t.Fatal("EnableDecryption after data must fail")
+	}
+}
+
+func TestEnableDecryptionBadKey(t *testing.T) {
+	p := NewFull(&countingSink{}, 64)
+	if err := p.EnableDecryption(make([]byte, 5)); err == nil {
+		t.Fatal("bad key accepted")
+	}
+}
+
+func TestWrongKeyProducesGarbageNotPanic(t *testing.T) {
+	fw := bytes.Repeat([]byte("x"), 5000)
+	payload := encrypt(t, fw)
+	var sink countingSink
+	p := NewFull(&sink, 256)
+	if err := p.EnableDecryption(bytes.Repeat([]byte{0x77}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	feedChunked(t, p, payload, 100)
+	if bytes.Equal(sink.Bytes(), fw) {
+		t.Fatal("wrong key yielded plaintext")
+	}
+	// Length is preserved; the digest check upstream catches the rest.
+	if sink.Len() != len(fw) {
+		t.Fatalf("output = %d bytes, want %d", sink.Len(), len(fw))
+	}
+}

@@ -1,0 +1,106 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Payload encryption implements the paper's future-work item (§VIII):
+// "add a decryption stage in UpKit's pipeline module, in order to make
+// confidentiality independent from the employed transport security
+// layer". The update server encrypts the transfer payload (full image
+// or compressed patch) under a symmetric image key provisioned on the
+// device; intermediate hops — smartphones, gateways, the update CDN —
+// only ever see ciphertext.
+//
+// The scheme is AES-128/256-CTR with a random IV prepended to the
+// ciphertext. CTR keeps the device-side decrypter a pure streaming
+// transform (no padding, no buffering), which is exactly what the
+// pipeline needs. Confidentiality only — integrity and authenticity
+// come from the digest and double signature, which cover the plaintext.
+
+// PayloadIVSize is the per-payload initialisation vector size.
+const PayloadIVSize = aes.BlockSize
+
+// EncryptedOverhead is the size difference between ciphertext and
+// plaintext (the prepended IV).
+const EncryptedOverhead = PayloadIVSize
+
+// ErrBadPayloadKey reports an unusable image key.
+var ErrBadPayloadKey = errors.New("security: payload key must be 16, 24, or 32 bytes")
+
+// EncryptPayload encrypts plaintext under key, drawing the IV from
+// entropy (pass crypto/rand.Reader; tests may pass a deterministic
+// reader). The result is IV || CTR(plaintext).
+func EncryptPayload(key, plaintext []byte, entropy io.Reader) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayloadKey, err)
+	}
+	out := make([]byte, PayloadIVSize+len(plaintext))
+	if _, err := io.ReadFull(entropy, out[:PayloadIVSize]); err != nil {
+		return nil, fmt.Errorf("security: payload iv: %w", err)
+	}
+	cipher.NewCTR(block, out[:PayloadIVSize]).XORKeyStream(out[PayloadIVSize:], plaintext)
+	return out, nil
+}
+
+// DecryptPayload is the one-shot inverse of EncryptPayload (host tools
+// and tests; devices use the streaming PayloadDecrypter).
+func DecryptPayload(key, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < PayloadIVSize {
+		return nil, errors.New("security: ciphertext shorter than IV")
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayloadKey, err)
+	}
+	out := make([]byte, len(ciphertext)-PayloadIVSize)
+	cipher.NewCTR(block, ciphertext[:PayloadIVSize]).XORKeyStream(out, ciphertext[PayloadIVSize:])
+	return out, nil
+}
+
+// PayloadDecrypter is the push-streaming decrypter for the pipeline's
+// decryption stage: feed ciphertext chunks of any size; plaintext is
+// emitted as soon as the IV has arrived.
+type PayloadDecrypter struct {
+	block  cipher.Block
+	iv     [PayloadIVSize]byte
+	ivN    int
+	stream cipher.Stream
+}
+
+// NewPayloadDecrypter returns a decrypter for key.
+func NewPayloadDecrypter(key []byte) (*PayloadDecrypter, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadPayloadKey, err)
+	}
+	return &PayloadDecrypter{block: block}, nil
+}
+
+// Feed consumes ciphertext, invoking emit with plaintext. The slice
+// passed to emit is only valid during the call.
+func (d *PayloadDecrypter) Feed(chunk []byte, emit func([]byte) error) error {
+	if d.stream == nil {
+		n := copy(d.iv[d.ivN:], chunk)
+		d.ivN += n
+		chunk = chunk[n:]
+		if d.ivN < PayloadIVSize {
+			return nil
+		}
+		d.stream = cipher.NewCTR(d.block, d.iv[:])
+	}
+	if len(chunk) == 0 {
+		return nil
+	}
+	out := make([]byte, len(chunk))
+	d.stream.XORKeyStream(out, chunk)
+	return emit(out)
+}
+
+// Started reports whether the IV has been fully received.
+func (d *PayloadDecrypter) Started() bool { return d.stream != nil }

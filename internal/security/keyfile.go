@@ -1,0 +1,108 @@
+package security
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Key-file encoding used by the host-side tools (cmd/upkit-sign). The
+// format is deliberately trivial — a tagged hex line — so keys can be
+// inspected and diffed; it is not meant to interoperate with PEM.
+const (
+	privateKeyTag = "upkit-private-key-p256"
+	publicKeyTag  = "upkit-public-key-p256"
+)
+
+// EncodePrivateKey renders a private key in the upkit key-file format.
+func EncodePrivateKey(k *PrivateKey) []byte {
+	return encodeKeyFile(privateKeyTag, k.Bytes())
+}
+
+// EncodePublicKey renders a public key in the upkit key-file format.
+func EncodePublicKey(k *PublicKey) []byte {
+	return encodeKeyFile(publicKeyTag, k.Bytes())
+}
+
+func encodeKeyFile(tag string, raw []byte) []byte {
+	return []byte(fmt.Sprintf("%s %s\n", tag, hex.EncodeToString(raw)))
+}
+
+// DecodePrivateKey parses a key file produced by EncodePrivateKey.
+func DecodePrivateKey(data []byte) (*PrivateKey, error) {
+	raw, err := decodeKeyFile(privateKeyTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePrivateKey(raw)
+}
+
+// DecodePublicKey parses a key file produced by EncodePublicKey.
+func DecodePublicKey(data []byte) (*PublicKey, error) {
+	raw, err := decodeKeyFile(publicKeyTag, data)
+	if err != nil {
+		return nil, err
+	}
+	return ParsePublicKey(raw)
+}
+
+func decodeKeyFile(wantTag string, data []byte) ([]byte, error) {
+	fields := strings.Fields(string(bytes.TrimSpace(data)))
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("%w: want %q <hex>", ErrBadKeyEncoding, wantTag)
+	}
+	if fields[0] != wantTag {
+		return nil, fmt.Errorf("%w: tag %q, want %q", ErrBadKeyEncoding, fields[0], wantTag)
+	}
+	raw, err := hex.DecodeString(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadKeyEncoding, err)
+	}
+	return raw, nil
+}
+
+// deterministicReader yields an endless SHA-256-based byte stream from a
+// seed. It exists so tests and examples can generate stable key pairs.
+type deterministicReader struct {
+	state [32]byte
+	buf   []byte
+}
+
+// NewDeterministicReader returns a reproducible entropy source derived
+// from seed. It must never be used for production keys.
+func NewDeterministicReader(seed string) *deterministicReader {
+	return &deterministicReader{state: sha256.Sum256([]byte(seed))}
+}
+
+func (r *deterministicReader) Read(p []byte) (int, error) {
+	for len(r.buf) < len(p) {
+		r.state = sha256.Sum256(r.state[:])
+		r.buf = append(r.buf, r.state[:]...)
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// MustGenerateKey generates a key pair from a deterministic seed and
+// panics on failure. For tests, examples, and benchmarks only.
+//
+// It derives the private scalar directly from the seed stream rather
+// than calling ecdsa.GenerateKey, whose output is deliberately not
+// deterministic in the bytes it reads from its entropy source.
+func MustGenerateKey(seed string) *PrivateKey {
+	r := NewDeterministicReader(seed)
+	buf := make([]byte, PrivateKeySize)
+	for range 128 {
+		if _, err := r.Read(buf); err != nil {
+			panic(fmt.Sprintf("security: deterministic key generation failed: %v", err))
+		}
+		key, err := ParsePrivateKey(buf)
+		if err == nil {
+			return key
+		}
+	}
+	panic("security: deterministic key generation failed: no valid scalar in 128 draws")
+}

@@ -1,0 +1,353 @@
+package security
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testSuites(t *testing.T) []Suite {
+	t.Helper()
+	hsm := NewHSM()
+	return []Suite{NewTinyDTLS(), NewTinyCrypt(), NewCryptoAuthLib(hsm)}
+}
+
+func provisionIfHSM(t *testing.T, s Suite, pub *PublicKey) {
+	t.Helper()
+	ca, ok := s.(*cryptoAuthSuite)
+	if !ok {
+		return
+	}
+	if err := ca.hsm.Provision(0, pub, true); err != nil {
+		t.Fatalf("provision hsm: %v", err)
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, s := range testSuites(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			key := MustGenerateKey("round-trip-" + s.Name())
+			provisionIfHSM(t, s, key.Public())
+			digest := s.Digest([]byte("firmware image v2.0"))
+			sig, err := s.Sign(key, digest)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			if !s.Verify(key.Public(), digest, sig) {
+				t.Fatal("Verify rejected a valid signature")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongDigest(t *testing.T) {
+	for _, s := range testSuites(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			key := MustGenerateKey("wrong-digest-" + s.Name())
+			provisionIfHSM(t, s, key.Public())
+			digest := s.Digest([]byte("original"))
+			sig, err := s.Sign(key, digest)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			other := s.Digest([]byte("tampered"))
+			if s.Verify(key.Public(), other, sig) {
+				t.Fatal("Verify accepted a signature over a different digest")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	for _, s := range testSuites(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			key := MustGenerateKey("signer-" + s.Name())
+			other := MustGenerateKey("other-" + s.Name())
+			provisionIfHSM(t, s, other.Public())
+			digest := s.Digest([]byte("payload"))
+			sig, err := s.Sign(key, digest)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			if s.Verify(other.Public(), digest, sig) {
+				t.Fatal("Verify accepted a signature from a different key")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsBitFlippedSignature(t *testing.T) {
+	for _, s := range testSuites(t) {
+		t.Run(s.Name(), func(t *testing.T) {
+			key := MustGenerateKey("bit-flip-" + s.Name())
+			provisionIfHSM(t, s, key.Public())
+			digest := s.Digest([]byte("payload"))
+			sig, err := s.Sign(key, digest)
+			if err != nil {
+				t.Fatalf("Sign: %v", err)
+			}
+			for _, i := range []int{0, 31, 32, 63} {
+				bad := sig
+				bad[i] ^= 0x01
+				if s.Verify(key.Public(), digest, bad) {
+					t.Fatalf("Verify accepted signature with bit flipped at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyNilKeyFails(t *testing.T) {
+	s := NewTinyCrypt()
+	digest := s.Digest([]byte("x"))
+	if s.Verify(nil, digest, Signature{}) {
+		t.Fatal("Verify(nil key) must fail")
+	}
+}
+
+func TestSignNilKeyFails(t *testing.T) {
+	s := NewTinyCrypt()
+	if _, err := s.Sign(nil, Digest{}); err == nil {
+		t.Fatal("Sign(nil key) must error")
+	}
+}
+
+func TestStreamingHashMatchesDigest(t *testing.T) {
+	s := NewTinyDTLS()
+	data := bytes.Repeat([]byte("abc123"), 1000)
+	h := s.NewHash()
+	// Feed in uneven chunks to exercise the streaming path.
+	for i := 0; i < len(data); {
+		end := min(i+137, len(data))
+		h.Write(data[i:end])
+		i = end
+	}
+	var got Digest
+	copy(got[:], h.Sum(nil))
+	if got != s.Digest(data) {
+		t.Fatal("streaming hash differs from one-shot Digest")
+	}
+}
+
+func TestKeyEncodingRoundTrip(t *testing.T) {
+	key := MustGenerateKey("encode")
+	priv2, err := ParsePrivateKey(key.Bytes())
+	if err != nil {
+		t.Fatalf("ParsePrivateKey: %v", err)
+	}
+	if !bytes.Equal(priv2.Bytes(), key.Bytes()) {
+		t.Fatal("private key round trip mismatch")
+	}
+	pub2, err := ParsePublicKey(key.Public().Bytes())
+	if err != nil {
+		t.Fatalf("ParsePublicKey: %v", err)
+	}
+	if !pub2.Equal(key.Public()) {
+		t.Fatal("public key round trip mismatch")
+	}
+}
+
+func TestKeyFileRoundTrip(t *testing.T) {
+	key := MustGenerateKey("keyfile")
+	priv, err := DecodePrivateKey(EncodePrivateKey(key))
+	if err != nil {
+		t.Fatalf("DecodePrivateKey: %v", err)
+	}
+	if !bytes.Equal(priv.Bytes(), key.Bytes()) {
+		t.Fatal("private key file round trip mismatch")
+	}
+	pub, err := DecodePublicKey(EncodePublicKey(key.Public()))
+	if err != nil {
+		t.Fatalf("DecodePublicKey: %v", err)
+	}
+	if !pub.Equal(key.Public()) {
+		t.Fatal("public key file round trip mismatch")
+	}
+}
+
+func TestDecodeKeyFileRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("upkit-private-key-p256"),
+		[]byte("wrong-tag deadbeef"),
+		[]byte("upkit-private-key-p256 zzzz"),
+		[]byte("upkit-private-key-p256 dead beef extra"),
+	}
+	for _, c := range cases {
+		if _, err := DecodePrivateKey(c); !errors.Is(err, ErrBadKeyEncoding) {
+			t.Errorf("DecodePrivateKey(%q) error = %v, want ErrBadKeyEncoding", c, err)
+		}
+	}
+}
+
+func TestParsePublicKeyRejectsOffCurvePoint(t *testing.T) {
+	raw := make([]byte, PublicKeySize)
+	raw[0] = 0x01 // almost certainly not on P-256
+	if _, err := ParsePublicKey(raw); !errors.Is(err, ErrBadKeyEncoding) {
+		t.Fatalf("ParsePublicKey(off-curve) error = %v, want ErrBadKeyEncoding", err)
+	}
+}
+
+func TestParsePrivateKeyRejectsZeroScalar(t *testing.T) {
+	raw := make([]byte, PrivateKeySize)
+	if _, err := ParsePrivateKey(raw); !errors.Is(err, ErrBadKeyEncoding) {
+		t.Fatalf("ParsePrivateKey(0) error = %v, want ErrBadKeyEncoding", err)
+	}
+}
+
+func TestParseSignatureLength(t *testing.T) {
+	if _, err := ParseSignature(make([]byte, 63)); !errors.Is(err, ErrBadSignatureEncoding) {
+		t.Fatalf("ParseSignature(63 bytes) error = %v, want ErrBadSignatureEncoding", err)
+	}
+	if _, err := ParseSignature(make([]byte, 64)); err != nil {
+		t.Fatalf("ParseSignature(64 bytes) error = %v", err)
+	}
+}
+
+func TestDeterministicKeysAreStable(t *testing.T) {
+	a := MustGenerateKey("seed-1")
+	b := MustGenerateKey("seed-1")
+	c := MustGenerateKey("seed-2")
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different keys")
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced the same key")
+	}
+}
+
+func TestHSMProvisionAndLock(t *testing.T) {
+	hsm := NewHSM()
+	key := MustGenerateKey("hsm-lock")
+	if err := hsm.Provision(2, key.Public(), true); err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	got, err := hsm.Key(2)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !got.Equal(key.Public()) {
+		t.Fatal("HSM returned a different key")
+	}
+	other := MustGenerateKey("hsm-attacker")
+	if err := hsm.Provision(2, other.Public(), false); !errors.Is(err, ErrKeySlotLocked) {
+		t.Fatalf("overwriting locked slot: error = %v, want ErrKeySlotLocked", err)
+	}
+}
+
+func TestHSMUnlockedSlotCanBeRewritten(t *testing.T) {
+	hsm := NewHSM()
+	a := MustGenerateKey("hsm-a")
+	b := MustGenerateKey("hsm-b")
+	if err := hsm.Provision(0, a.Public(), false); err != nil {
+		t.Fatalf("Provision a: %v", err)
+	}
+	if err := hsm.Provision(0, b.Public(), true); err != nil {
+		t.Fatalf("Provision b: %v", err)
+	}
+	got, err := hsm.Key(0)
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !got.Equal(b.Public()) {
+		t.Fatal("slot did not take the rewrite")
+	}
+}
+
+func TestHSMSlotBounds(t *testing.T) {
+	hsm := NewHSM()
+	key := MustGenerateKey("hsm-bounds")
+	for _, slot := range []int{-1, HSMSlotCount} {
+		if err := hsm.Provision(slot, key.Public(), false); !errors.Is(err, ErrBadKeySlot) {
+			t.Errorf("Provision(%d) error = %v, want ErrBadKeySlot", slot, err)
+		}
+		if _, err := hsm.Key(slot); !errors.Is(err, ErrBadKeySlot) {
+			t.Errorf("Key(%d) error = %v, want ErrBadKeySlot", slot, err)
+		}
+	}
+	if _, err := hsm.Key(5); !errors.Is(err, ErrKeySlotEmpty) {
+		t.Errorf("Key(empty slot) error = %v, want ErrKeySlotEmpty", err)
+	}
+}
+
+func TestCryptoAuthRejectsUnprovisionedKey(t *testing.T) {
+	hsm := NewHSM()
+	s := NewCryptoAuthLib(hsm)
+	key := MustGenerateKey("unprovisioned")
+	digest := s.Digest([]byte("payload"))
+	sig, err := s.Sign(key, digest)
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	// Valid signature, valid key — but the key is not in the HSM, so the
+	// hardware-backed suite must fail closed.
+	if s.Verify(key.Public(), digest, sig) {
+		t.Fatal("CryptoAuthLib verified with a key not provisioned in the HSM")
+	}
+}
+
+func TestSuiteByName(t *testing.T) {
+	for _, name := range []string{"tinydtls", "tinycrypt", "cryptoauthlib"} {
+		s, err := SuiteByName(name, nil)
+		if err != nil {
+			t.Fatalf("SuiteByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("SuiteByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := SuiteByName("openssl", nil); err == nil {
+		t.Fatal("SuiteByName(unknown) must error")
+	}
+}
+
+func TestCostProfileHashCost(t *testing.T) {
+	c := NewTinyCrypt().Cost()
+	if c.HashCost(0) != c.HashSetup {
+		t.Error("HashCost(0) should equal setup cost")
+	}
+	if c.HashCost(1000) <= c.HashCost(100) {
+		t.Error("HashCost must grow with input size")
+	}
+}
+
+// Property: any signature over random data verifies, and verification is
+// bound to the exact digest.
+func TestQuickSignVerify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping quick-check in short mode")
+	}
+	s := NewTinyCrypt()
+	key := MustGenerateKey("quick")
+	f := func(data []byte, flip byte) bool {
+		digest := s.Digest(data)
+		sig, err := s.Sign(key, digest)
+		if err != nil {
+			return false
+		}
+		if !s.Verify(key.Public(), digest, sig) {
+			return false
+		}
+		// Flipping any digest bit must break verification.
+		bad := digest
+		bad[int(flip)%len(bad)] ^= 0xFF
+		return !s.Verify(key.Public(), bad, sig)
+	}
+	cfg := &quick.Config{MaxCount: 12, Rand: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateKeyWithSystemEntropy(t *testing.T) {
+	key, err := GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	if key == nil || key.Public() == nil {
+		t.Fatal("GenerateKey returned nil key")
+	}
+}

@@ -1,0 +1,138 @@
+// Package simclock provides a deterministic virtual clock used by the
+// simulated radio, flash, and CPU models.
+//
+// All UpKit timing experiments (Fig. 8 of the paper) run against virtual
+// time: components advance the clock by the duration their modelled
+// operation would take on real hardware, so results are exactly
+// reproducible and independent of host load.
+package simclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock.
+//
+// The zero value is ready to use and starts at instant zero. Clock is
+// safe for concurrent use; concurrent advances serialize.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// New returns a clock starting at virtual instant zero.
+func New() *Clock { return &Clock{} }
+
+// Now reports the current virtual instant as an offset from the start.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative durations are ignored:
+// virtual time never moves backwards.
+func (c *Clock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+// AdvanceTo moves the clock forward to instant t if t is in the future;
+// otherwise it is a no-op.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	c.mu.Lock()
+	if t > c.now {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// Stopwatch measures a span of virtual time on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins measuring from the clock's current instant.
+func (c *Clock) StartStopwatch() Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports virtual time elapsed since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	if s.clock == nil {
+		return 0
+	}
+	return s.clock.Now() - s.start
+}
+
+// Timer accumulates named spans of virtual time. It is used to break an
+// update down into the paper's phases (propagation, verification,
+// loading).
+type Timer struct {
+	mu    sync.Mutex
+	clock *Clock
+	spans map[string]time.Duration
+}
+
+// NewTimer returns a phase timer bound to clock.
+func NewTimer(clock *Clock) *Timer {
+	return &Timer{clock: clock, spans: make(map[string]time.Duration)}
+}
+
+// Measure runs fn and charges the virtual time it consumed to phase.
+func (t *Timer) Measure(phase string, fn func() error) error {
+	start := t.clock.Now()
+	err := fn()
+	t.Add(phase, t.clock.Now()-start)
+	return err
+}
+
+// Add charges d of virtual time to phase.
+func (t *Timer) Add(phase string, d time.Duration) {
+	t.mu.Lock()
+	t.spans[phase] += d
+	t.mu.Unlock()
+}
+
+// Phase reports the accumulated time for phase.
+func (t *Timer) Phase(phase string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spans[phase]
+}
+
+// Total reports the sum over all phases.
+func (t *Timer) Total() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum time.Duration
+	for _, d := range t.spans {
+		sum += d
+	}
+	return sum
+}
+
+// Snapshot returns a copy of all phase accumulators.
+func (t *Timer) Snapshot() map[string]time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.spans))
+	for k, v := range t.spans {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the phase breakdown sorted by name, for debugging.
+func (t *Timer) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("%v", t.spans)
+}

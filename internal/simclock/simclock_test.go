@@ -1,0 +1,141 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	c := New()
+	c.Advance(3 * time.Second)
+	c.Advance(2 * time.Second)
+	if got := c.Now(); got != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", got)
+	}
+}
+
+func TestAdvanceIgnoresNegative(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Advance(-time.Hour)
+	if got := c.Now(); got != time.Second {
+		t.Fatalf("Now() = %v, want 1s (negative advance must be ignored)", got)
+	}
+}
+
+func TestAdvanceZeroIsNoop(t *testing.T) {
+	c := New()
+	c.Advance(0)
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New()
+	c.AdvanceTo(10 * time.Second)
+	if got := c.Now(); got != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s", got)
+	}
+	// Moving to the past is a no-op.
+	c.AdvanceTo(5 * time.Second)
+	if got := c.Now(); got != 10*time.Second {
+		t.Fatalf("Now() = %v, want 10s after past AdvanceTo", got)
+	}
+}
+
+func TestAdvanceConcurrent(t *testing.T) {
+	c := New()
+	const (
+		goroutines = 16
+		perG       = 1000
+	)
+	var wg sync.WaitGroup
+	for range goroutines {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range perG {
+				c.Advance(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Duration(goroutines*perG) * time.Millisecond
+	if got := c.Now(); got != want {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	sw := c.StartStopwatch()
+	c.Advance(3 * time.Second)
+	if got := sw.Elapsed(); got != 3*time.Second {
+		t.Fatalf("Elapsed() = %v, want 3s", got)
+	}
+}
+
+func TestStopwatchZeroValue(t *testing.T) {
+	var sw Stopwatch
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("Elapsed() on zero stopwatch = %v, want 0", got)
+	}
+}
+
+func TestTimerPhases(t *testing.T) {
+	c := New()
+	tm := NewTimer(c)
+	err := tm.Measure("propagation", func() error {
+		c.Advance(4 * time.Second)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Measure returned error: %v", err)
+	}
+	tm.Add("loading", 2*time.Second)
+	tm.Add("loading", time.Second)
+
+	if got := tm.Phase("propagation"); got != 4*time.Second {
+		t.Errorf("Phase(propagation) = %v, want 4s", got)
+	}
+	if got := tm.Phase("loading"); got != 3*time.Second {
+		t.Errorf("Phase(loading) = %v, want 3s", got)
+	}
+	if got := tm.Total(); got != 7*time.Second {
+		t.Errorf("Total() = %v, want 7s", got)
+	}
+}
+
+func TestTimerSnapshotIsCopy(t *testing.T) {
+	c := New()
+	tm := NewTimer(c)
+	tm.Add("a", time.Second)
+	snap := tm.Snapshot()
+	snap["a"] = time.Hour
+	if got := tm.Phase("a"); got != time.Second {
+		t.Fatalf("mutating snapshot leaked into timer: Phase(a) = %v", got)
+	}
+}
+
+func TestTimerMeasurePropagatesError(t *testing.T) {
+	c := New()
+	tm := NewTimer(c)
+	sentinel := errSentinel{}
+	if err := tm.Measure("p", func() error { return sentinel }); err != sentinel {
+		t.Fatalf("Measure error = %v, want sentinel", err)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }

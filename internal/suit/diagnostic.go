@@ -1,0 +1,73 @@
+package suit
+
+import (
+	"fmt"
+	"strings"
+
+	"upkit/internal/security"
+)
+
+// Diagnostic renders a SUIT envelope in a CBOR-diagnostic-flavoured,
+// human-readable form (RFC 8949 §8 style) without verifying it — the
+// inspection view `upkit-sign inspect-suit` prints. Parsing failures
+// are rendered inline rather than returned, so a partially valid
+// envelope still yields a useful dump.
+func Diagnostic(envelope []byte) string {
+	var b strings.Builder
+	d := &cborDecoder{buf: envelope}
+	pairs, err := d.Map()
+	if err != nil {
+		return fmt.Sprintf("<not a SUIT envelope: %v>", err)
+	}
+	fmt.Fprintf(&b, "SUIT envelope (%d bytes)\n", len(envelope))
+	for range pairs {
+		key, err := d.Uint()
+		if err != nil {
+			fmt.Fprintf(&b, "  <bad key: %v>\n", err)
+			return b.String()
+		}
+		val, err := d.Bytes()
+		if err != nil {
+			fmt.Fprintf(&b, "  %d: <non-bstr value: %v>\n", key, err)
+			return b.String()
+		}
+		switch key {
+		case keyAuthenticationWrapper:
+			fmt.Fprintf(&b, "  2 (authentication-wrapper): %d bytes\n", len(val))
+			writeAuthDiag(&b, val)
+		case keyManifest:
+			fmt.Fprintf(&b, "  3 (manifest): %d bytes\n", len(val))
+			writeManifestDiag(&b, val)
+		default:
+			fmt.Fprintf(&b, "  %d: bstr(%d bytes)\n", key, len(val))
+		}
+	}
+	return b.String()
+}
+
+func writeAuthDiag(b *strings.Builder, auth []byte) {
+	sig, err := parseAuth(auth)
+	if err != nil {
+		fmt.Fprintf(b, "    <unparseable: %v>\n", err)
+		return
+	}
+	fmt.Fprintf(b, "    COSE_Sign1-shaped, alg ES256, signature %x…\n", sig[:8])
+}
+
+func writeManifestDiag(b *strings.Builder, raw []byte) {
+	m, err := parseManifest(raw)
+	if err != nil {
+		fmt.Fprintf(b, "    <unparseable: %v>\n", err)
+		return
+	}
+	fmt.Fprintf(b, "    1 (manifest-version): %d\n", suitManifestVersion)
+	fmt.Fprintf(b, "    2 (sequence-number): %d\n", m.SequenceNumber)
+	fmt.Fprintf(b, "    3 (common):\n")
+	fmt.Fprintf(b, "      components: [%s]\n", strings.Join(m.ComponentID, "/"))
+	fmt.Fprintf(b, "      class-id: %#x\n", m.ClassID)
+	fmt.Fprintf(b, "      image-size: %d\n", m.ImageSize)
+	var zero security.Digest
+	if m.Digest != zero {
+		fmt.Fprintf(b, "      image-digest: sha256 %x\n", m.Digest)
+	}
+}

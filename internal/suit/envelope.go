@@ -1,0 +1,427 @@
+package suit
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+)
+
+// SUIT envelope and manifest key numbers (draft-ietf-suit-manifest).
+const (
+	keyAuthenticationWrapper = 2
+	keyManifest              = 3
+
+	keyManifestVersion        = 1
+	keyManifestSequenceNumber = 2
+	keyCommon                 = 3
+
+	keyComponents     = 2
+	keySharedSequence = 4
+
+	// Parameters used inside the shared sequence.
+	paramVendorIdentifier = 1
+	paramClassIdentifier  = 2
+	paramImageDigest      = 3
+	paramImageSize        = 14
+
+	// Directives/conditions (subset).
+	directiveSetParameters = 19
+)
+
+// suitManifestVersion is the manifest format version we emit.
+const suitManifestVersion = 1
+
+// COSE constants for the authentication wrapper.
+const (
+	coseAlgES256  = -7
+	coseHeaderAlg = 1
+	coseSHA256    = -16 // suit-digest-algorithm-id: cose-alg-sha-256
+)
+
+// Envelope errors.
+var (
+	ErrBadEnvelope = errors.New("suit: malformed envelope")
+	ErrBadAuth     = errors.New("suit: authentication failed")
+)
+
+// Manifest is the SUIT view of an update: the subset of
+// draft-ietf-suit-manifest UpKit's manifests map onto.
+type Manifest struct {
+	// SequenceNumber is the monotonically increasing update counter —
+	// UpKit's firmware version.
+	SequenceNumber uint64
+	// ComponentID identifies the updated component; UpKit uses
+	// ["app", <appID hex>].
+	ComponentID []string
+	// ClassID is UpKit's AppID (the application/platform class).
+	ClassID uint32
+	// Digest is the SHA-256 image digest.
+	Digest security.Digest
+	// ImageSize is the firmware size in bytes.
+	ImageSize uint32
+}
+
+// Export renders an UpKit manifest as a signed SUIT-shaped envelope:
+//
+//	envelope = {2: auth-wrapper bstr, 3: manifest bstr}
+//	auth-wrapper = [ COSE_Sign1-shaped: [protected bstr{1: -7},
+//	                 unprotected {}, payload null, signature bstr] ]
+//	manifest = {1: version, 2: sequence-number, 3: common bstr}
+//	common = {2: [[component-id]],
+//	          4: [directive-set-parameters {1: vendor, 2: class,
+//	              3: digest bstr, 14: size}]}
+//
+// The signature is ECDSA P-256 over SHA-256 of the manifest bstr (the
+// draft signs a COSE Sig_structure; this exporter signs the manifest
+// digest directly — a documented simplification, see the package note).
+func Export(m *manifest.Manifest, suite security.Suite, key *security.PrivateKey) ([]byte, error) {
+	manifestBytes := encodeManifest(m)
+	sig, err := suite.Sign(key, suite.Digest(manifestBytes))
+	if err != nil {
+		return nil, fmt.Errorf("suit: sign: %w", err)
+	}
+
+	// COSE_Sign1-shaped authentication block.
+	var protected cborEncoder
+	protected.Map(1)
+	protected.Int(coseHeaderAlg)
+	protected.Int(coseAlgES256)
+
+	var auth cborEncoder
+	auth.Array(1) // one authentication block
+	auth.Array(4) // COSE_Sign1 = [protected, unprotected, payload, signature]
+	auth.Bytes(protected.buf)
+	auth.Map(0)
+	auth.Null()
+	auth.Bytes(sig[:])
+
+	var env cborEncoder
+	env.Map(2)
+	env.Uint(keyAuthenticationWrapper)
+	env.Bytes(auth.buf)
+	env.Uint(keyManifest)
+	env.Bytes(manifestBytes)
+	return env.buf, nil
+}
+
+// encodeManifest renders the SUIT manifest map for an UpKit manifest.
+func encodeManifest(m *manifest.Manifest) []byte {
+	componentID := []string{"app", fmt.Sprintf("%08x", m.AppID)}
+
+	var params cborEncoder
+	params.Map(4)
+	params.Uint(paramVendorIdentifier)
+	params.Bytes([]byte("upkit"))
+	params.Uint(paramClassIdentifier)
+	params.Uint(uint64(m.AppID))
+	params.Uint(paramImageDigest)
+	// SUIT_Digest = [algorithm-id, bytes], wrapped in a bstr.
+	var dig cborEncoder
+	dig.Array(2)
+	dig.Int(coseSHA256)
+	dig.Bytes(m.FirmwareDigest[:])
+	params.Bytes(dig.buf)
+	params.Uint(paramImageSize)
+	params.Uint(uint64(m.Size))
+
+	var shared cborEncoder
+	shared.Array(2)
+	shared.Uint(directiveSetParameters)
+	shared.buf = append(shared.buf, params.buf...)
+
+	var common cborEncoder
+	common.Map(2)
+	common.Uint(keyComponents)
+	common.Array(1)
+	common.Array(len(componentID))
+	for _, seg := range componentID {
+		common.Bytes([]byte(seg))
+	}
+	common.Uint(keySharedSequence)
+	common.buf = append(common.buf, shared.buf...)
+
+	var mf cborEncoder
+	mf.Map(3)
+	mf.Uint(keyManifestVersion)
+	mf.Uint(suitManifestVersion)
+	mf.Uint(keyManifestSequenceNumber)
+	mf.Uint(uint64(m.Version))
+	mf.Uint(keyCommon)
+	mf.Bytes(common.buf)
+	return mf.buf
+}
+
+// Parse decodes and verifies a SUIT envelope produced by Export. The
+// signature is checked against pub before any manifest field is
+// trusted.
+func Parse(envelope []byte, suite security.Suite, pub *security.PublicKey) (*Manifest, error) {
+	d := &cborDecoder{buf: envelope}
+	pairs, err := d.Map()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+	}
+	var authBytes, manifestBytes []byte
+	for range pairs {
+		key, err := d.Uint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		switch key {
+		case keyAuthenticationWrapper:
+			if authBytes, err = d.Bytes(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		case keyManifest:
+			if manifestBytes, err = d.Bytes(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		default:
+			if err := d.Skip(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		}
+	}
+	if authBytes == nil || manifestBytes == nil {
+		return nil, fmt.Errorf("%w: missing auth wrapper or manifest", ErrBadEnvelope)
+	}
+	sig, err := parseAuth(authBytes)
+	if err != nil {
+		return nil, err
+	}
+	if !suite.Verify(pub, suite.Digest(manifestBytes), sig) {
+		return nil, ErrBadAuth
+	}
+	return parseManifest(manifestBytes)
+}
+
+// parseAuth extracts the signature from the COSE_Sign1-shaped block.
+func parseAuth(auth []byte) (security.Signature, error) {
+	var sig security.Signature
+	d := &cborDecoder{buf: auth}
+	blocks, err := d.Array()
+	if err != nil || blocks < 1 {
+		return sig, fmt.Errorf("%w: auth wrapper", ErrBadEnvelope)
+	}
+	n, err := d.Array()
+	if err != nil || n != 4 {
+		return sig, fmt.Errorf("%w: COSE_Sign1 shape", ErrBadEnvelope)
+	}
+	protected, err := d.Bytes()
+	if err != nil {
+		return sig, fmt.Errorf("%w: protected header", ErrBadEnvelope)
+	}
+	// Verify the declared algorithm.
+	pd := &cborDecoder{buf: protected}
+	pairs, err := pd.Map()
+	if err != nil {
+		return sig, fmt.Errorf("%w: protected header map", ErrBadEnvelope)
+	}
+	algOK := false
+	for range pairs {
+		k, err := pd.Int()
+		if err != nil {
+			return sig, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		v, err := pd.Int()
+		if err != nil {
+			return sig, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		if k == coseHeaderAlg && v == coseAlgES256 {
+			algOK = true
+		}
+	}
+	if !algOK {
+		return sig, fmt.Errorf("%w: unsupported algorithm", ErrBadAuth)
+	}
+	if pairs, err := d.Map(); err != nil { // unprotected
+		return sig, fmt.Errorf("%w: unprotected header", ErrBadEnvelope)
+	} else {
+		for range 2 * pairs {
+			if err := d.Skip(); err != nil {
+				return sig, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		}
+	}
+	if err := d.Null(); err != nil { // detached payload
+		return sig, fmt.Errorf("%w: payload", ErrBadEnvelope)
+	}
+	raw, err := d.Bytes()
+	if err != nil {
+		return sig, fmt.Errorf("%w: signature", ErrBadEnvelope)
+	}
+	return security.ParseSignature(raw)
+}
+
+// parseManifest decodes the manifest map.
+func parseManifest(buf []byte) (*Manifest, error) {
+	d := &cborDecoder{buf: buf}
+	pairs, err := d.Map()
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest map", ErrBadEnvelope)
+	}
+	out := &Manifest{}
+	var common []byte
+	for range pairs {
+		key, err := d.Uint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		switch key {
+		case keyManifestVersion:
+			v, err := d.Uint()
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+			if v != suitManifestVersion {
+				return nil, fmt.Errorf("%w: manifest version %d", ErrBadEnvelope, v)
+			}
+		case keyManifestSequenceNumber:
+			if out.SequenceNumber, err = d.Uint(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		case keyCommon:
+			if common, err = d.Bytes(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		default:
+			if err := d.Skip(); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		}
+	}
+	if common == nil {
+		return nil, fmt.Errorf("%w: missing common block", ErrBadEnvelope)
+	}
+	if err := parseCommon(common, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseCommon decodes components and shared-sequence parameters.
+func parseCommon(buf []byte, out *Manifest) error {
+	d := &cborDecoder{buf: buf}
+	pairs, err := d.Map()
+	if err != nil {
+		return fmt.Errorf("%w: common map", ErrBadEnvelope)
+	}
+	for range pairs {
+		key, err := d.Uint()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		switch key {
+		case keyComponents:
+			comps, err := d.Array()
+			if err != nil || comps < 1 {
+				return fmt.Errorf("%w: components", ErrBadEnvelope)
+			}
+			segs, err := d.Array()
+			if err != nil {
+				return fmt.Errorf("%w: component id", ErrBadEnvelope)
+			}
+			for range segs {
+				seg, err := d.Bytes()
+				if err != nil {
+					return fmt.Errorf("%w: component segment", ErrBadEnvelope)
+				}
+				out.ComponentID = append(out.ComponentID, string(seg))
+			}
+			for i := 1; i < comps; i++ {
+				if err := d.Skip(); err != nil {
+					return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+				}
+			}
+		case keySharedSequence:
+			n, err := d.Array()
+			if err != nil {
+				return fmt.Errorf("%w: shared sequence", ErrBadEnvelope)
+			}
+			for i := 0; i < n; i += 2 {
+				cmd, err := d.Uint()
+				if err != nil {
+					return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+				}
+				if cmd != directiveSetParameters {
+					if err := d.Skip(); err != nil {
+						return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+					}
+					continue
+				}
+				if err := parseParameters(d, out); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := d.Skip(); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		}
+	}
+	return nil
+}
+
+// parseParameters decodes a set-parameters map.
+func parseParameters(d *cborDecoder, out *Manifest) error {
+	pairs, err := d.Map()
+	if err != nil {
+		return fmt.Errorf("%w: parameters", ErrBadEnvelope)
+	}
+	for range pairs {
+		key, err := d.Uint()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		switch key {
+		case paramClassIdentifier:
+			v, err := d.Uint()
+			if err != nil {
+				return fmt.Errorf("%w: class id", ErrBadEnvelope)
+			}
+			out.ClassID = uint32(v)
+		case paramImageSize:
+			v, err := d.Uint()
+			if err != nil {
+				return fmt.Errorf("%w: image size", ErrBadEnvelope)
+			}
+			out.ImageSize = uint32(v)
+		case paramImageDigest:
+			raw, err := d.Bytes()
+			if err != nil {
+				return fmt.Errorf("%w: digest", ErrBadEnvelope)
+			}
+			dd := &cborDecoder{buf: raw}
+			n, err := dd.Array()
+			if err != nil || n != 2 {
+				return fmt.Errorf("%w: SUIT_Digest", ErrBadEnvelope)
+			}
+			alg, err := dd.Int()
+			if err != nil || alg != coseSHA256 {
+				return fmt.Errorf("%w: digest algorithm", ErrBadEnvelope)
+			}
+			db, err := dd.Bytes()
+			if err != nil || len(db) != security.DigestSize {
+				return fmt.Errorf("%w: digest bytes", ErrBadEnvelope)
+			}
+			copy(out.Digest[:], db)
+		default:
+			if err := d.Skip(); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+			}
+		}
+	}
+	return nil
+}
+
+// MatchesUpKit reports whether a parsed SUIT manifest describes the
+// same update as an UpKit manifest (the interop check a gateway would
+// perform when translating between ecosystems).
+func (s *Manifest) MatchesUpKit(m *manifest.Manifest) bool {
+	return s.SequenceNumber == uint64(m.Version) &&
+		s.ClassID == m.AppID &&
+		s.ImageSize == m.Size &&
+		bytes.Equal(s.Digest[:], m.FirmwareDigest[:])
+}

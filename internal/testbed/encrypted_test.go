@@ -1,0 +1,127 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+
+	"upkit/internal/platform"
+)
+
+// End-to-end tests for encrypted payloads (§VIII future work): the
+// update server encrypts the wire payload, the device's pipeline
+// decrypts it, and no hop in between ever sees plaintext.
+
+func TestEncryptedPushUpdate(t *testing.T) {
+	v1 := MakeFirmware("enc-v1", 48*1024)
+	v2 := MakeFirmware("enc-v2", 48*1024)
+	b, err := New(Options{Approach: platform.Push, Encrypted: true, Seed: "enc-push"}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, v2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.PushUpdate()
+	if err != nil {
+		t.Fatalf("encrypted push update: %v", err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+	if !bytes.Equal(runningFirmware(t, b), v2) {
+		t.Fatal("decrypted installed firmware mismatch")
+	}
+}
+
+func TestEncryptedDifferentialPullUpdate(t *testing.T) {
+	v1 := MakeFirmware("encd-v1", 48*1024)
+	v2 := DeriveAppChange(v1, 800)
+	b, err := New(Options{
+		Approach:     platform.Pull,
+		Differential: true,
+		Encrypted:    true,
+		Seed:         "enc-diff",
+	}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, v2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.PullUpdate()
+	if err != nil {
+		t.Fatalf("encrypted differential update: %v", err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+	if !bytes.Equal(runningFirmware(t, b), v2) {
+		t.Fatal("decrypted patched firmware mismatch")
+	}
+	m := b.Device.Manifest()
+	if !m.IsDifferential() {
+		t.Fatal("expected a differential manifest")
+	}
+}
+
+func TestEncryptedPayloadIsOpaqueOnTheWire(t *testing.T) {
+	v1 := MakeFirmware("enco-v1", 32*1024)
+	v2 := MakeFirmware("enco-v2", 32*1024)
+	b, err := New(Options{Approach: platform.Push, Encrypted: true, Seed: "enc-wire"}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, v2); err != nil {
+		t.Fatal(err)
+	}
+	tok, err := b.Device.Agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := b.Update.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Device.Agent.Abort()
+	if !u.Encrypted {
+		t.Fatal("update not marked encrypted")
+	}
+	// The wire payload must not contain any run of the plaintext.
+	for i := 0; i+64 <= len(v2); i += 4096 {
+		if bytes.Contains(u.Payload, v2[i:i+64]) {
+			t.Fatalf("plaintext at offset %d leaks into the wire payload", i)
+		}
+	}
+	if len(u.Payload) != len(v2)+16 {
+		t.Fatalf("ciphertext = %d bytes, want %d", len(u.Payload), len(v2)+16)
+	}
+}
+
+func TestEncryptedDeploymentRejectsCleartext(t *testing.T) {
+	// A server that does NOT encrypt cannot update a device that
+	// expects ciphertext: the "decrypted" garbage fails the digest.
+	v1 := MakeFirmware("encx-v1", 32*1024)
+	b, err := New(Options{Approach: platform.Push, Encrypted: true, Seed: "enc-mismatch"}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, MakeFirmware("encx-v2", 32*1024)); err != nil {
+		t.Fatal(err)
+	}
+	// Sneak a cleartext update past the server's encryption by pushing
+	// the raw vendor image through a tampering proxy.
+	phone := b.Smartphone()
+	phone.TamperPayload = func(ct []byte) []byte {
+		img, _ := b.Update.LatestImage(0x2A)
+		// Attacker substitutes plaintext firmware of the right length.
+		out := make([]byte, len(ct))
+		copy(out, img.Firmware)
+		return out
+	}
+	if err := phone.PushUpdate(); err == nil {
+		t.Fatal("cleartext payload accepted by an encrypted deployment")
+	}
+	if b.Device.ReadyToReboot() {
+		t.Fatal("device staged a cleartext update")
+	}
+}

@@ -1,0 +1,79 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+
+	"upkit/internal/platform"
+)
+
+// Lossy-link tests: CoAP confirmable retransmission must carry an
+// update through a degraded 802.15.4 link, at the cost of time — and
+// the result must still be byte-perfect (the transport never corrupts,
+// it only drops).
+
+func TestPullUpdateOverLossyLink(t *testing.T) {
+	v1 := MakeFirmware("lossy-v1", 32*1024)
+	v2 := MakeFirmware("lossy-v2", 32*1024)
+
+	run := func(lossRate float64) float64 {
+		t.Helper()
+		b, err := New(Options{Approach: platform.Pull, Seed: "lossy"}, v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.PublishVersion(2, v2); err != nil {
+			t.Fatal(err)
+		}
+		if lossRate > 0 {
+			b.Link.SetLoss(lossRate, 42)
+		}
+		start := b.Device.Clock.Now()
+		res, err := b.PullUpdate()
+		if err != nil {
+			t.Fatalf("loss=%.2f: %v", lossRate, err)
+		}
+		if res.Version != 2 {
+			t.Fatalf("loss=%.2f: booted v%d", lossRate, res.Version)
+		}
+		if !bytes.Equal(runningFirmware(t, b), v2) {
+			t.Fatalf("loss=%.2f: firmware mismatch", lossRate)
+		}
+		return (b.Device.Clock.Now() - start).Seconds()
+	}
+
+	perfect := run(0)
+	lossy := run(0.05) // 5% frame loss
+	if lossy <= perfect {
+		t.Fatalf("lossy update (%.1fs) not slower than perfect link (%.1fs)", lossy, perfect)
+	}
+}
+
+func TestPullUpdateFailsOnDeadLink(t *testing.T) {
+	v1 := MakeFirmware("dead-v1", 16*1024)
+	b, err := New(Options{Approach: platform.Pull, Seed: "dead"}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, MakeFirmware("dead-v2", 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	// 100% loss exhausts MaxRetransmit and the update aborts cleanly.
+	b.Link.SetLoss(1.0, 7)
+	if _, err := b.PullUpdate(); err == nil {
+		t.Fatal("update over a 100%-loss link must fail")
+	}
+	// The device is unharmed: still running v1 and able to retry after
+	// the link recovers.
+	if got := b.Device.RunningVersion(); got != 1 {
+		t.Fatalf("running v%d, want v1", got)
+	}
+	b.Link.SetLoss(0, 0)
+	res, err := b.PullUpdate()
+	if err != nil {
+		t.Fatalf("retry after link recovery: %v", err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("retry booted v%d", res.Version)
+	}
+}

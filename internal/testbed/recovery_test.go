@@ -1,0 +1,143 @@
+package testbed
+
+import (
+	"bytes"
+	"testing"
+
+	"upkit/internal/bootloader"
+	"upkit/internal/platform"
+)
+
+// Recovery-slot tests (Fig. 6, Configuration B): a third, non-bootable
+// slot holds the factory image; when both regular slots are ruined, the
+// bootloader restores it instead of bricking.
+
+// newRecoveryBed builds a static-mode deployment with a recovery slot.
+// The testbed has no recovery option, so wire the device directly.
+func newRecoveryBed(t *testing.T) *Bed {
+	t.Helper()
+	v1 := MakeFirmware("recovery-v1", 32*1024)
+	b, err := New(Options{
+		Approach:     platform.Pull,
+		Mode:         bootloader.ModeStatic,
+		SlotBytes:    96 * 1024,
+		Seed:         "recovery",
+		WithRecovery: true,
+	}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRecoverySlotHoldsFactoryImage(t *testing.T) {
+	b := newRecoveryBed(t)
+	if b.Device.Recovery == nil {
+		t.Fatal("no recovery slot allocated")
+	}
+	if b.Device.Recovery.Version() != 1 {
+		t.Fatalf("recovery slot holds v%d, want the factory v1", b.Device.Recovery.Version())
+	}
+	r, err := b.Device.Recovery.FirmwareReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, r.Size())
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, MakeFirmware("recovery-v1", 32*1024)) {
+		t.Fatal("recovery image differs from the factory firmware")
+	}
+}
+
+func TestBootRecoversWhenBothSlotsRuined(t *testing.T) {
+	b := newRecoveryBed(t)
+	// Catastrophe: corrupt the firmware in both regular slots.
+	for _, s := range []struct{ off int }{
+		{b.Device.SlotA.Region().Offset + 1000},
+		{b.Device.SlotB.Region().Offset + 1000},
+	} {
+		if err := b.Device.Internal.Corrupt(s.off, 0xFF); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := b.Device.Reboot()
+	if err != nil {
+		t.Fatalf("boot with ruined slots: %v", err)
+	}
+	if res.Version != 1 || !res.RolledBack {
+		t.Fatalf("result = %+v, want rolled-back v1 from recovery", res)
+	}
+	// The device is alive and can take a fresh update afterwards.
+	if err := b.PublishVersion(2, MakeFirmware("recovery-v2", 32*1024)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = b.PullUpdate()
+	if err != nil {
+		t.Fatalf("update after recovery: %v", err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+}
+
+func TestWithoutRecoverySlotBothSlotsRuinedBricks(t *testing.T) {
+	// The contrast case: no recovery slot, both slots ruined — the
+	// bootloader must report failure (the paper's "brick" scenario for
+	// anything except the protected bootloader itself).
+	v1 := MakeFirmware("norec-v1", 32*1024)
+	b, err := New(Options{
+		Approach:  platform.Pull,
+		Mode:      bootloader.ModeStatic,
+		SlotBytes: 96 * 1024,
+		Seed:      "no-recovery",
+	}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Device.Internal.Corrupt(b.Device.SlotA.Region().Offset+1000, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Device.Internal.Corrupt(b.Device.SlotB.Region().Offset+1000, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Device.Reboot(); err == nil {
+		t.Fatal("boot succeeded with both slots ruined and no recovery slot")
+	}
+}
+
+func TestRecoveryOnExternalFlash(t *testing.T) {
+	// On the CC2650, slot B and the recovery slot both live on the
+	// external SPI flash (exactly Fig. 6's Configuration B picture).
+	mcu := platform.CC2650()
+	v1 := MakeFirmware("recovery-ext-v1", 24*1024)
+	b, err := New(Options{
+		MCU:          &mcu,
+		Approach:     platform.Pull,
+		Mode:         bootloader.ModeStatic,
+		SlotBytes:    64 * 1024,
+		Seed:         "recovery-ext",
+		WithRecovery: true,
+	}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Device.Recovery.Region().Mem != b.Device.External {
+		t.Fatal("recovery slot should live on external flash")
+	}
+	// Ruin both slots; the factory image comes back from SPI flash.
+	if err := b.Device.Internal.Corrupt(b.Device.SlotA.Region().Offset+1000, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Device.External.Corrupt(b.Device.SlotB.Region().Offset+1000, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.Device.Reboot()
+	if err != nil {
+		t.Fatalf("recovery from external flash: %v", err)
+	}
+	if res.Version != 1 {
+		t.Fatalf("booted v%d, want v1", res.Version)
+	}
+}

@@ -1,0 +1,222 @@
+// Package testbed wires a complete UpKit deployment — vendor server,
+// update server, proxy or border router, and one simulated device —
+// into a single object. The integration tests, the experiment harness,
+// and the examples all build on it.
+package testbed
+
+import (
+	"fmt"
+	"io"
+
+	"upkit/internal/ble"
+	"upkit/internal/bootloader"
+	"upkit/internal/coap"
+	"upkit/internal/device"
+	"upkit/internal/manifest"
+	"upkit/internal/platform"
+	"upkit/internal/proxy"
+	"upkit/internal/security"
+	"upkit/internal/transport"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+	"upkit/internal/verifier"
+)
+
+// Options configures a testbed.
+type Options struct {
+	// MCU defaults to the nRF52840.
+	MCU *platform.MCU
+	// Mode defaults to static (Configuration B).
+	Mode bootloader.Mode
+	// Approach selects the transport wiring and the default slot size.
+	Approach platform.Approach
+	// SlotBytes overrides platform.BuildSlotBytes(Approach).
+	SlotBytes int
+	// SuiteName picks the crypto library ("tinycrypt" default).
+	SuiteName string
+	// Differential enables differential updates on the device.
+	Differential bool
+	// Encrypted enables payload encryption end to end: the update
+	// server encrypts, the device's pipeline decrypts (§VIII).
+	Encrypted bool
+	// WithRecovery allocates the factory-image recovery slot (Fig. 6,
+	// Configuration B).
+	WithRecovery bool
+	// DeviceID and AppID identify the device; defaults are applied.
+	DeviceID uint32
+	AppID    uint32
+	// Seed differentiates deterministic key/nonce streams per testbed.
+	Seed string
+}
+
+// Bed is a wired deployment.
+type Bed struct {
+	Suite  security.Suite
+	Vendor *vendorserver.Server
+	Update *updateserver.Server
+	Device *device.Device
+
+	// Link is the device's radio link (BLE for push, 802.15.4 for pull).
+	Link *transport.Link
+
+	opts Options
+}
+
+func (o *Options) applyDefaults() {
+	if o.MCU == nil {
+		m := platform.NRF52840()
+		o.MCU = &m
+	}
+	if o.Mode == 0 {
+		o.Mode = bootloader.ModeStatic
+	}
+	if o.Approach == 0 {
+		o.Approach = platform.Pull
+	}
+	if o.SlotBytes == 0 {
+		o.SlotBytes = platform.BuildSlotBytes(o.Approach)
+	}
+	if o.SuiteName == "" {
+		o.SuiteName = "tinycrypt"
+	}
+	if o.DeviceID == 0 {
+		o.DeviceID = 0xD0D0CAFE
+	}
+	if o.AppID == 0 {
+		o.AppID = 0x2A
+	}
+	if o.Seed == "" {
+		o.Seed = "testbed"
+	}
+}
+
+// New builds the deployment and factory-provisions the device with the
+// given version-1 firmware.
+func New(opts Options, factoryFirmware []byte) (*Bed, error) {
+	opts.applyDefaults()
+	suite, err := security.SuiteByName(opts.SuiteName, nil)
+	if err != nil {
+		return nil, err
+	}
+	vendor := vendorserver.New(suite, security.MustGenerateKey(opts.Seed+"-vendor"))
+	update := updateserver.New(suite, security.MustGenerateKey(opts.Seed+"-server"))
+
+	var payloadKey []byte
+	if opts.Encrypted {
+		payloadKey = make([]byte, 16)
+		if _, err := io.ReadFull(security.NewDeterministicReader(opts.Seed+"-payload-key"), payloadKey); err != nil {
+			return nil, err
+		}
+		if err := update.SetPayloadEncryption(payloadKey, security.NewDeterministicReader(opts.Seed+"-iv")); err != nil {
+			return nil, err
+		}
+	}
+
+	dev, err := device.New(device.Options{
+		Name:                fmt.Sprintf("dev-%x", opts.DeviceID),
+		MCU:                 *opts.MCU,
+		Mode:                opts.Mode,
+		SlotBytes:           opts.SlotBytes,
+		Suite:               suite,
+		Keys:                verifier.Keys{Vendor: vendor.PublicKey(), Server: update.PublicKey()},
+		DeviceID:            opts.DeviceID,
+		AppID:               opts.AppID,
+		SupportDifferential: opts.Differential,
+		NonceSeed:           opts.Seed + "-nonce",
+		RebootTime:          device.DefaultRebootTime,
+		JumpTime:            device.DefaultJumpTime,
+		PayloadKey:          payloadKey,
+		WithRecovery:        opts.WithRecovery,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Bed{Suite: suite, Vendor: vendor, Update: update, Device: dev, opts: opts}
+	switch opts.Approach {
+	case platform.Push:
+		b.Link = transport.BLE(dev.Clock, dev.Meter)
+	default:
+		b.Link = transport.IEEE802154(dev.Clock, dev.Meter)
+	}
+
+	if factoryFirmware != nil {
+		if err := b.provisionFactory(factoryFirmware); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// provisionFactory publishes v1 and writes it to the device directly.
+func (b *Bed) provisionFactory(fw []byte) error {
+	if err := b.PublishVersion(1, fw); err != nil {
+		return err
+	}
+	u, err := b.Update.PrepareUpdate(b.opts.AppID, manifest.DeviceToken{
+		DeviceID: b.opts.DeviceID,
+		Nonce:    0xFAC7081, // factory provisioning pseudo-request
+	})
+	if err != nil {
+		return err
+	}
+	return b.Device.FactoryProvision(u)
+}
+
+// PublishVersion builds and publishes a release through the vendor and
+// update servers.
+func (b *Bed) PublishVersion(version uint16, fw []byte) error {
+	img, err := b.Vendor.BuildImage(vendorserver.Release{
+		AppID:      b.opts.AppID,
+		Version:    version,
+		LinkOffset: 0xFFFFFFFF, // position independent
+		Firmware:   fw,
+	})
+	if err != nil {
+		return err
+	}
+	return b.Update.Publish(img)
+}
+
+// Smartphone returns a push proxy connected to the device over BLE.
+func (b *Bed) Smartphone() *proxy.Smartphone {
+	peripheral := ble.NewPeripheral(b.Device.Agent)
+	return &proxy.Smartphone{
+		Server:  b.Update,
+		Central: ble.Connect(b.Link, peripheral),
+		AppID:   b.opts.AppID,
+	}
+}
+
+// PullClient returns a CoAP pull client connected to the update server
+// through the device's 802.15.4 link (via a border router).
+func (b *Bed) PullClient() *coap.PullClient {
+	server := coap.NewPullServer(b.Update)
+	return &coap.PullClient{
+		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: server.Handle},
+		Agent: b.Device.Agent,
+		AppID: b.opts.AppID,
+	}
+}
+
+// PushUpdate runs a complete push update including the reboot, and
+// returns the boot result.
+func (b *Bed) PushUpdate() (bootloader.Result, error) {
+	if err := b.Smartphone().PushUpdate(); err != nil {
+		return bootloader.Result{}, err
+	}
+	return b.Device.ApplyStagedUpdate()
+}
+
+// PullUpdate runs a complete pull update including the reboot, and
+// returns the boot result.
+func (b *Bed) PullUpdate() (bootloader.Result, error) {
+	staged, err := b.PullClient().CheckAndUpdate()
+	if err != nil {
+		return bootloader.Result{}, err
+	}
+	if !staged {
+		return bootloader.Result{}, coap.ErrNoUpdate
+	}
+	return b.Device.ApplyStagedUpdate()
+}

@@ -1,0 +1,204 @@
+package updateserver
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"upkit/internal/manifest"
+)
+
+// HTTP API — the Internet-facing surface of the update server that
+// smartphones and gateways use in the push approach (Fig. 2, steps 3–7:
+// announce, receive the device token, return the double-signed image).
+//
+//	GET  /api/v1/version?app=<hex>     → {"version": n}
+//	POST /api/v1/update?app=<hex>      body: device-token JSON
+//	                                   → update JSON (manifest + payload,
+//	                                     base64)
+//
+// The CoAP endpoint (internal/coap) serves pulling devices directly;
+// this HTTP endpoint serves proxies, which then forward the image over
+// their local connection to the device.
+
+// tokenJSON is the wire form of a device token on the HTTP API.
+type tokenJSON struct {
+	DeviceID       uint32 `json:"deviceId"`
+	Nonce          uint32 `json:"nonce"`
+	CurrentVersion uint16 `json:"currentVersion"`
+}
+
+// updateJSON is the wire form of a prepared update.
+type updateJSON struct {
+	Version      uint16 `json:"version"`
+	Differential bool   `json:"differential"`
+	Encrypted    bool   `json:"encrypted"`
+	Manifest     string `json:"manifest"` // base64, manifest.EncodedSize bytes
+	Payload      string `json:"payload"`  // base64
+}
+
+// versionJSON is the announce/poll response.
+type versionJSON struct {
+	Version uint16 `json:"version"`
+}
+
+// Handler returns the HTTP handler exposing the server's API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/v1/version", s.handleHTTPVersion)
+	mux.HandleFunc("POST /api/v1/update", s.handleHTTPUpdate)
+	return mux
+}
+
+// appFromQuery parses the hex app parameter.
+func appFromQuery(r *http.Request) (uint32, error) {
+	raw := r.URL.Query().Get("app")
+	if raw == "" {
+		return 0, fmt.Errorf("missing app parameter")
+	}
+	v, err := strconv.ParseUint(raw, 16, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad app parameter: %w", err)
+	}
+	return uint32(v), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHTTPVersion(w http.ResponseWriter, r *http.Request) {
+	appID, err := appFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	v, ok := s.Latest(appID)
+	if !ok {
+		http.Error(w, "unknown app", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, versionJSON{Version: v})
+}
+
+func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
+	appID, err := appFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var tok tokenJSON
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&tok); err != nil {
+		http.Error(w, "bad token body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	u, err := s.PrepareUpdate(appID, manifest.DeviceToken{
+		DeviceID:       tok.DeviceID,
+		Nonce:          tok.Nonce,
+		CurrentVersion: tok.CurrentVersion,
+	})
+	switch {
+	case err == nil:
+	case isClientErr(err):
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, updateJSON{
+		Version:      u.Manifest.Version,
+		Differential: u.Differential,
+		Encrypted:    u.Encrypted,
+		Manifest:     base64.StdEncoding.EncodeToString(u.ManifestBytes),
+		Payload:      base64.StdEncoding.EncodeToString(u.Payload),
+	})
+}
+
+func isClientErr(err error) bool {
+	return errors.Is(err, ErrUnknownApp) || errors.Is(err, ErrNoNewUpdate)
+}
+
+// HTTPClient fetches updates from a remote update server's HTTP API —
+// the smartphone side of the Internet hop.
+type HTTPClient struct {
+	// BaseURL is the server root, e.g. "https://updates.example.com".
+	BaseURL string
+	// Client is the http.Client to use; nil selects http.DefaultClient.
+	Client *http.Client
+}
+
+func (c *HTTPClient) client() *http.Client {
+	if c.Client != nil {
+		return c.Client
+	}
+	return http.DefaultClient
+}
+
+// Latest polls the advertised version.
+func (c *HTTPClient) Latest(appID uint32) (uint16, error) {
+	resp, err := c.client().Get(fmt.Sprintf("%s/api/v1/version?app=%x", c.BaseURL, appID))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("updateserver: version: HTTP %d", resp.StatusCode)
+	}
+	var v versionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return 0, err
+	}
+	return v.Version, nil
+}
+
+// Request fetches the double-signed update for a device token.
+func (c *HTTPClient) Request(appID uint32, tok manifest.DeviceToken) (*Update, error) {
+	body, err := json.Marshal(tokenJSON{
+		DeviceID:       tok.DeviceID,
+		Nonce:          tok.Nonce,
+		CurrentVersion: tok.CurrentVersion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Post(
+		fmt.Sprintf("%s/api/v1/update?app=%x", c.BaseURL, appID),
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("updateserver: update: HTTP %d", resp.StatusCode)
+	}
+	var u updateJSON
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		return nil, err
+	}
+	manifestBytes, err := base64.StdEncoding.DecodeString(u.Manifest)
+	if err != nil {
+		return nil, fmt.Errorf("updateserver: manifest decode: %w", err)
+	}
+	payload, err := base64.StdEncoding.DecodeString(u.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("updateserver: payload decode: %w", err)
+	}
+	m, err := manifest.Unmarshal(manifestBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Update{
+		Manifest:      *m,
+		ManifestBytes: manifestBytes,
+		Payload:       payload,
+		Differential:  u.Differential,
+		Encrypted:     u.Encrypted,
+	}, nil
+}

@@ -1,0 +1,138 @@
+package updateserver
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"upkit/internal/manifest"
+)
+
+func newHTTPServer(t *testing.T) (*servers, *httptest.Server) {
+	t.Helper()
+	s := newServers(t)
+	ts := httptest.NewServer(s.update.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestHTTPVersionEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.publish(t, 0x2A, 3, bytes.Repeat([]byte("v3"), 500))
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	v, err := client.Latest(0x2A)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if v != 3 {
+		t.Fatalf("version = %d, want 3", v)
+	}
+}
+
+func TestHTTPUpdateEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	fw := bytes.Repeat([]byte("payload"), 1000)
+	s.publish(t, 0x2A, 2, fw)
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	tok := manifest.DeviceToken{DeviceID: 0xD1, Nonce: 0x4E}
+	u, err := client.Request(0x2A, tok)
+	if err != nil {
+		t.Fatalf("Request: %v", err)
+	}
+	if u.Manifest.Version != 2 || u.Manifest.DeviceID != 0xD1 || u.Manifest.Nonce != 0x4E {
+		t.Fatalf("manifest = %+v", u.Manifest)
+	}
+	if !bytes.Equal(u.Payload, fw) {
+		t.Fatal("payload mismatch over HTTP")
+	}
+	// The double signature survives the HTTP round trip.
+	if !u.Manifest.VerifyVendorSig(s.suite, s.vendor.PublicKey()) {
+		t.Fatal("vendor signature broken by HTTP transfer")
+	}
+	if !u.Manifest.VerifyServerSig(s.suite, s.update.PublicKey()) {
+		t.Fatal("server signature broken by HTTP transfer")
+	}
+}
+
+func TestHTTPDifferentialAndEncrypted(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	v1 := bytes.Repeat([]byte("stable-base"), 2000)
+	v2 := bytes.Clone(v1)
+	copy(v2[100:], []byte("delta"))
+	s.publish(t, 0x2A, 1, v1)
+	s.publish(t, 0x2A, 2, v2)
+	key := bytes.Repeat([]byte{0x22}, 16)
+	if err := s.update.SetPayloadEncryption(key, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	u, err := client.Request(0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Differential || !u.Encrypted {
+		t.Fatalf("flags = diff %v enc %v, want both", u.Differential, u.Encrypted)
+	}
+	if int(u.Manifest.PatchSize)+16 != len(u.Payload) {
+		t.Fatalf("payload = %d bytes, want plaintext patch %d + 16 IV", len(u.Payload), u.Manifest.PatchSize)
+	}
+}
+
+func TestHTTPErrorStatuses(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.publish(t, 0x2A, 1, []byte("v1"))
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	post := func(path, body string) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := get("/api/v1/version"); got != http.StatusBadRequest {
+		t.Errorf("missing app: %d", got)
+	}
+	if got := get("/api/v1/version?app=zz"); got != http.StatusBadRequest {
+		t.Errorf("bad app: %d", got)
+	}
+	if got := get("/api/v1/version?app=99"); got != http.StatusNotFound {
+		t.Errorf("unknown app: %d", got)
+	}
+	if got := post("/api/v1/update?app=2a", "not json"); got != http.StatusBadRequest {
+		t.Errorf("bad token body: %d", got)
+	}
+	// Device already on the latest version → no update (404).
+	if got := post("/api/v1/update?app=2a", `{"deviceId":1,"nonce":2,"currentVersion":1}`); got != http.StatusNotFound {
+		t.Errorf("no new update: %d", got)
+	}
+	if got := get("/api/v1/nope"); got != http.StatusNotFound {
+		t.Errorf("unknown path: %d", got)
+	}
+}
+
+func TestHTTPClientAgainstDeadServer(t *testing.T) {
+	client := &HTTPClient{BaseURL: "http://127.0.0.1:1"} // nothing listens
+	if _, err := client.Latest(1); err == nil {
+		t.Fatal("Latest against a dead server must fail")
+	}
+	if _, err := client.Request(1, manifest.DeviceToken{}); err == nil {
+		t.Fatal("Request against a dead server must fail")
+	}
+}

@@ -1,0 +1,267 @@
+// Package updateserver implements UpKit's update server: the Internet-
+// facing component that stores vendor-signed images, announces new
+// versions, and — per request — performs the double-signature step that
+// grants update freshness (§III-A/B).
+//
+// For each device request the server receives a device token (device
+// ID, nonce, current version), copies it into the manifest, decides
+// between a full image and a differential update (bsdiff + LZSS against
+// the version the device reports), and signs the result with its own
+// key. The signed image is then valid for exactly that device and that
+// request, independent of transport security.
+package updateserver
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/lzss"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/vendorserver"
+)
+
+// Server errors.
+var (
+	ErrUnknownApp   = errors.New("updateserver: no releases for app")
+	ErrNoNewUpdate  = errors.New("updateserver: device already runs the latest version")
+	ErrStaleVersion = errors.New("updateserver: release version not newer than stored")
+)
+
+// Update is a prepared, double-signed update image ready for transfer.
+type Update struct {
+	// Manifest is the fully signed manifest.
+	Manifest manifest.Manifest
+	// ManifestBytes is its wire encoding (manifest.EncodedSize bytes).
+	ManifestBytes []byte
+	// Payload is the transfer payload: the full firmware, or the
+	// LZSS-compressed bsdiff patch for differential updates.
+	Payload []byte
+	// Differential reports which of the two the payload is.
+	Differential bool
+	// Encrypted reports whether Payload is AES-CTR ciphertext.
+	Encrypted bool
+}
+
+// TotalSize is the number of bytes that travel to the device.
+func (u *Update) TotalSize() int { return len(u.ManifestBytes) + len(u.Payload) }
+
+// Announcement notifies subscribers that a new version is available
+// (step 3 of Fig. 2).
+type Announcement struct {
+	AppID   uint32
+	Version uint16
+}
+
+// Server is the update server.
+type Server struct {
+	suite security.Suite
+	key   *security.PrivateKey
+
+	mu       sync.Mutex
+	releases map[uint32][]*vendorserver.Image // per app, sorted by version
+	subs     []chan Announcement
+
+	payloadKey []byte
+	entropy    io.Reader
+
+	// retain bounds stored releases per app; 0 keeps everything.
+	retain int
+}
+
+// SetRetention bounds the number of releases kept per app. Old
+// releases are pruned on publish; pruning a release removes it as a
+// differential base, so devices reporting that version fall back to
+// full images (the paper's token field already covers this, §III-B).
+func (s *Server) SetRetention(n int) {
+	s.mu.Lock()
+	s.retain = n
+	s.mu.Unlock()
+}
+
+// New creates an update server signing with key under suite.
+func New(suite security.Suite, key *security.PrivateKey) *Server {
+	return &Server{
+		suite:    suite,
+		key:      key,
+		releases: make(map[uint32][]*vendorserver.Image),
+	}
+}
+
+// PublicKey returns the per-request verification key devices must be
+// provisioned with.
+func (s *Server) PublicKey() *security.PublicKey { return s.key.Public() }
+
+// SetPayloadEncryption makes every prepared payload AES-CTR ciphertext
+// under key (§VIII future work: confidentiality independent of
+// transport security). Pass a nil entropy reader to use crypto/rand.
+func (s *Server) SetPayloadEncryption(key []byte, entropy io.Reader) error {
+	if _, err := security.NewPayloadDecrypter(key); err != nil {
+		return err
+	}
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	s.mu.Lock()
+	s.payloadKey = append([]byte{}, key...)
+	s.entropy = entropy
+	s.mu.Unlock()
+	return nil
+}
+
+// Publish stores a vendor-signed image (step 2 of Fig. 2) and announces
+// it to subscribers. Images must arrive with strictly increasing
+// versions per app.
+func (s *Server) Publish(img *vendorserver.Image) error {
+	if img == nil {
+		return errors.New("updateserver: nil image")
+	}
+	s.mu.Lock()
+	list := s.releases[img.Manifest.AppID]
+	if n := len(list); n > 0 && img.Manifest.Version <= list[n-1].Manifest.Version {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: v%d after v%d", ErrStaleVersion, img.Manifest.Version, list[n-1].Manifest.Version)
+	}
+	list = append(list, img)
+	if s.retain > 0 && len(list) > s.retain {
+		list = append([]*vendorserver.Image{}, list[len(list)-s.retain:]...)
+	}
+	s.releases[img.Manifest.AppID] = list
+	subs := make([]chan Announcement, len(s.subs))
+	copy(subs, s.subs)
+	s.mu.Unlock()
+
+	ann := Announcement{AppID: img.Manifest.AppID, Version: img.Manifest.Version}
+	for _, ch := range subs {
+		select {
+		case ch <- ann:
+		default: // a slow subscriber must not block publishing
+		}
+	}
+	return nil
+}
+
+// Subscribe returns a channel receiving new-version announcements. The
+// channel is buffered; missed announcements are dropped (subscribers
+// can always poll Latest).
+func (s *Server) Subscribe() <-chan Announcement {
+	ch := make(chan Announcement, 16)
+	s.mu.Lock()
+	s.subs = append(s.subs, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// LatestImage returns the newest vendor-signed image for app, or
+// ok=false. Baseline systems (mcumgr, LwM2M) distribute this image
+// as-is, without the per-request second signature.
+func (s *Server) LatestImage(appID uint32) (*vendorserver.Image, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.releases[appID]
+	if len(list) == 0 {
+		return nil, false
+	}
+	return list[len(list)-1], true
+}
+
+// ImageByVersion returns the stored image with exactly version v, or
+// ok=false (used by replay/downgrade attack experiments).
+func (s *Server) ImageByVersion(appID uint32, v uint16) (*vendorserver.Image, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img := lookupVersion(s.releases[appID], v)
+	return img, img != nil
+}
+
+// Latest reports the newest published version for app, or ok=false.
+func (s *Server) Latest(appID uint32) (uint16, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.releases[appID]
+	if len(list) == 0 {
+		return 0, false
+	}
+	return list[len(list)-1].Manifest.Version, true
+}
+
+// lookup returns the image with exactly version v, or nil.
+func lookupVersion(list []*vendorserver.Image, v uint16) *vendorserver.Image {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Manifest.Version >= v })
+	if i < len(list) && list[i].Manifest.Version == v {
+		return list[i]
+	}
+	return nil
+}
+
+// PrepareUpdate performs the per-request half of the generation phase
+// (steps 5–7 of Fig. 2): select the newest image, derive a differential
+// payload if the device's current version allows it, copy the device
+// token into the manifest, and apply the update server's signature.
+func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update, error) {
+	s.mu.Lock()
+	list := s.releases[appID]
+	if len(list) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %#x", ErrUnknownApp, appID)
+	}
+	latest := list[len(list)-1]
+	var base *vendorserver.Image
+	if tok.SupportsDifferential() && tok.CurrentVersion < latest.Manifest.Version {
+		base = lookupVersion(list, tok.CurrentVersion)
+	}
+	s.mu.Unlock()
+
+	if latest.Manifest.Version <= tok.CurrentVersion {
+		return nil, fmt.Errorf("%w: device v%d, latest v%d", ErrNoNewUpdate, tok.CurrentVersion, latest.Manifest.Version)
+	}
+
+	m := latest.Manifest // copy; the stored vendor-signed manifest stays pristine
+	m.DeviceID = tok.DeviceID
+	m.Nonce = tok.Nonce
+
+	u := &Update{}
+	if base != nil {
+		patch := lzss.Encode(bsdiff.Diff(base.Firmware, latest.Firmware))
+		// A patch larger than the image would be counterproductive;
+		// fall back to the full image (the manifest then says so).
+		if len(patch) < len(latest.Firmware) {
+			m.OldVersion = tok.CurrentVersion
+			m.PatchSize = uint32(len(patch))
+			u.Payload = patch
+			u.Differential = true
+		}
+	}
+	if !u.Differential {
+		u.Payload = latest.Firmware
+	}
+	s.mu.Lock()
+	payloadKey := s.payloadKey
+	entropy := s.entropy
+	s.mu.Unlock()
+	if payloadKey != nil {
+		// PatchSize/Size describe the plaintext; both ends add the IV
+		// overhead to the wire length.
+		enc, err := security.EncryptPayload(payloadKey, u.Payload, entropy)
+		if err != nil {
+			return nil, fmt.Errorf("updateserver: encrypt payload: %w", err)
+		}
+		u.Payload = enc
+		u.Encrypted = true
+	}
+	if err := m.SignServer(s.suite, s.key); err != nil {
+		return nil, fmt.Errorf("updateserver: %w", err)
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("updateserver: %w", err)
+	}
+	u.Manifest = m
+	u.ManifestBytes = enc
+	return u, nil
+}

@@ -1,0 +1,86 @@
+// Package vendorserver implements UpKit's vendor server: the first
+// stage of the generation phase (§III-A). The vendor server holds the
+// long-term firmware-signing key, receives raw firmware binaries, and
+// produces vendor-signed update images — the manifest fields describing
+// the firmware (app ID, version, size, digest, link offset) under the
+// vendor signature, with the per-request token fields still blank for
+// the update server to fill.
+package vendorserver
+
+import (
+	"errors"
+	"fmt"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+)
+
+// Release errors.
+var (
+	ErrEmptyFirmware = errors.New("vendorserver: empty firmware")
+	ErrZeroVersion   = errors.New("vendorserver: version must be >= 1 (0 means 'no image')")
+)
+
+// Release is a firmware release submitted by the build system.
+type Release struct {
+	// AppID identifies the application and hardware platform.
+	AppID uint32
+	// Version is the release version; must be >= 1.
+	Version uint16
+	// LinkOffset is the address the binary was linked for, or
+	// 0xFFFFFFFF for position-independent images.
+	LinkOffset uint32
+	// Firmware is the raw binary.
+	Firmware []byte
+}
+
+// Image is a vendor-signed update image: the output of the generation
+// phase's first step, ready to be loaded onto an update server.
+type Image struct {
+	// Manifest carries the vendor-signed firmware description. Token
+	// fields (device ID, nonce, old version, patch size) are zero and
+	// the server signature is unset.
+	Manifest manifest.Manifest
+	// Firmware is the full firmware binary.
+	Firmware []byte
+}
+
+// Server is the vendor server.
+type Server struct {
+	suite security.Suite
+	key   *security.PrivateKey
+}
+
+// New creates a vendor server signing with key under suite.
+func New(suite security.Suite, key *security.PrivateKey) *Server {
+	return &Server{suite: suite, key: key}
+}
+
+// PublicKey returns the verification key devices must be provisioned
+// with.
+func (s *Server) PublicKey() *security.PublicKey { return s.key.Public() }
+
+// BuildImage produces the vendor-signed update image for a release
+// (step 1 of Fig. 2: firmware in, manifest + signature out).
+func (s *Server) BuildImage(rel Release) (*Image, error) {
+	if len(rel.Firmware) == 0 {
+		return nil, ErrEmptyFirmware
+	}
+	if rel.Version == 0 {
+		return nil, ErrZeroVersion
+	}
+	img := &Image{
+		Manifest: manifest.Manifest{
+			AppID:          rel.AppID,
+			Version:        rel.Version,
+			Size:           uint32(len(rel.Firmware)),
+			FirmwareDigest: s.suite.Digest(rel.Firmware),
+			LinkOffset:     rel.LinkOffset,
+		},
+		Firmware: rel.Firmware,
+	}
+	if err := img.Manifest.SignVendor(s.suite, s.key); err != nil {
+		return nil, fmt.Errorf("vendorserver: %w", err)
+	}
+	return img, nil
+}

@@ -1,0 +1,65 @@
+package vendorserver
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"upkit/internal/security"
+)
+
+func TestBuildImageSignsManifest(t *testing.T) {
+	suite := security.NewTinyCrypt()
+	key := security.MustGenerateKey("vendor-test")
+	s := New(suite, key)
+
+	fw := bytes.Repeat([]byte("release"), 1000)
+	img, err := s.BuildImage(Release{AppID: 7, Version: 3, LinkOffset: 0x2000, Firmware: fw})
+	if err != nil {
+		t.Fatalf("BuildImage: %v", err)
+	}
+	m := img.Manifest
+	if m.AppID != 7 || m.Version != 3 || m.LinkOffset != 0x2000 {
+		t.Fatalf("manifest fields wrong: %+v", m)
+	}
+	if m.Size != uint32(len(fw)) {
+		t.Fatalf("Size = %d, want %d", m.Size, len(fw))
+	}
+	if m.FirmwareDigest != suite.Digest(fw) {
+		t.Fatal("digest mismatch")
+	}
+	if !m.VerifyVendorSig(suite, s.PublicKey()) {
+		t.Fatal("vendor signature does not verify")
+	}
+	// Token fields must be blank — the update server owns them.
+	if m.DeviceID != 0 || m.Nonce != 0 || m.OldVersion != 0 || m.PatchSize != 0 {
+		t.Fatalf("token fields not blank: %+v", m)
+	}
+	if !bytes.Equal(img.Firmware, fw) {
+		t.Fatal("firmware not carried through")
+	}
+}
+
+func TestBuildImageValidation(t *testing.T) {
+	s := New(security.NewTinyCrypt(), security.MustGenerateKey("vendor-val"))
+	if _, err := s.BuildImage(Release{Version: 1}); !errors.Is(err, ErrEmptyFirmware) {
+		t.Fatalf("empty firmware error = %v, want ErrEmptyFirmware", err)
+	}
+	if _, err := s.BuildImage(Release{Firmware: []byte{1}}); !errors.Is(err, ErrZeroVersion) {
+		t.Fatalf("zero version error = %v, want ErrZeroVersion", err)
+	}
+}
+
+func TestImagesFromDifferentVendorsDistinguishable(t *testing.T) {
+	suite := security.NewTinyCrypt()
+	honest := New(suite, security.MustGenerateKey("honest-vendor"))
+	rogue := New(suite, security.MustGenerateKey("rogue-vendor"))
+	fw := []byte("firmware")
+	img, err := rogue.BuildImage(Release{AppID: 1, Version: 2, Firmware: fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Manifest.VerifyVendorSig(suite, honest.PublicKey()) {
+		t.Fatal("rogue vendor's image verified against the honest vendor's key")
+	}
+}

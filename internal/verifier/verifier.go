@@ -1,0 +1,183 @@
+// Package verifier implements UpKit's verifier module (§IV-D), the
+// component shared verbatim between the update agent and the bootloader
+// to realise the paper's double verification.
+//
+// The agent-side check (VerifyManifestForAgent) runs *before* the
+// firmware is downloaded and enforces the full freshness contract: both
+// signatures plus device ID, nonce, old/new version, app ID, link
+// offset, and size. The bootloader-side check (VerifyManifestForBoot)
+// runs after reboot; the nonce lives only in the agent's RAM, so the
+// bootloader re-checks everything except the nonce and re-validates the
+// firmware digest, catching images torn by a mid-update power loss.
+package verifier
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+)
+
+// Verification failures. Each check has its own sentinel so tests and
+// the FSM can tell exactly which property was violated.
+var (
+	ErrVendorSig  = errors.New("verifier: vendor signature invalid")
+	ErrServerSig  = errors.New("verifier: update-server signature invalid")
+	ErrDeviceID   = errors.New("verifier: device ID mismatch")
+	ErrNonce      = errors.New("verifier: nonce mismatch (stale or replayed update)")
+	ErrVersion    = errors.New("verifier: version not strictly newer")
+	ErrOldVersion = errors.New("verifier: differential base version mismatch")
+	ErrAppID      = errors.New("verifier: app ID mismatch")
+	ErrLinkOffset = errors.New("verifier: link offset incompatible with slot")
+	ErrTooLarge   = errors.New("verifier: firmware exceeds slot capacity")
+	ErrDigest     = errors.New("verifier: firmware digest mismatch")
+)
+
+// Keys holds the two verification keys provisioned on a device.
+type Keys struct {
+	// Vendor verifies the vendor server's signature (integrity and
+	// authenticity of the firmware description).
+	Vendor *security.PublicKey
+	// Server verifies the update server's per-request signature
+	// (freshness and device binding).
+	Server *security.PublicKey
+}
+
+// DeviceInfo is what the verifier knows about the device it protects.
+type DeviceInfo struct {
+	// DeviceID is the device's unique 32-bit identifier.
+	DeviceID uint32
+	// AppID identifies the application/platform build installed.
+	AppID uint32
+	// CurrentVersion is the newest firmware version present on the
+	// device; updates must be strictly newer.
+	CurrentVersion uint16
+}
+
+// SlotInfo is what the verifier knows about the destination slot.
+type SlotInfo struct {
+	// LinkBase is the execution address of the slot, or slot.AnyLink
+	// (0xFFFFFFFF) for position-independent images.
+	LinkBase uint32
+	// Capacity is the maximum firmware size the slot can hold.
+	Capacity int
+}
+
+// anyLink mirrors slot.AnyLink without importing the slot package (the
+// verifier is also used by the bootloader before slots are resolved).
+const anyLink uint32 = 0xFFFFFFFF
+
+// Verifier performs UpKit's manifest and firmware checks. If Clock is
+// non-nil, the modelled CPU cost of every cryptographic operation is
+// charged to it.
+type Verifier struct {
+	Suite security.Suite
+	Keys  Keys
+	Clock *simclock.Clock
+}
+
+// New returns a verifier using suite and keys, charging crypto costs to
+// clock (which may be nil).
+func New(suite security.Suite, keys Keys, clock *simclock.Clock) *Verifier {
+	return &Verifier{Suite: suite, Keys: keys, Clock: clock}
+}
+
+func (v *Verifier) chargeHash(n int) {
+	if v.Clock != nil {
+		v.Clock.Advance(v.Suite.Cost().HashCost(n))
+	}
+}
+
+func (v *Verifier) chargeVerify() {
+	if v.Clock != nil {
+		v.Clock.Advance(v.Suite.Cost().Verify)
+	}
+}
+
+// verifySignatures checks the double signature.
+func (v *Verifier) verifySignatures(m *manifest.Manifest) error {
+	v.chargeHash(len(m.VendorSigningBytes()))
+	v.chargeVerify()
+	if !m.VerifyVendorSig(v.Suite, v.Keys.Vendor) {
+		return ErrVendorSig
+	}
+	v.chargeHash(len(m.ServerSigningBytes()))
+	v.chargeVerify()
+	if !m.VerifyServerSig(v.Suite, v.Keys.Server) {
+		return ErrServerSig
+	}
+	return nil
+}
+
+// verifyCommonFields checks the fields both the agent and the
+// bootloader can validate.
+func verifyCommonFields(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) error {
+	switch {
+	case m.DeviceID != dev.DeviceID:
+		return fmt.Errorf("%w: manifest %#x, device %#x", ErrDeviceID, m.DeviceID, dev.DeviceID)
+	case m.AppID != dev.AppID:
+		return fmt.Errorf("%w: manifest %#x, device %#x", ErrAppID, m.AppID, dev.AppID)
+	case m.Version <= dev.CurrentVersion:
+		return fmt.Errorf("%w: manifest v%d, device v%d", ErrVersion, m.Version, dev.CurrentVersion)
+	case dst.LinkBase != anyLink && m.LinkOffset != dst.LinkBase:
+		return fmt.Errorf("%w: manifest %#x, slot %#x", ErrLinkOffset, m.LinkOffset, dst.LinkBase)
+	case int(m.Size) > dst.Capacity:
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, m.Size, dst.Capacity)
+	}
+	return nil
+}
+
+// VerifyManifestForAgent is the early, agent-side verification (step 9
+// in Fig. 2): it runs before any firmware byte is downloaded and
+// enforces the complete freshness contract against the device token the
+// agent issued for this request.
+func (v *Verifier) VerifyManifestForAgent(m *manifest.Manifest, tok manifest.DeviceToken, dev DeviceInfo, dst SlotInfo) error {
+	if err := v.verifySignatures(m); err != nil {
+		return err
+	}
+	if m.Nonce != tok.Nonce {
+		return fmt.Errorf("%w: manifest %#x, token %#x", ErrNonce, m.Nonce, tok.Nonce)
+	}
+	if err := verifyCommonFields(m, dev, dst); err != nil {
+		return err
+	}
+	if m.IsDifferential() && m.OldVersion != tok.CurrentVersion {
+		return fmt.Errorf("%w: patch base v%d, device v%d", ErrOldVersion, m.OldVersion, tok.CurrentVersion)
+	}
+	return nil
+}
+
+// VerifyManifestForBoot is the bootloader-side re-verification (step 16
+// in Fig. 2). The nonce is not checked — it never leaves the agent's
+// RAM — but everything else is, including both signatures.
+// currentVersion is the version of the other (previously running)
+// image, or 0 when there is none.
+func (v *Verifier) VerifyManifestForBoot(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) error {
+	if err := v.verifySignatures(m); err != nil {
+		return err
+	}
+	return verifyCommonFields(m, dev, dst)
+}
+
+// VerifyFirmware streams the firmware and compares its digest with the
+// manifest (step 13 agent-side, step 16 bootloader-side).
+func (v *Verifier) VerifyFirmware(r io.Reader, m *manifest.Manifest) error {
+	h := v.Suite.NewHash()
+	n, err := io.Copy(h, r)
+	if err != nil {
+		return fmt.Errorf("verifier: read firmware: %w", err)
+	}
+	v.chargeHash(int(n))
+	if n != int64(m.Size) {
+		return fmt.Errorf("%w: read %d bytes, manifest says %d", ErrDigest, n, m.Size)
+	}
+	var got security.Digest
+	copy(got[:], h.Sum(nil))
+	if got != m.FirmwareDigest {
+		return ErrDigest
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package verifier
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/simclock"
+)
+
+type fixture struct {
+	suite     security.Suite
+	vendorKey *security.PrivateKey
+	serverKey *security.PrivateKey
+	verifier  *Verifier
+	dev       DeviceInfo
+	dst       SlotInfo
+	tok       manifest.DeviceToken
+	firmware  []byte
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	suite := security.NewTinyCrypt()
+	vendorKey := security.MustGenerateKey("fixture-vendor")
+	serverKey := security.MustGenerateKey("fixture-server")
+	f := &fixture{
+		suite:     suite,
+		vendorKey: vendorKey,
+		serverKey: serverKey,
+		verifier: New(suite, Keys{
+			Vendor: vendorKey.Public(),
+			Server: serverKey.Public(),
+		}, nil),
+		dev:      DeviceInfo{DeviceID: 0xD0D0, AppID: 0xA1, CurrentVersion: 3},
+		dst:      SlotInfo{LinkBase: 0x2000, Capacity: 200000},
+		tok:      manifest.DeviceToken{DeviceID: 0xD0D0, Nonce: 0x4E4E4E, CurrentVersion: 3},
+		firmware: bytes.Repeat([]byte("fw!"), 5000),
+	}
+	return f
+}
+
+// signedManifest builds a correctly double-signed manifest for the
+// fixture device, optionally mutated between the two signatures or
+// after both (attack simulations tamper at the right point).
+func (f *fixture) signedManifest(t *testing.T, mutate func(*manifest.Manifest)) *manifest.Manifest {
+	t.Helper()
+	m := &manifest.Manifest{
+		AppID:          f.dev.AppID,
+		Version:        4,
+		Size:           uint32(len(f.firmware)),
+		FirmwareDigest: f.suite.Digest(f.firmware),
+		LinkOffset:     0x2000,
+		DeviceID:       f.tok.DeviceID,
+		Nonce:          f.tok.Nonce,
+		OldVersion:     0,
+	}
+	if mutate != nil {
+		mutate(m)
+	}
+	if err := m.SignVendor(f.suite, f.vendorKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SignServer(f.suite, f.serverKey); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidManifestPassesAgentAndBoot(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, nil)
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); err != nil {
+		t.Fatalf("agent verification: %v", err)
+	}
+	if err := f.verifier.VerifyManifestForBoot(m, f.dev, f.dst); err != nil {
+		t.Fatalf("boot verification: %v", err)
+	}
+}
+
+func TestTamperedVendorSigRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, nil)
+	m.VendorSig[10] ^= 1
+	// Tampering with the vendor signature invalidates both layers; the
+	// vendor check runs first and reports.
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrVendorSig) {
+		t.Fatalf("error = %v, want ErrVendorSig", err)
+	}
+	// Tampering with only the server signature leaves the vendor layer
+	// intact and is caught by the server check.
+	m2 := f.signedManifest(t, nil)
+	m2.ServerSig[10] ^= 1
+	if err := f.verifier.VerifyManifestForAgent(m2, f.tok, f.dev, f.dst); !errors.Is(err, ErrServerSig) {
+		t.Fatalf("error = %v, want ErrServerSig", err)
+	}
+}
+
+func TestForgedVendorPartRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, nil)
+	// An attacker with the *server* key (but not the vendor key) alters
+	// the firmware description and re-signs the outer layer.
+	m.Size++
+	if err := m.SignServer(f.suite, f.serverKey); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrVendorSig) {
+		t.Fatalf("error = %v, want ErrVendorSig", err)
+	}
+}
+
+func TestReplayedNonceRejectedByAgentOnly(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, func(m *manifest.Manifest) { m.Nonce = 0x0BAD })
+	// Agent catches the replay...
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrNonce) {
+		t.Fatalf("agent error = %v, want ErrNonce", err)
+	}
+	// ...while the bootloader cannot check nonces (RAM-only state) and
+	// accepts — which is exactly why the agent-side check matters.
+	if err := f.verifier.VerifyManifestForBoot(m, f.dev, f.dst); err != nil {
+		t.Fatalf("boot verification should pass without nonce check: %v", err)
+	}
+}
+
+func TestWrongDeviceRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, func(m *manifest.Manifest) { m.DeviceID = 0xFFFF })
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrDeviceID) {
+		t.Fatalf("error = %v, want ErrDeviceID", err)
+	}
+	if err := f.verifier.VerifyManifestForBoot(m, f.dev, f.dst); !errors.Is(err, ErrDeviceID) {
+		t.Fatalf("boot error = %v, want ErrDeviceID", err)
+	}
+}
+
+func TestDowngradeRejected(t *testing.T) {
+	f := newFixture(t)
+	for _, v := range []uint16{1, 2, 3} { // device runs version 3
+		m := f.signedManifest(t, func(m *manifest.Manifest) { m.Version = v })
+		if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrVersion) {
+			t.Fatalf("v%d: error = %v, want ErrVersion", v, err)
+		}
+	}
+}
+
+func TestWrongAppIDRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, func(m *manifest.Manifest) { m.AppID = 0xBEEF })
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrAppID) {
+		t.Fatalf("error = %v, want ErrAppID", err)
+	}
+}
+
+func TestWrongLinkOffsetRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, func(m *manifest.Manifest) { m.LinkOffset = 0x9000 })
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrLinkOffset) {
+		t.Fatalf("error = %v, want ErrLinkOffset", err)
+	}
+	// A position-independent slot accepts any link offset.
+	anySlot := f.dst
+	anySlot.LinkBase = anyLink
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, anySlot); err != nil {
+		t.Fatalf("AnyLink slot rejected: %v", err)
+	}
+}
+
+func TestOversizedFirmwareRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, func(m *manifest.Manifest) { m.Size = uint32(f.dst.Capacity + 1) })
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("error = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDifferentialBaseVersionChecked(t *testing.T) {
+	f := newFixture(t)
+	// Patch computed against v2, device runs v3: must be rejected even
+	// though everything is correctly signed.
+	m := f.signedManifest(t, func(m *manifest.Manifest) {
+		m.OldVersion = 2
+		m.PatchSize = 100
+	})
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrOldVersion) {
+		t.Fatalf("error = %v, want ErrOldVersion", err)
+	}
+	// Patch against the running version passes.
+	ok := f.signedManifest(t, func(m *manifest.Manifest) {
+		m.OldVersion = 3
+		m.PatchSize = 100
+	})
+	if err := f.verifier.VerifyManifestForAgent(ok, f.tok, f.dev, f.dst); err != nil {
+		t.Fatalf("valid differential rejected: %v", err)
+	}
+}
+
+func TestVerifyFirmware(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, nil)
+	if err := f.verifier.VerifyFirmware(bytes.NewReader(f.firmware), m); err != nil {
+		t.Fatalf("VerifyFirmware: %v", err)
+	}
+	// One flipped byte.
+	bad := bytes.Clone(f.firmware)
+	bad[100] ^= 1
+	if err := f.verifier.VerifyFirmware(bytes.NewReader(bad), m); !errors.Is(err, ErrDigest) {
+		t.Fatalf("error = %v, want ErrDigest", err)
+	}
+	// Truncated image.
+	if err := f.verifier.VerifyFirmware(bytes.NewReader(f.firmware[:100]), m); !errors.Is(err, ErrDigest) {
+		t.Fatalf("truncated error = %v, want ErrDigest", err)
+	}
+}
+
+func TestVerificationChargesClock(t *testing.T) {
+	f := newFixture(t)
+	clock := simclock.New()
+	f.verifier.Clock = clock
+	m := f.signedManifest(t, nil)
+	if err := f.verifier.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); err != nil {
+		t.Fatal(err)
+	}
+	// Two signature verifications at 69 ms each plus hashing.
+	if got := clock.Now(); got < 138*time.Millisecond {
+		t.Fatalf("manifest verification charged %v, want >= 138ms", got)
+	}
+	before := clock.Now()
+	if err := f.verifier.VerifyFirmware(bytes.NewReader(f.firmware), m); err != nil {
+		t.Fatal(err)
+	}
+	// 15000 bytes at 4 µs/byte = 60 ms.
+	if d := clock.Now() - before; d < 60*time.Millisecond {
+		t.Fatalf("firmware digest charged %v, want >= 60ms", d)
+	}
+}
+
+func TestKeysFromDifferentAuthorityRejected(t *testing.T) {
+	f := newFixture(t)
+	m := f.signedManifest(t, nil)
+	// A verifier provisioned with an attacker's keys must reject.
+	attacker := security.MustGenerateKey("attacker")
+	v := New(f.suite, Keys{Vendor: attacker.Public(), Server: f.serverKey.Public()}, nil)
+	if err := v.VerifyManifestForAgent(m, f.tok, f.dev, f.dst); !errors.Is(err, ErrVendorSig) {
+		t.Fatalf("error = %v, want ErrVendorSig", err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package upkit is a Go implementation of UpKit, the open-source,
+// portable, and lightweight software-update framework for constrained
+// IoT devices by Langiu, Boano, Schuß, and Römer (ICDCS 2019).
+//
+// It provides every stage of the paper's update process:
+//
+//   - a vendor server that signs firmware releases (generation phase);
+//   - an update server that adds a second, per-request signature bound
+//     to a device token, granting update freshness without transport
+//     security, and that derives LZSS-compressed bsdiff patches for
+//     differential updates (propagation phase);
+//   - a device-side update agent — an eight-state FSM fed by either a
+//     push (BLE GATT) or pull (CoAP blockwise) transport — that
+//     verifies manifests before downloading and firmware before
+//     rebooting (verification phase, early rejection);
+//   - a bootloader that re-verifies after reboot and installs images
+//     either by a power-loss-safe slot swap (static mode) or by booting
+//     the newer of two slots directly (A/B mode) (loading phase).
+//
+// Constrained hardware is simulated: NOR-flash chips with real
+// erase-before-write semantics, virtual-time radio links, and an energy
+// model reproduce the paper's platforms (nRF52840, CC2650, CC2538) so
+// the evaluation's tables and figures can be regenerated; see the
+// experiments subcommands of cmd/upkit-bench and EXPERIMENTS.md.
+//
+// Quick start
+//
+//	v1 := upkit.MakeFirmware("my-app-v1", 64*1024)
+//	dep, _ := upkit.NewDeployment(upkit.DeploymentOptions{}, v1)
+//	v2 := upkit.MakeFirmware("my-app-v2", 64*1024)
+//	_ = dep.PublishVersion(2, v2)
+//	result, _ := dep.PullUpdate() // transfer, double verification, reboot
+//	fmt.Println(result.Version)   // 2
+//
+// The package re-exports the framework's building blocks so downstream
+// code can assemble custom deployments: key handling and crypto suites
+// (security), manifests and device tokens (manifest), the agent,
+// bootloader, slots, simulated flash, and both servers.
+package upkit
+
+import (
+	"io"
+
+	"upkit/internal/agent"
+	"upkit/internal/bootloader"
+	"upkit/internal/coap"
+	"upkit/internal/device"
+	"upkit/internal/events"
+	"upkit/internal/experiments"
+	"upkit/internal/flash"
+	"upkit/internal/fleet"
+	"upkit/internal/manifest"
+	"upkit/internal/platform"
+	"upkit/internal/proxy"
+	"upkit/internal/security"
+	"upkit/internal/slot"
+	"upkit/internal/suit"
+	"upkit/internal/testbed"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+	"upkit/internal/verifier"
+)
+
+// Core protocol types.
+type (
+	// Manifest is the update-image metadata with its double signature.
+	Manifest = manifest.Manifest
+	// DeviceToken is the per-request freshness token (device ID, nonce,
+	// current version).
+	DeviceToken = manifest.DeviceToken
+)
+
+// Cryptography.
+type (
+	// Suite is the security interface over digest + ECDSA operations.
+	Suite = security.Suite
+	// PrivateKey is a P-256 signing key.
+	PrivateKey = security.PrivateKey
+	// PublicKey is a P-256 verification key.
+	PublicKey = security.PublicKey
+	// Keys holds a device's provisioned verification keys.
+	Keys = verifier.Keys
+	// HSM is the simulated ATECC508 secure element.
+	HSM = security.HSM
+)
+
+// Server side.
+type (
+	// VendorServer signs firmware releases (first signature).
+	VendorServer = vendorserver.Server
+	// Release is a firmware release submitted to the vendor server.
+	Release = vendorserver.Release
+	// Image is a vendor-signed update image.
+	Image = vendorserver.Image
+	// UpdateServer distributes images with per-request signatures and
+	// differential payloads.
+	UpdateServer = updateserver.Server
+	// Update is a prepared, double-signed update ready for transfer.
+	Update = updateserver.Update
+)
+
+// Device side.
+type (
+	// Agent is the update agent FSM.
+	Agent = agent.Agent
+	// AgentConfig wires an agent into a device.
+	AgentConfig = agent.Config
+	// Bootloader performs boot-time verification and loading.
+	Bootloader = bootloader.Bootloader
+	// BootMode selects static (Configuration B) or A/B (Configuration A)
+	// loading.
+	BootMode = bootloader.Mode
+	// Slot is one update-image slot on simulated flash.
+	Slot = slot.Slot
+	// Flash is a simulated NOR flash chip.
+	Flash = flash.Memory
+	// FlashGeometry describes a chip and its timing model.
+	FlashGeometry = flash.Geometry
+	// Device is a fully wired simulated IoT device.
+	Device = device.Device
+	// DeviceOptions configures a Device.
+	DeviceOptions = device.Options
+	// MCU is a hardware-platform profile.
+	MCU = platform.MCU
+	// Smartphone is the push-approach proxy application.
+	Smartphone = proxy.Smartphone
+	// PullClient drives an agent through the CoAP pull flow.
+	PullClient = coap.PullClient
+)
+
+// Deployment wiring.
+type (
+	// Deployment is a complete wired system: vendor server, update
+	// server, radio link, and one simulated device.
+	Deployment = testbed.Bed
+	// DeploymentOptions configures a Deployment.
+	DeploymentOptions = testbed.Options
+	// BootResult describes a completed boot.
+	BootResult = bootloader.Result
+)
+
+// Boot modes.
+const (
+	// BootStatic is the paper's Configuration B: one bootable slot plus
+	// a staging slot; images are installed by a power-loss-safe swap.
+	BootStatic = bootloader.ModeStatic
+	// BootAB is Configuration A: two bootable slots; the bootloader
+	// jumps directly to the newer one.
+	BootAB = bootloader.ModeAB
+)
+
+// Update-distribution approaches.
+const (
+	// Pull: the device polls the update server over CoAP.
+	Pull = platform.Pull
+	// Push: a smartphone forwards updates over BLE.
+	Push = platform.Push
+)
+
+// Crypto suite constructors.
+
+// NewTinyDTLS returns the TinyDTLS-profile software crypto suite.
+func NewTinyDTLS() Suite { return security.NewTinyDTLS() }
+
+// NewTinyCrypt returns the tinycrypt-profile software crypto suite.
+func NewTinyCrypt() Suite { return security.NewTinyCrypt() }
+
+// NewCryptoAuthLib returns a suite backed by a simulated ATECC508 HSM.
+func NewCryptoAuthLib(hsm *HSM) Suite { return security.NewCryptoAuthLib(hsm) }
+
+// NewHSM returns an unprovisioned simulated ATECC508.
+func NewHSM() *HSM { return security.NewHSM() }
+
+// GenerateKey creates a P-256 key pair from the entropy source r (use
+// crypto/rand.Reader in production).
+func GenerateKey(r io.Reader) (*PrivateKey, error) { return security.GenerateKey(r) }
+
+// MustGenerateKey derives a reproducible key pair from a seed — for
+// tests, simulations, and examples only.
+func MustGenerateKey(seed string) *PrivateKey { return security.MustGenerateKey(seed) }
+
+// Server constructors.
+
+// NewVendorServer creates a vendor server signing with key under suite.
+func NewVendorServer(suite Suite, key *PrivateKey) *VendorServer {
+	return vendorserver.New(suite, key)
+}
+
+// NewUpdateServer creates an update server signing with key under suite.
+func NewUpdateServer(suite Suite, key *PrivateKey) *UpdateServer {
+	return updateserver.New(suite, key)
+}
+
+// Device and deployment constructors.
+
+// NewDevice builds a simulated constrained device.
+func NewDevice(opts DeviceOptions) (*Device, error) { return device.New(opts) }
+
+// NewDeployment wires a complete system and factory-provisions the
+// device with firmware as version 1. Pass nil firmware to get an
+// unprovisioned device.
+func NewDeployment(opts DeploymentOptions, firmware []byte) (*Deployment, error) {
+	return testbed.New(opts, firmware)
+}
+
+// Hardware profiles of the paper's evaluation platforms.
+
+// NRF52840 returns the Nordic nRF52840 profile.
+func NRF52840() MCU { return platform.NRF52840() }
+
+// CC2650 returns the TI CC2650 profile (with external SPI flash).
+func CC2650() MCU { return platform.CC2650() }
+
+// CC2538 returns the TI CC2538 profile.
+func CC2538() MCU { return platform.CC2538() }
+
+// Workload helpers.
+
+// MakeFirmware produces deterministic firmware-like content (a mix of
+// repetitive code idioms and literals) for simulations and examples.
+func MakeFirmware(seed string, size int) []byte { return testbed.MakeFirmware(seed, size) }
+
+// DeriveAppChange models a localized application change of about
+// editBytes bytes — Fig. 8b's second workload.
+func DeriveAppChange(base []byte, editBytes int) []byte {
+	return testbed.DeriveAppChange(base, editBytes)
+}
+
+// DeriveOSChange models an OS minor-version upgrade — Fig. 8b's first
+// workload.
+func DeriveOSChange(base []byte) []byte { return testbed.DeriveOSChange(base) }
+
+// Experiments.
+
+// ExperimentIDs lists the reproducible tables/figures/ablations.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure of the paper's
+// evaluation; the result's Render method returns the printable table.
+func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentTable is one regenerated table or figure.
+type ExperimentTable = experiments.Table
+
+// Observability.
+
+type (
+	// EventLog records a device's update lifecycle.
+	EventLog = events.Log
+	// Event is one recorded lifecycle occurrence.
+	Event = events.Event
+	// EventKind classifies lifecycle events.
+	EventKind = events.Kind
+)
+
+// Event kinds, re-exported so facade users can match log entries.
+const (
+	EventTokenIssued      = events.KindTokenIssued
+	EventManifestAccepted = events.KindManifestAccepted
+	EventManifestRejected = events.KindManifestRejected
+	EventFirmwareVerified = events.KindFirmwareVerified
+	EventFirmwareRejected = events.KindFirmwareRejected
+	EventUpdateStaged     = events.KindUpdateStaged
+	EventRebooted         = events.KindRebooted
+	EventBootVerified     = events.KindBootVerified
+	EventInstalled        = events.KindInstalled
+	EventRolledBack       = events.KindRolledBack
+	EventSwapResumed      = events.KindSwapResumed
+	EventBootFailed       = events.KindBootFailed
+)
+
+// Fleet campaigns.
+
+type (
+	// Campaign rolls a release across a fleet in waves with a canary
+	// gate and per-device retries.
+	Campaign = fleet.Campaign
+	// CampaignPolicy tunes canarying, retries, and parallelism.
+	CampaignPolicy = fleet.Policy
+	// CampaignReport summarises a campaign run.
+	CampaignReport = fleet.Report
+	// FleetUpdater is one device's update entry point in a campaign.
+	FleetUpdater = fleet.Updater
+)
+
+// ErrCampaignAborted is returned (wrapped) when a campaign's canary
+// gate trips.
+var ErrCampaignAborted = fleet.ErrCampaignAborted
+
+// NewCampaign creates a rollout of target across devices.
+func NewCampaign(target uint16, policy CampaignPolicy, devices []FleetUpdater) (*Campaign, error) {
+	return fleet.New(target, policy, devices)
+}
+
+// SUIT interoperation (§VIII future work).
+
+// SUITManifest is the SUIT (draft-ietf-suit-manifest) view of an update.
+type SUITManifest = suit.Manifest
+
+// ExportSUIT renders an UpKit manifest as a signed SUIT-shaped CBOR
+// envelope so SUIT-aware tooling can consume UpKit releases.
+func ExportSUIT(m *Manifest, s Suite, key *PrivateKey) ([]byte, error) {
+	return suit.Export(m, s, key)
+}
+
+// ParseSUIT decodes and signature-verifies a SUIT envelope produced by
+// ExportSUIT.
+func ParseSUIT(envelope []byte, s Suite, pub *PublicKey) (*SUITManifest, error) {
+	return suit.Parse(envelope, s, pub)
+}

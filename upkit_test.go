@@ -1,0 +1,167 @@
+package upkit_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"upkit"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	v1 := upkit.MakeFirmware("facade-v1", 48*1024)
+	dep, err := upkit.NewDeployment(upkit.DeploymentOptions{}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := upkit.MakeFirmware("facade-v2", 48*1024)
+	if err := dep.PublishVersion(2, v2); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.PullUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+}
+
+func TestFacadeCustomWiring(t *testing.T) {
+	// Assemble servers and a device by hand through the public API.
+	suite := upkit.NewTinyCrypt()
+	vendorKey := upkit.MustGenerateKey("facade-vendor")
+	serverKey := upkit.MustGenerateKey("facade-server")
+	vendor := upkit.NewVendorServer(suite, vendorKey)
+	server := upkit.NewUpdateServer(suite, serverKey)
+
+	fw := upkit.MakeFirmware("custom-v1", 32*1024)
+	img, err := vendor.BuildImage(upkit.Release{
+		AppID: 7, Version: 1, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Publish(img); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := upkit.NewDevice(upkit.DeviceOptions{
+		Name:      "facade-device",
+		MCU:       upkit.NRF52840(),
+		Mode:      upkit.BootStatic,
+		SlotBytes: 128 * 1024,
+		Suite:     suite,
+		Keys:      upkit.Keys{Vendor: vendor.PublicKey(), Server: server.PublicKey()},
+		DeviceID:  0xF00D,
+		AppID:     7,
+		NonceSeed: "facade-nonce",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := server.PrepareUpdate(7, upkit.DeviceToken{DeviceID: 0xF00D, Nonce: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.FactoryProvision(u); err != nil {
+		t.Fatal(err)
+	}
+	if dev.RunningVersion() != 1 {
+		t.Fatalf("running v%d, want v1", dev.RunningVersion())
+	}
+}
+
+func TestFacadeHSM(t *testing.T) {
+	hsm := upkit.NewHSM()
+	suite := upkit.NewCryptoAuthLib(hsm)
+	key := upkit.MustGenerateKey("facade-hsm")
+	if err := hsm.Provision(0, key.Public(), true); err != nil {
+		t.Fatal(err)
+	}
+	digest := suite.Digest([]byte("payload"))
+	sig, err := suite.Sign(key, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !suite.Verify(key.Public(), digest, sig) {
+		t.Fatal("HSM-backed verification failed")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	base := upkit.MakeFirmware("w", 32*1024)
+	if bytes.Equal(upkit.DeriveAppChange(base, 500), base) {
+		t.Fatal("app change must modify the image")
+	}
+	if bytes.Equal(upkit.DeriveOSChange(base), base) {
+		t.Fatal("OS change must modify the image")
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := upkit.ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	tab, err := upkit.RunExperiment("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Render() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestFacadeSUITExport(t *testing.T) {
+	suite := upkit.NewTinyCrypt()
+	key := upkit.MustGenerateKey("facade-suit")
+	vendor := upkit.NewVendorServer(suite, key)
+	img, err := vendor.BuildImage(upkit.Release{
+		AppID: 9, Version: 4, LinkOffset: 0xFFFFFFFF,
+		Firmware: upkit.MakeFirmware("suit-fw", 8*1024),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := upkit.ExportSUIT(&img.Manifest, suite, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := upkit.ParseSUIT(env, suite, key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sm.MatchesUpKit(&img.Manifest) {
+		t.Fatal("SUIT round trip mismatch")
+	}
+}
+
+func TestFacadeEncryptedDeployment(t *testing.T) {
+	v1 := upkit.MakeFirmware("facade-enc-v1", 32*1024)
+	dep, err := upkit.NewDeployment(upkit.DeploymentOptions{
+		Encrypted: true, Seed: "facade-enc",
+	}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.PublishVersion(2, upkit.MakeFirmware("facade-enc-v2", 32*1024)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.PullUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+}
+
+// ExampleNewDeployment demonstrates the five-line update flow.
+func ExampleNewDeployment() {
+	v1 := upkit.MakeFirmware("example-v1", 32*1024)
+	dep, _ := upkit.NewDeployment(upkit.DeploymentOptions{Seed: "example"}, v1)
+	_ = dep.PublishVersion(2, upkit.MakeFirmware("example-v2", 32*1024))
+	res, _ := dep.PullUpdate()
+	fmt.Println("running version:", res.Version)
+	// Output: running version: 2
+}
