@@ -137,6 +137,17 @@ func BenchmarkAblationConfidentiality(b *testing.B) {
 	b.ReportMetric(metric(b, tab, 1, 3)-metric(b, tab, 0, 3), "full_image_overhead_s")
 }
 
+// BenchmarkAblationPatchCache measures the update server's
+// differential-patch cache in the many-devices-one-release scenario
+// (real CPU time, unlike the virtual-time experiments).
+func BenchmarkAblationPatchCache(b *testing.B) {
+	tab := benchExperiment(b, "ablation-cache")
+	b.ReportMetric(metric(b, tab, 0, 2), "uncached_diffs")
+	b.ReportMetric(metric(b, tab, 1, 2), "cached_diffs")
+	b.ReportMetric(metric(b, tab, 0, 5), "uncached_ms_per_req")
+	b.ReportMetric(metric(b, tab, 1, 5), "cached_ms_per_req")
+}
+
 // BenchmarkAblationLossyLink sweeps frame loss vs update time.
 func BenchmarkAblationLossyLink(b *testing.B) {
 	tab := benchExperiment(b, "ablation-loss")

@@ -72,6 +72,10 @@ func run() error {
 	}
 
 	server := updateserver.New(suite, key)
+	// A short-lived subscription around the publish loop echoes what
+	// watchers will see; it must be released afterwards or it would sit
+	// in the server's subscriber list for the whole process lifetime.
+	announcements := server.Subscribe()
 	for _, path := range images {
 		img, err := loadImage(path)
 		if err != nil {
@@ -83,10 +87,20 @@ func run() error {
 		fmt.Printf("published %s: app %#x v%d (%d bytes)\n",
 			path, img.Manifest.AppID, img.Manifest.Version, len(img.Firmware))
 	}
+	server.Unsubscribe(announcements)
+	for {
+		select {
+		case ann := <-announcements:
+			fmt.Printf("announced app %#x v%d\n", ann.AppID, ann.Version)
+			continue
+		default:
+		}
+		break
+	}
 
 	if *httpAddr != "" {
 		go func() {
-			fmt.Printf("serving HTTP API on %s\n", *httpAddr)
+			fmt.Printf("serving HTTP API on %s (stats at /api/v1/stats)\n", *httpAddr)
 			if err := http.ListenAndServe(*httpAddr, server.Handler()); err != nil {
 				fmt.Fprintln(os.Stderr, "upkit-server: http:", err)
 			}

@@ -227,10 +227,26 @@ func TestAblationSignature(t *testing.T) {
 	}
 }
 
+func TestAblationPatchCache(t *testing.T) {
+	tab, err := AblationPatchCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, tab, 0, 2); got != 12 {
+		t.Errorf("uncached diff computations = %v, want 12 (one per request)", got)
+	}
+	if got := cell(t, tab, 1, 2); got != 1 {
+		t.Errorf("cached diff computations = %v, want 1 (one per pair)", got)
+	}
+	if got := cell(t, tab, 1, 3); got != 11 {
+		t.Errorf("cached hits = %v, want 11", got)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registry has %d experiments, want 17", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(ids))
 	}
 	if _, err := Run("fig7a"); err != nil {
 		t.Fatalf("Run(fig7a): %v", err)

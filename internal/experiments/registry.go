@@ -28,6 +28,7 @@ var registry = []struct {
 	{"ablation-signature", AblationDoubleSignature},
 	{"ablation-wear", AblationFlashWear},
 	{"ablation-confidentiality", AblationConfidentiality},
+	{"ablation-cache", AblationPatchCache},
 	{"portability", Portability},
 	{"ablation-loss", AblationLossyLink},
 	{"matrix-time", MatrixTime},

@@ -154,8 +154,12 @@ func (s *Smartphone) StartWatch() (*Watch, error) {
 		for {
 			select {
 			case <-w.stop:
-				// Drain announcements already enqueued (Publish fills
-				// subscriber channels synchronously), then finish.
+				// Deregister first so no new announcements arrive, then
+				// drain those already enqueued (Publish fills subscriber
+				// channels synchronously) and finish. Without the
+				// Unsubscribe every stopped watch would leak its channel
+				// in the server's subscriber list forever.
+				s.Server.Unsubscribe(announcements)
 				for {
 					select {
 					case ann := <-announcements:

@@ -157,6 +157,60 @@ func TestProxyFetchesOverHTTP(t *testing.T) {
 	}
 }
 
+func TestProxyPollingUpToDateDeviceOverHTTP(t *testing.T) {
+	// A proxy polling on behalf of a device that already runs the
+	// latest version must see "nothing to do" (ErrNoNewUpdate, from the
+	// HTTP 204), not an error indistinguishable from "unknown app".
+	// Differential support puts the running version into the device
+	// token, which is how the server learns the device is current.
+	b, err := testbed.New(
+		testbed.Options{Approach: platform.Push, Differential: true, Seed: "uptodate"},
+		testbed.MakeFirmware("uptodate-v1", fwSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, testbed.MakeFirmware("uptodate-v2", fwSize)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(b.Update.Handler())
+	defer ts.Close()
+	if _, err := b.PushUpdate(); err != nil {
+		t.Fatal(err)
+	}
+
+	phone := b.Smartphone()
+	phone.Server = nil
+	phone.HTTP = &updateserver.HTTPClient{BaseURL: ts.URL}
+	if err := phone.PushUpdate(); !errors.Is(err, updateserver.ErrNoNewUpdate) {
+		t.Fatalf("error = %v, want ErrNoNewUpdate", err)
+	}
+
+	// An unknown app stays a hard error, not ErrNoNewUpdate.
+	phone.AppID = 0x99
+	if err := phone.PushUpdate(); err == nil || errors.Is(err, updateserver.ErrNoNewUpdate) {
+		t.Fatalf("unknown app error = %v, want a non-ErrNoNewUpdate failure", err)
+	}
+}
+
+func TestStartWatchStopsLeakFreeAndRepeatedly(t *testing.T) {
+	// Every stopped watch must release its announcement subscription;
+	// otherwise long-lived servers accumulate dead channels.
+	b := newPushBed(t)
+	phone := b.Smartphone()
+	for range 5 {
+		watch, err := phone.StartWatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := watch.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := b.Update.SubscriberCount(); n != 0 {
+		t.Fatalf("%d subscriptions leaked after 5 watch cycles", n)
+	}
+}
+
 func TestStartWatchDeliversAnnouncements(t *testing.T) {
 	b, err := testbed.New(testbed.Options{Approach: platform.Push, Seed: "watch"},
 		testbed.MakeFirmware("watch-v1", fwSize))

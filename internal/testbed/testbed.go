@@ -5,6 +5,7 @@
 package testbed
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -47,6 +48,13 @@ type Options struct {
 	AppID    uint32
 	// Seed differentiates deterministic key/nonce streams per testbed.
 	Seed string
+	// SharedVendor and SharedUpdate, when set, reuse existing servers
+	// instead of creating per-bed ones: many beds against one update
+	// server model a fleet hitting the same Internet-facing endpoint
+	// (and exercising its patch cache). The suite named by SuiteName
+	// must match the one the shared servers sign with.
+	SharedVendor *vendorserver.Server
+	SharedUpdate *updateserver.Server
 }
 
 // Bed is a wired deployment.
@@ -98,8 +106,14 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 	if err != nil {
 		return nil, err
 	}
-	vendor := vendorserver.New(suite, security.MustGenerateKey(opts.Seed+"-vendor"))
-	update := updateserver.New(suite, security.MustGenerateKey(opts.Seed+"-server"))
+	vendor := opts.SharedVendor
+	if vendor == nil {
+		vendor = vendorserver.New(suite, security.MustGenerateKey(opts.Seed+"-vendor"))
+	}
+	update := opts.SharedUpdate
+	if update == nil {
+		update = updateserver.New(suite, security.MustGenerateKey(opts.Seed+"-server"))
+	}
 
 	var payloadKey []byte
 	if opts.Encrypted {
@@ -151,7 +165,11 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 // provisionFactory publishes v1 and writes it to the device directly.
 func (b *Bed) provisionFactory(fw []byte) error {
 	if err := b.PublishVersion(1, fw); err != nil {
-		return err
+		// On a shared update server a sibling bed has already published
+		// this release; provisioning proceeds from the stored copy.
+		if b.opts.SharedUpdate == nil || !errors.Is(err, updateserver.ErrStaleVersion) {
+			return err
+		}
 	}
 	u, err := b.Update.PrepareUpdate(b.opts.AppID, manifest.DeviceToken{
 		DeviceID: b.opts.DeviceID,

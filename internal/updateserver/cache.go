@@ -1,0 +1,255 @@
+package updateserver
+
+import (
+	"container/list"
+	"sync"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/lzss"
+)
+
+// The differential-patch cache.
+//
+// Deriving a differential payload (bsdiff + LZSS, §III-B) is by far the
+// most expensive thing the update server does per request, and it is
+// also the only per-request work that does not depend on the requesting
+// device: the patch for a given (app, fromVersion, toVersion) pair is
+// identical for every device on that pair. During a campaign — one new
+// release, a whole fleet on the previous one — the naive path recomputes
+// the same patch once per device. The cache below computes it once,
+// serves every later request from memory, and deduplicates concurrent
+// first requests with a singleflight scheme so a thundering herd on a
+// cold pair triggers exactly one computation while the rest block on
+// its result (never on the server mutex; diffing runs outside all
+// locks).
+//
+// Invalidation is generation-based per app: Publish and retention
+// pruning bump the app's generation and drop its entries, and an
+// in-flight computation only inserts its result if the generation it
+// started under is still current. A computation that raced an
+// invalidation still returns a correct patch to its waiters (the key
+// pins the exact version pair), it just is not memoised.
+
+// DefaultPatchCacheBytes is the patch-cache bound of a freshly
+// constructed Server: a few MB, sized for a handful of hot version
+// pairs of constrained-device images (tens of KiB each).
+const DefaultPatchCacheBytes = 4 << 20
+
+// cacheEntryOverhead approximates the bookkeeping bytes charged per
+// entry on top of the patch itself.
+const cacheEntryOverhead = 64
+
+// CacheStats is a snapshot of the patch cache's counters, exposed via
+// Server.Stats, the HTTP API (GET /api/v1/stats), and upkit-bench.
+type CacheStats struct {
+	// Hits counts requests served from a cached patch.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests that found neither a cached patch nor an
+	// in-flight computation and had to compute one.
+	Misses uint64 `json:"misses"`
+	// Waits counts requests that piggybacked on another request's
+	// in-flight computation (the singleflight path).
+	Waits uint64 `json:"waits"`
+	// Computations counts actual bsdiff+LZSS runs, including those made
+	// with the cache disabled. Under concurrency the singleflight
+	// invariant is Computations == number of distinct version pairs.
+	Computations uint64 `json:"computations"`
+	// Evictions counts entries dropped by the LRU size bound.
+	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries dropped by Publish or retention
+	// pruning.
+	Invalidations uint64 `json:"invalidations"`
+	// Entries and Bytes describe the current cache contents.
+	Entries int `json:"entries"`
+	Bytes   int `json:"bytes"`
+}
+
+// patchKey identifies one differential payload.
+type patchKey struct {
+	appID uint32
+	from  uint16
+	to    uint16
+}
+
+// patchResult is a computed differential payload: the compressed patch,
+// or the decision that no patch beats the full image (viable=false).
+// Both outcomes are worth caching — recomputing a useless patch per
+// request would be just as wasteful.
+type patchResult struct {
+	patch  []byte
+	viable bool
+}
+
+func (r patchResult) size() int { return len(r.patch) + cacheEntryOverhead }
+
+// computePatch derives the LZSS-compressed bsdiff patch from base to
+// target. A patch at least as large as the target image is
+// counterproductive and reported as non-viable.
+func computePatch(base, target []byte) patchResult {
+	patch := lzss.Encode(bsdiff.Diff(base, target))
+	if len(patch) >= len(target) {
+		return patchResult{}
+	}
+	return patchResult{patch: patch, viable: true}
+}
+
+// inflightPatch is one in-progress computation other requests can wait
+// on. res is written exactly once, before done is closed.
+type inflightPatch struct {
+	done chan struct{}
+	res  patchResult
+}
+
+// cacheEntry is one LRU element.
+type cacheEntry struct {
+	key patchKey
+	res patchResult
+}
+
+// patchCache is the size-bounded LRU + singleflight store. It has its
+// own mutex, never held while diffing, and independent of Server.mu.
+type patchCache struct {
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	entries  map[patchKey]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[patchKey]*inflightPatch
+	gens     map[uint32]uint64 // per-app invalidation generation
+
+	hits, misses, waits, computations, evictions, invalidations uint64
+}
+
+func newPatchCache(maxBytes int) *patchCache {
+	return &patchCache{
+		maxBytes: maxBytes,
+		entries:  make(map[patchKey]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[patchKey]*inflightPatch),
+		gens:     make(map[uint32]uint64),
+	}
+}
+
+// payload returns the differential payload for key, computing it from
+// (base, target) at most once per distinct key across concurrent
+// callers. Callers must not mutate the returned patch — clone before
+// handing it out.
+func (c *patchCache) payload(key patchKey, base, target []byte) patchResult {
+	c.mu.Lock()
+	if c.maxBytes <= 0 {
+		// Cache disabled: no memoisation and no dedup — this is the
+		// reference path the benchmarks compare against.
+		c.computations++
+		c.mu.Unlock()
+		return computePatch(base, target)
+	}
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.waits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res
+	}
+	c.misses++
+	c.computations++
+	gen := c.gens[key.appID]
+	fl := &inflightPatch{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	res := computePatch(base, target)
+
+	c.mu.Lock()
+	fl.res = res
+	delete(c.inflight, key)
+	if c.gens[key.appID] == gen {
+		c.insertLocked(key, res)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return res
+}
+
+// insertLocked stores res under key and evicts from the cold end until
+// the size bound holds. Entries larger than the whole bound are not
+// cached at all.
+func (c *patchCache) insertLocked(key patchKey, res patchResult) {
+	if res.size() > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[key]; ok { // lost no race, but be idempotent
+		c.removeLocked(el)
+	}
+	for c.curBytes+res.size() > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = el
+	c.curBytes += res.size()
+}
+
+// removeLocked drops one LRU element.
+func (c *patchCache) removeLocked(el *list.Element) {
+	e := c.lru.Remove(el).(*cacheEntry)
+	delete(c.entries, e.key)
+	c.curBytes -= e.res.size()
+}
+
+// invalidateApp drops every cached patch for app and bumps its
+// generation so racing in-flight computations do not re-insert.
+func (c *patchCache) invalidateApp(appID uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[appID]++
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).key.appID == appID {
+			c.removeLocked(el)
+			c.invalidations++
+		}
+		el = next
+	}
+}
+
+// setMaxBytes rebounds the cache. n <= 0 disables caching (and flushes
+// everything); shrinking evicts immediately.
+func (c *patchCache) setMaxBytes(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	for c.curBytes > c.maxBytes || (c.maxBytes <= 0 && c.lru.Len() > 0) {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+}
+
+// stats snapshots the counters.
+func (c *patchCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Waits:         c.waits,
+		Computations:  c.computations,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.lru.Len(),
+		Bytes:         c.curBytes,
+	}
+}

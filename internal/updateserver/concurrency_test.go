@@ -110,6 +110,111 @@ func TestConcurrentPublishAndLatest(t *testing.T) {
 	}
 }
 
+// TestSingleflightOneDiffPerPair hammers the patch cache from many
+// goroutines across mixed version pairs and asserts the singleflight
+// invariant: the number of diff computations equals the number of
+// distinct (app, from, to) pairs, no matter how many devices raced.
+func TestSingleflightOneDiffPerPair(t *testing.T) {
+	s := newServers(t)
+	base := bytes.Repeat([]byte("singleflight-firmware-section-"), 2048)
+	const versions = 4 // v1..v4 stored, v5 is the target
+	for v := uint16(1); v <= versions+1; v++ {
+		fw := bytes.Clone(base)
+		copy(fw[64:], fmt.Sprintf("release-%d-local-edit", v))
+		s.publish(t, 1, v, fw)
+	}
+
+	const devices = 96 // 24 goroutines per distinct pair
+	var wg sync.WaitGroup
+	errs := make(chan error, devices)
+	var start sync.WaitGroup
+	start.Add(1)
+	for i := range devices {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			start.Wait() // line everyone up on a cold cache
+			tok := manifest.DeviceToken{
+				DeviceID:       uint32(0x4000 + id),
+				Nonce:          uint32(0xACE + id),
+				CurrentVersion: uint16(1 + id%versions), // pairs (1→5)…(4→5)
+			}
+			u, err := s.update.PrepareUpdate(1, tok)
+			if err != nil {
+				errs <- fmt.Errorf("device %d: %w", id, err)
+				return
+			}
+			if !u.Differential {
+				errs <- fmt.Errorf("device %d: expected a differential update", id)
+				return
+			}
+			if u.Manifest.OldVersion != tok.CurrentVersion {
+				errs <- fmt.Errorf("device %d: OldVersion = %d, want %d", id, u.Manifest.OldVersion, tok.CurrentVersion)
+			}
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := s.update.Stats()
+	if st.Computations != versions {
+		t.Fatalf("computations = %d, want %d (one per distinct pair)", st.Computations, versions)
+	}
+	if st.Misses != versions {
+		t.Fatalf("misses = %d, want %d", st.Misses, versions)
+	}
+	if st.Hits+st.Waits != devices-versions {
+		t.Fatalf("hits+waits = %d+%d, want %d", st.Hits, st.Waits, devices-versions)
+	}
+}
+
+// TestConcurrentSubscribeUnsubscribe races subscriptions against
+// publishing; no announcement may reach a channel after its
+// Unsubscribe returned.
+func TestConcurrentSubscribeUnsubscribe(t *testing.T) {
+	s := newServers(t)
+	s.publish(t, 7, 1, []byte("seed"))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint16(2); v <= 30; v++ {
+			img, err := s.vendor.BuildImage(buildRelease(7, v))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.update.Publish(img); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				ch := s.update.Subscribe()
+				s.update.Unsubscribe(ch)
+				// After Unsubscribe at most one announcement snapshotted
+				// before removal may straggle in; drain and move on.
+				for len(ch) > 0 {
+					<-ch
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := s.update.SubscriberCount(); n != 0 {
+		t.Fatalf("%d subscribers leaked", n)
+	}
+}
+
 func buildRelease(appID uint32, v uint16) vendorserver.Release {
 	return vendorserver.Release{
 		AppID:      appID,

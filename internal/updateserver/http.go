@@ -19,7 +19,11 @@ import (
 //	GET  /api/v1/version?app=<hex>     → {"version": n}
 //	POST /api/v1/update?app=<hex>      body: device-token JSON
 //	                                   → update JSON (manifest + payload,
-//	                                     base64)
+//	                                     base64); 204 No Content when the
+//	                                     device already runs the latest
+//	                                     version (404 stays reserved for
+//	                                     unknown apps)
+//	GET  /api/v1/stats                 → patch-cache counters JSON
 //
 // The CoAP endpoint (internal/coap) serves pulling devices directly;
 // this HTTP endpoint serves proxies, which then forward the image over
@@ -51,6 +55,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/version", s.handleHTTPVersion)
 	mux.HandleFunc("POST /api/v1/update", s.handleHTTPUpdate)
+	mux.HandleFunc("GET /api/v1/stats", s.handleHTTPStats)
 	return mux
 }
 
@@ -105,7 +110,13 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case err == nil:
-	case isClientErr(err):
+	case errors.Is(err, ErrNoNewUpdate):
+		// Success-shaped: the device is already current. Proxies polling
+		// on behalf of up-to-date devices must be able to tell this
+		// apart from an unknown app (404 below).
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case errors.Is(err, ErrUnknownApp):
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	default:
@@ -121,8 +132,8 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func isClientErr(err error) bool {
-	return errors.Is(err, ErrUnknownApp) || errors.Is(err, ErrNoNewUpdate)
+func (s *Server) handleHTTPStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // HTTPClient fetches updates from a remote update server's HTTP API —
@@ -158,7 +169,26 @@ func (c *HTTPClient) Latest(appID uint32) (uint16, error) {
 	return v.Version, nil
 }
 
-// Request fetches the double-signed update for a device token.
+// Stats fetches the server's patch-cache counters.
+func (c *HTTPClient) Stats() (CacheStats, error) {
+	resp, err := c.client().Get(c.BaseURL + "/api/v1/stats")
+	if err != nil {
+		return CacheStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return CacheStats{}, fmt.Errorf("updateserver: stats: HTTP %d", resp.StatusCode)
+	}
+	var st CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return CacheStats{}, err
+	}
+	return st, nil
+}
+
+// Request fetches the double-signed update for a device token. When
+// the device already runs the latest version (HTTP 204), it returns
+// ErrNoNewUpdate, mirroring the in-process PrepareUpdate contract.
 func (c *HTTPClient) Request(appID uint32, tok manifest.DeviceToken) (*Update, error) {
 	body, err := json.Marshal(tokenJSON{
 		DeviceID:       tok.DeviceID,
@@ -175,6 +205,9 @@ func (c *HTTPClient) Request(appID uint32, tok manifest.DeviceToken) (*Update, e
 		return nil, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return nil, ErrNoNewUpdate
+	}
 	if resp.StatusCode != http.StatusOK {
 		return nil, fmt.Errorf("updateserver: update: HTTP %d", resp.StatusCode)
 	}

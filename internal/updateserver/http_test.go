@@ -2,6 +2,7 @@ package updateserver
 
 import (
 	"bytes"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -118,12 +119,51 @@ func TestHTTPErrorStatuses(t *testing.T) {
 	if got := post("/api/v1/update?app=2a", "not json"); got != http.StatusBadRequest {
 		t.Errorf("bad token body: %d", got)
 	}
-	// Device already on the latest version → no update (404).
-	if got := post("/api/v1/update?app=2a", `{"deviceId":1,"nonce":2,"currentVersion":1}`); got != http.StatusNotFound {
-		t.Errorf("no new update: %d", got)
+	// Device already on the latest version → success-shaped 204, so a
+	// proxy polling for an up-to-date device can tell "nothing to do"
+	// apart from "unknown app" (404).
+	if got := post("/api/v1/update?app=2a", `{"deviceId":1,"nonce":2,"currentVersion":1}`); got != http.StatusNoContent {
+		t.Errorf("no new update: %d, want 204", got)
+	}
+	if got := post("/api/v1/update?app=99", `{"deviceId":1,"nonce":2,"currentVersion":1}`); got != http.StatusNotFound {
+		t.Errorf("unknown app on update: %d, want 404", got)
 	}
 	if got := get("/api/v1/nope"); got != http.StatusNotFound {
 		t.Errorf("unknown path: %d", got)
+	}
+}
+
+func TestHTTPClientMapsNoContentToErrNoNewUpdate(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.publish(t, 0x2A, 1, []byte("v1"))
+	client := &HTTPClient{BaseURL: ts.URL}
+	_, err := client.Request(0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
+	if !errors.Is(err, ErrNoNewUpdate) {
+		t.Fatalf("error = %v, want ErrNoNewUpdate", err)
+	}
+}
+
+func TestHTTPStatsEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	v1 := bytes.Repeat([]byte("stats-base"), 2000)
+	v2 := bytes.Clone(v1)
+	copy(v2[64:], []byte("edit"))
+	s.publish(t, 0x2A, 1, v1)
+	s.publish(t, 0x2A, 2, v2)
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	for i := range 3 {
+		tok := manifest.DeviceToken{DeviceID: uint32(i + 1), Nonce: uint32(i + 10), CurrentVersion: 1}
+		if _, err := client.Request(0x2A, tok); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Computations != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 computation and 2 hits", st)
 	}
 }
 

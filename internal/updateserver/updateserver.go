@@ -12,6 +12,7 @@
 package updateserver
 
 import (
+	"bytes"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -19,8 +20,6 @@ import (
 	"sort"
 	"sync"
 
-	"upkit/internal/bsdiff"
-	"upkit/internal/lzss"
 	"upkit/internal/manifest"
 	"upkit/internal/security"
 	"upkit/internal/vendorserver"
@@ -72,17 +71,45 @@ type Server struct {
 
 	// retain bounds stored releases per app; 0 keeps everything.
 	retain int
+
+	// cache memoises differential payloads per (app, from, to) pair
+	// with singleflight dedup; see cache.go. It has its own lock and is
+	// never touched while mu is held.
+	cache *patchCache
 }
 
-// SetRetention bounds the number of releases kept per app. Old
-// releases are pruned on publish; pruning a release removes it as a
-// differential base, so devices reporting that version fall back to
-// full images (the paper's token field already covers this, §III-B).
+// SetRetention bounds the number of releases kept per app, pruning
+// immediately when the new bound is tighter than the stored history.
+// Pruning a release removes it as a differential base — devices
+// reporting that version fall back to full images (the paper's token
+// field already covers this, §III-B) — and drops the pruned app's
+// cached patches.
 func (s *Server) SetRetention(n int) {
 	s.mu.Lock()
 	s.retain = n
+	var pruned []uint32
+	if n > 0 {
+		for app, list := range s.releases {
+			if len(list) > n {
+				s.releases[app] = append([]*vendorserver.Image{}, list[len(list)-n:]...)
+				pruned = append(pruned, app)
+			}
+		}
+	}
 	s.mu.Unlock()
+	for _, app := range pruned {
+		s.cache.invalidateApp(app)
+	}
 }
+
+// SetPatchCacheSize rebounds the differential-patch cache to n bytes.
+// n <= 0 disables caching (and singleflight dedup) entirely — the
+// reference configuration the benchmarks compare against. New servers
+// start with DefaultPatchCacheBytes.
+func (s *Server) SetPatchCacheSize(n int) { s.cache.setMaxBytes(n) }
+
+// Stats snapshots the patch cache's hit/miss/singleflight counters.
+func (s *Server) Stats() CacheStats { return s.cache.stats() }
 
 // New creates an update server signing with key under suite.
 func New(suite security.Suite, key *security.PrivateKey) *Server {
@@ -90,6 +117,7 @@ func New(suite security.Suite, key *security.PrivateKey) *Server {
 		suite:    suite,
 		key:      key,
 		releases: make(map[uint32][]*vendorserver.Image),
+		cache:    newPatchCache(DefaultPatchCacheBytes),
 	}
 }
 
@@ -136,6 +164,11 @@ func (s *Server) Publish(img *vendorserver.Image) error {
 	copy(subs, s.subs)
 	s.mu.Unlock()
 
+	// Every cached patch for this app targets a now-superseded latest
+	// version (and publish-time pruning may have dropped bases), so
+	// drop them all before anyone reacts to the announcement.
+	s.cache.invalidateApp(img.Manifest.AppID)
+
 	ann := Announcement{AppID: img.Manifest.AppID, Version: img.Manifest.Version}
 	for _, ch := range subs {
 		select {
@@ -148,13 +181,39 @@ func (s *Server) Publish(img *vendorserver.Image) error {
 
 // Subscribe returns a channel receiving new-version announcements. The
 // channel is buffered; missed announcements are dropped (subscribers
-// can always poll Latest).
+// can always poll Latest). Callers that stop listening must call
+// Unsubscribe, or the server accumulates dead channels for its whole
+// lifetime.
 func (s *Server) Subscribe() <-chan Announcement {
 	ch := make(chan Announcement, 16)
 	s.mu.Lock()
 	s.subs = append(s.subs, ch)
 	s.mu.Unlock()
 	return ch
+}
+
+// Unsubscribe removes a channel obtained from Subscribe. The channel
+// is not closed (a Publish that already snapshotted the subscriber
+// list may still deliver one last buffered announcement); it simply
+// stops receiving and is released for garbage collection. Unknown
+// channels are ignored.
+func (s *Server) Unsubscribe(ch <-chan Announcement) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, sub := range s.subs {
+		if (<-chan Announcement)(sub) == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// SubscriberCount reports the number of live announcement subscribers
+// (an operational leak indicator).
+func (s *Server) SubscriberCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs)
 }
 
 // LatestImage returns the newest vendor-signed image for app, or
@@ -227,18 +286,25 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 
 	u := &Update{}
 	if base != nil {
-		patch := lzss.Encode(bsdiff.Diff(base.Firmware, latest.Firmware))
-		// A patch larger than the image would be counterproductive;
-		// fall back to the full image (the manifest then says so).
-		if len(patch) < len(latest.Firmware) {
+		// The patch depends only on the version pair, not on the device:
+		// serve it from the cache, computing at most once per pair even
+		// under a thundering herd (see cache.go). A patch at least as
+		// large as the image is counterproductive; the cache remembers
+		// that verdict too and we fall back to the full image (the
+		// manifest then says so).
+		key := patchKey{appID: appID, from: tok.CurrentVersion, to: latest.Manifest.Version}
+		if res := s.cache.payload(key, base.Firmware, latest.Firmware); res.viable {
 			m.OldVersion = tok.CurrentVersion
-			m.PatchSize = uint32(len(patch))
-			u.Payload = patch
+			m.PatchSize = uint32(len(res.patch))
+			u.Payload = bytes.Clone(res.patch) // cache keeps the canonical copy
 			u.Differential = true
 		}
 	}
 	if !u.Differential {
-		u.Payload = latest.Firmware
+		// Clone: the caller owns the returned payload. Aliasing the
+		// stored release would let one caller's mutation corrupt the
+		// published image for every later request.
+		u.Payload = bytes.Clone(latest.Firmware)
 	}
 	s.mu.Lock()
 	payloadKey := s.payloadKey

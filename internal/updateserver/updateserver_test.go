@@ -18,7 +18,7 @@ type servers struct {
 	update *Server
 }
 
-func newServers(t *testing.T) *servers {
+func newServers(t testing.TB) *servers {
 	t.Helper()
 	suite := security.NewTinyCrypt()
 	return &servers{
@@ -28,7 +28,7 @@ func newServers(t *testing.T) *servers {
 	}
 }
 
-func (s *servers) publish(t *testing.T, appID uint32, version uint16, fw []byte) {
+func (s *servers) publish(t testing.TB, appID uint32, version uint16, fw []byte) {
 	t.Helper()
 	img, err := s.vendor.BuildImage(vendorserver.Release{
 		AppID: appID, Version: version, LinkOffset: 0xFFFFFFFF, Firmware: fw,

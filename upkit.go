@@ -97,6 +97,9 @@ type (
 	UpdateServer = updateserver.Server
 	// Update is a prepared, double-signed update ready for transfer.
 	Update = updateserver.Update
+	// UpdateServerStats snapshots the server's differential-patch
+	// cache counters (UpdateServer.Stats).
+	UpdateServerStats = updateserver.CacheStats
 )
 
 // Device side.
