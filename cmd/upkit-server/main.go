@@ -14,11 +14,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"upkit/internal/coap"
 	"upkit/internal/manifest"
@@ -26,6 +31,9 @@ import (
 	"upkit/internal/updateserver"
 	"upkit/internal/vendorserver"
 )
+
+// shutdownGrace bounds how long a drain may take once a signal arrives.
+const shutdownGrace = 5 * time.Second
 
 // imageList collects repeated -image flags.
 type imageList []string
@@ -98,21 +106,73 @@ func run() error {
 		break
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var httpServer *http.Server
+	httpErr := make(chan error, 1)
 	if *httpAddr != "" {
+		httpServer = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           server.Handler(),
+			ReadTimeout:       10 * time.Second,
+			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
-			fmt.Printf("serving HTTP API on %s (stats at /api/v1/stats)\n", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, server.Handler()); err != nil {
-				fmt.Fprintln(os.Stderr, "upkit-server: http:", err)
+			fmt.Printf("serving HTTP API on %s (stats at /api/v1/stats, metrics at /api/v1/metrics)\n", *httpAddr)
+			if err := httpServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				httpErr <- err
 			}
+			close(httpErr)
 		}()
+	} else {
+		close(httpErr)
 	}
+
 	pull := coap.NewPullServer(server)
 	udp, err := coap.ListenUDP(*addr, pull.Handle)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("serving CoAP on %s (server pubkey %x…)\n", udp.Addr(), key.Public().Bytes()[:8])
-	return udp.Serve()
+	udpErr := make(chan error, 1)
+	go func() { udpErr <- udp.Serve() }()
+
+	// Block until a shutdown signal or a server failure, then drain:
+	// the HTTP listener finishes in-flight requests, the CoAP socket
+	// closes so Serve returns.
+	var runErr error
+	udpDone := false
+	select {
+	case <-ctx.Done():
+		fmt.Println("shutting down")
+	case err := <-httpErr:
+		if err != nil {
+			runErr = fmt.Errorf("http: %w", err)
+		}
+	case err := <-udpErr:
+		udpDone = true
+		if err != nil {
+			runErr = fmt.Errorf("coap: %w", err)
+		}
+	}
+	if httpServer != nil {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		if err := httpServer.Shutdown(shutdownCtx); err != nil && runErr == nil {
+			runErr = fmt.Errorf("http shutdown: %w", err)
+		}
+		cancel()
+	}
+	if err := udp.Close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if !udpDone {
+		<-udpErr
+	}
+	fmt.Println("spans:", server.Telemetry().Spans().Summary())
+	return runErr
 }
 
 // loadImage parses a .upk file (manifest || firmware) into a

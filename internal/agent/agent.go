@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"upkit/internal/events"
 	"upkit/internal/manifest"
@@ -24,6 +25,7 @@ import (
 	"upkit/internal/security"
 	"upkit/internal/simclock"
 	"upkit/internal/slot"
+	"upkit/internal/telemetry"
 	"upkit/internal/verifier"
 )
 
@@ -117,6 +119,10 @@ type Config struct {
 	PayloadKey []byte
 	// Events receives lifecycle events; nil drops them.
 	Events *events.Log
+	// Telemetry, when set, counts FSM transitions and early rejections
+	// and contributes the device's verification time to the update's
+	// phase span. Nil drops all samples.
+	Telemetry *telemetry.Registry
 }
 
 // measure charges fn's virtual time to phase when attribution is on.
@@ -125,6 +131,52 @@ func (a *Agent) measure(phase string, fn func() error) error {
 		return fn()
 	}
 	return a.cfg.Phases.Measure(phase, fn)
+}
+
+// setState moves the FSM and counts the transition.
+func (a *Agent) setState(to State) {
+	a.state = to
+	a.cfg.Telemetry.Counter("upkit_agent_transitions_total",
+		"Agent FSM transitions by destination state.",
+		telemetry.L("to", to.String())).Inc()
+}
+
+// reject counts an early rejection (the paper's headline property: bad
+// manifests die before a single firmware byte is transferred).
+func (a *Agent) reject(kind string) {
+	a.cfg.Telemetry.Counter("upkit_agent_rejections_total",
+		"Updates rejected by the agent, by verification stage.",
+		telemetry.L("kind", kind)).Inc()
+}
+
+// spanKey identifies the in-flight update's phase span: the same
+// (device, app, from→to) tuple the double signature binds, so the
+// device-side phases land in the span the server opened.
+func (a *Agent) spanKey(to uint16) telemetry.SpanKey {
+	return telemetry.SpanKey{
+		DeviceID: a.cfg.DeviceID,
+		AppID:    a.cfg.AppID,
+		From:     a.token.CurrentVersion,
+		To:       to,
+	}
+}
+
+// timedVerify runs fn under the verification-phase accumulator and
+// contributes the virtual time it consumed to the update's span.
+func (a *Agent) timedVerify(to uint16, fn func() error) error {
+	var start time.Duration
+	if a.cfg.Clock != nil {
+		start = a.cfg.Clock.Now()
+	}
+	err := a.measure(PhaseVerification, fn)
+	if a.cfg.Telemetry != nil {
+		var d time.Duration
+		if a.cfg.Clock != nil {
+			d = a.cfg.Clock.Now() - start
+		}
+		a.cfg.Telemetry.Spans().Record(a.spanKey(to), telemetry.PhaseVerification, d)
+	}
+	return err
 }
 
 // Agent is the device-side update agent.
@@ -225,7 +277,7 @@ func (a *Agent) RequestDeviceToken() (manifest.DeviceToken, error) {
 	}
 	a.writer = w
 	a.mbuf = make([]byte, 0, manifest.EncodedSize)
-	a.state = StateReceiveManifest
+	a.setState(StateReceiveManifest)
 	a.cfg.Events.Emit(events.KindTokenIssued, current, fmt.Sprintf("nonce %#x", nonce))
 	return a.token, nil
 }
@@ -272,6 +324,7 @@ func (a *Agent) Receive(data []byte) (Status, error) {
 		}
 		if err := a.acceptManifest(); err != nil {
 			a.cfg.Events.Emit(events.KindManifestRejected, 0, err.Error())
+			a.reject("manifest")
 			a.clean()
 			return StatusNeedMore, err
 		}
@@ -297,6 +350,7 @@ func (a *Agent) Receive(data []byte) (Status, error) {
 		}
 		if err := a.finishFirmware(); err != nil {
 			a.cfg.Events.Emit(events.KindFirmwareRejected, a.m.Version, err.Error())
+			a.reject("firmware")
 			a.clean()
 			return StatusNeedMore, err
 		}
@@ -322,7 +376,7 @@ func (a *Agent) acceptManifest() error {
 		CurrentVersion: a.currentVersion(),
 	}
 	dst := verifier.SlotInfo{LinkBase: a.target.LinkBase, Capacity: a.target.Capacity()}
-	if err := a.measure(PhaseVerification, func() error {
+	if err := a.timedVerify(m.Version, func() error {
 		return a.cfg.Verifier.VerifyManifestForAgent(m, a.token, dev, dst)
 	}); err != nil {
 		return err
@@ -351,9 +405,10 @@ func (a *Agent) acceptManifest() error {
 			return fmt.Errorf("agent: %w", err)
 		}
 	}
+	a.pipe.SetTelemetry(a.cfg.Telemetry)
 	a.m = m
 	a.received = 0
-	a.state = StateReceiveFirmware
+	a.setState(StateReceiveFirmware)
 	return nil
 }
 
@@ -367,7 +422,7 @@ func (a *Agent) finishFirmware() error {
 	if err != nil {
 		return err
 	}
-	if err := a.measure(PhaseVerification, func() error {
+	if err := a.timedVerify(a.m.Version, func() error {
 		return a.cfg.Verifier.VerifyFirmware(r, a.m)
 	}); err != nil {
 		return err
@@ -375,7 +430,7 @@ func (a *Agent) finishFirmware() error {
 	if err := a.target.MarkComplete(); err != nil {
 		return err
 	}
-	a.state = StateReadyToReboot
+	a.setState(StateReadyToReboot)
 	return nil
 }
 
@@ -394,7 +449,7 @@ func (a *Agent) clean() {
 	a.writer = nil
 	a.pipe = nil
 	a.received = 0
-	a.state = StateWaiting
+	a.setState(StateWaiting)
 }
 
 // Abort cancels an in-flight update (e.g. connection lost) and cleans up.
@@ -415,5 +470,5 @@ func (a *Agent) Reset() {
 	a.writer = nil
 	a.pipe = nil
 	a.received = 0
-	a.state = StateWaiting
+	a.setState(StateWaiting)
 }

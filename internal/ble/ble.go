@@ -21,6 +21,7 @@ import (
 
 	"upkit/internal/agent"
 	"upkit/internal/manifest"
+	"upkit/internal/telemetry"
 	"upkit/internal/transport"
 )
 
@@ -61,10 +62,38 @@ type Peripheral struct {
 	Agent *agent.Agent
 
 	expect int // bytes remaining in the announced transfer
+	tel    *telemetry.Registry
 }
 
 // NewPeripheral wraps an agent.
 func NewPeripheral(a *agent.Agent) *Peripheral { return &Peripheral{Agent: a} }
+
+// SetTelemetry attaches a metrics registry: DFU status notifications
+// are counted by status. Nil drops the samples.
+func (p *Peripheral) SetTelemetry(reg *telemetry.Registry) { p.tel = reg }
+
+// note counts a status notification and passes it through.
+func (p *Peripheral) note(status byte) byte {
+	p.tel.Counter("upkit_ble_status_total", "DFU status notifications by status.",
+		telemetry.L("status", statusName(status))).Inc()
+	return status
+}
+
+// statusName labels a DFU status byte for the counter.
+func statusName(s byte) string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusManifestValid:
+		return "manifest-valid"
+	case StatusUpdateReady:
+		return "update-ready"
+	case StatusRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
 
 // readToken services a read of the token characteristic.
 func (p *Peripheral) readToken() ([]byte, error) {
@@ -79,15 +108,15 @@ func (p *Peripheral) readToken() ([]byte, error) {
 // returns the notification payload.
 func (p *Peripheral) writeControl(data []byte) byte {
 	if len(data) != 5 {
-		return StatusRejected
+		return p.note(StatusRejected)
 	}
 	length := int(binary.BigEndian.Uint32(data[1:5]))
 	switch data[0] {
 	case OpBeginManifest, OpBeginFirmware:
 		p.expect = length
-		return StatusOK
+		return p.note(StatusOK)
 	default:
-		return StatusRejected
+		return p.note(StatusRejected)
 	}
 }
 
@@ -97,26 +126,26 @@ func (p *Peripheral) writeControl(data []byte) byte {
 func (p *Peripheral) writeData(chunk []byte) (status byte, done bool) {
 	if len(chunk) > p.expect {
 		p.Agent.Abort()
-		return StatusRejected, true
+		return p.note(StatusRejected), true
 	}
 	st, err := p.Agent.Receive(chunk)
 	p.expect -= len(chunk)
 	if err != nil {
-		return StatusRejected, true
+		return p.note(StatusRejected), true
 	}
 	if p.expect > 0 {
 		return 0, false
 	}
 	switch st {
 	case agent.StatusManifestAccepted:
-		return StatusManifestValid, true
+		return p.note(StatusManifestValid), true
 	case agent.StatusUpdateReady:
-		return StatusUpdateReady, true
+		return p.note(StatusUpdateReady), true
 	default:
 		// The transfer completed but the agent wants more: the control
 		// length disagreed with the manifest. Abort.
 		p.Agent.Abort()
-		return StatusRejected, true
+		return p.note(StatusRejected), true
 	}
 }
 

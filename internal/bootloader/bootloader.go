@@ -28,6 +28,7 @@ import (
 	"upkit/internal/manifest"
 	"upkit/internal/simclock"
 	"upkit/internal/slot"
+	"upkit/internal/telemetry"
 	"upkit/internal/verifier"
 )
 
@@ -97,6 +98,9 @@ type Config struct {
 	Phases *simclock.Timer
 	// Events receives lifecycle events (swap resume); nil drops them.
 	Events *events.Log
+	// Telemetry, when set, counts boot outcomes (ok, installed,
+	// rolled-back, failed). Nil drops all samples.
+	Telemetry *telemetry.Registry
 }
 
 // Result describes a completed boot.
@@ -183,11 +187,30 @@ func (b *Bootloader) validate(s, execSlot *slot.Slot) (*manifest.Manifest, error
 
 // Boot verifies and loads an image according to the configured mode.
 func (b *Bootloader) Boot() (Result, error) {
+	var res Result
+	var err error
 	switch b.cfg.Mode {
 	case ModeAB:
-		return b.bootAB()
+		res, err = b.bootAB()
 	default:
-		return b.bootStatic()
+		res, err = b.bootStatic()
+	}
+	b.cfg.Telemetry.Counter("upkit_boot_total", "Bootloader outcomes.",
+		telemetry.L("outcome", bootOutcome(res, err))).Inc()
+	return res, err
+}
+
+// bootOutcome flattens a boot result to a counter label.
+func bootOutcome(res Result, err error) string {
+	switch {
+	case err != nil:
+		return "failed"
+	case res.RolledBack:
+		return "rolled-back"
+	case res.Installed:
+		return "installed"
+	default:
+		return "ok"
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"net"
 	"time"
 
+	"upkit/internal/telemetry"
 	"upkit/internal/transport"
 )
 
@@ -37,6 +38,9 @@ type LinkExchanger struct {
 	// AckTimeout is the (virtual) wait before a retransmission; 0
 	// selects 2 s, the RFC default.
 	AckTimeout time.Duration
+	// Telemetry, when set, counts exchanges and retransmissions. Nil
+	// drops the samples.
+	Telemetry *telemetry.Registry
 
 	nextMID uint16
 }
@@ -57,6 +61,7 @@ func (e *LinkExchanger) Exchange(req *Message) (*Message, error) {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
+	e.Telemetry.Counter("upkit_coap_exchanges_total", "Confirmable CoAP exchanges attempted.").Inc()
 	for attempt := 0; ; attempt++ {
 		resp, err := e.once(req, enc)
 		if err == nil {
@@ -65,6 +70,7 @@ func (e *LinkExchanger) Exchange(req *Message) (*Message, error) {
 		if !errors.Is(err, transport.ErrLost) || attempt >= retries {
 			return nil, err
 		}
+		e.Telemetry.Counter("upkit_coap_retransmissions_total", "CoAP retransmissions after lost frames (RFC 7252 §4.2).").Inc()
 		// Retransmission timeout with binary exponential backoff.
 		if e.Link.Clock != nil {
 			e.Link.Clock.Advance(timeout << uint(attempt))

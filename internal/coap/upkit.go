@@ -9,6 +9,7 @@ import (
 
 	"upkit/internal/agent"
 	"upkit/internal/manifest"
+	"upkit/internal/telemetry"
 	"upkit/internal/updateserver"
 )
 
@@ -48,23 +49,46 @@ type PullServer struct {
 
 	mu       sync.Mutex
 	sessions map[sessionKey][]byte
+
+	// Resolved on the update server's registry; nil handles drop samples.
+	reqVersion *telemetry.Counter
+	reqRequest *telemetry.Counter
+	reqImage   *telemetry.Counter
+	reqOther   *telemetry.Counter
+	blocks     *telemetry.Counter
 }
 
-// NewPullServer wraps updates.
+// NewPullServer wraps updates, recording CoAP request and block counts
+// on the update server's telemetry registry.
 func NewPullServer(updates *updateserver.Server) *PullServer {
-	return &PullServer{Updates: updates, sessions: make(map[sessionKey][]byte)}
+	s := &PullServer{Updates: updates, sessions: make(map[sessionKey][]byte)}
+	var reg *telemetry.Registry
+	if updates != nil {
+		reg = updates.Telemetry()
+	}
+	const help = "CoAP requests served by resource."
+	s.reqVersion = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "version"))
+	s.reqRequest = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "request"))
+	s.reqImage = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "image"))
+	s.reqOther = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "other"))
+	s.blocks = reg.Counter("upkit_coap_blocks_total", "Block2 payload blocks served.")
+	return s
 }
 
 // Handle is the CoAP Handler for the UpKit resources.
 func (s *PullServer) Handle(req *Message) *Message {
 	switch {
 	case req.Code == CodeGET && req.Path() == PathVersion:
+		s.reqVersion.Inc()
 		return s.handleVersion(req)
 	case req.Code == CodePOST && req.Path() == PathRequest:
+		s.reqRequest.Inc()
 		return s.handleRequest(req)
 	case req.Code == CodeGET && req.Path() == PathImage:
+		s.reqImage.Inc()
 		return s.handleImage(req)
 	default:
+		s.reqOther.Inc()
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
 }
@@ -146,6 +170,7 @@ func (s *PullServer) handleImage(req *Message) *Message {
 	// back into the stored session payload.
 	chunk := make([]byte, end-start)
 	copy(chunk, payload[start:end])
+	s.blocks.Inc()
 	resp := &Message{Type: Acknowledgement, Code: CodeContent, Payload: chunk}
 	respBlock := Block{Num: block.Num, More: end < len(payload), SZX: block.SZX}
 	resp.AddOption(OptBlock2, respBlock.Marshal())

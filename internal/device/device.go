@@ -20,6 +20,7 @@ import (
 	"upkit/internal/security"
 	"upkit/internal/simclock"
 	"upkit/internal/slot"
+	"upkit/internal/telemetry"
 	"upkit/internal/updateserver"
 	"upkit/internal/verifier"
 )
@@ -80,6 +81,10 @@ type Options struct {
 	// bootloader's last resort when neither slot verifies. It lives on
 	// external flash when the platform has one.
 	WithRecovery bool
+	// Telemetry, when set, is shared with the agent and bootloader so
+	// device-side metrics and phase spans land in one registry (usually
+	// the update server's). Nil keeps the device silent.
+	Telemetry *telemetry.Registry
 }
 
 // Device is one simulated IoT device.
@@ -232,19 +237,20 @@ func New(opts Options) (*Device, error) {
 	log := events.NewLog(clock, 0)
 	ver := verifier.New(opts.Suite, opts.Keys, clock)
 	bl, err := bootloader.New(bootloader.Config{
-		Mode:     opts.Mode,
-		Boot:     slotA,
-		Alt:      slotB,
-		Recovery: recovery,
-		Scratch:  scratch,
-		Journal:  journal,
-		Verifier: ver,
-		DeviceID: opts.DeviceID,
-		AppID:    opts.AppID,
-		Clock:    clock,
-		JumpTime: opts.JumpTime,
-		Phases:   phases,
-		Events:   log,
+		Mode:      opts.Mode,
+		Boot:      slotA,
+		Alt:       slotB,
+		Recovery:  recovery,
+		Scratch:   scratch,
+		Journal:   journal,
+		Verifier:  ver,
+		DeviceID:  opts.DeviceID,
+		AppID:     opts.AppID,
+		Clock:     clock,
+		JumpTime:  opts.JumpTime,
+		Phases:    phases,
+		Events:    log,
+		Telemetry: opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -292,6 +298,7 @@ func (d *Device) rebuildAgent() error {
 		Phases:              d.Phases,
 		PayloadKey:          d.opts.PayloadKey,
 		Events:              d.Events,
+		Telemetry:           d.opts.Telemetry,
 	})
 	if err != nil {
 		return err
@@ -358,8 +365,26 @@ func (d *Device) FactoryProvision(u *updateserver.Update) error {
 
 // Reboot power-cycles the device: charges the reboot cost, runs the
 // bootloader (verification + loading phases), and restarts the agent in
-// the newly running firmware.
+// the newly running firmware. When the reboot applies a staged update,
+// its loading time is contributed to the update's phase span and the
+// span is ended with the boot outcome.
 func (d *Device) Reboot() (bootloader.Result, error) {
+	// Snapshot the staged update's identity before the bootloader (and
+	// the agent rebuild) discard it; factory provisions and plain reboots
+	// carry no staged manifest and produce no span.
+	var spanKey telemetry.SpanKey
+	spanUpdate := d.opts.Telemetry != nil && d.Agent != nil && d.Agent.Manifest() != nil
+	if spanUpdate {
+		tok := d.Agent.Token()
+		spanKey = telemetry.SpanKey{
+			DeviceID: d.opts.DeviceID,
+			AppID:    d.opts.AppID,
+			From:     tok.CurrentVersion,
+			To:       d.Agent.Manifest().Version,
+		}
+	}
+	loadingBefore := d.Phases.Phase(PhaseLoading)
+
 	d.reboots++
 	d.Meter.ChargeReboot()
 	d.Events.Emit(events.KindRebooted, d.RunningVersion(), "")
@@ -372,6 +397,18 @@ func (d *Device) Reboot() (bootloader.Result, error) {
 		}
 	}
 	res, err := d.Bootloader.Boot()
+	if spanUpdate {
+		spans := d.opts.Telemetry.Spans()
+		spans.Record(spanKey, telemetry.PhaseLoading, d.Phases.Phase(PhaseLoading)-loadingBefore)
+		switch {
+		case err != nil:
+			spans.End(spanKey, "boot-failed")
+		case res.RolledBack:
+			spans.End(spanKey, "rolled-back")
+		default:
+			spans.End(spanKey, "installed")
+		}
+	}
 	if err != nil {
 		d.Events.Emit(events.KindBootFailed, 0, err.Error())
 		return res, err

@@ -39,10 +39,11 @@ func AblationPatchCache() (*Table, error) {
 	var totals [2]time.Duration
 	for i, mode := range []string{"uncached", "cached"} {
 		vendor := vendorserver.New(suite, security.MustGenerateKey("cache-exp-vendor"))
-		update := updateserver.New(suite, security.MustGenerateKey("cache-exp-server"))
+		var serverOpts []updateserver.Option
 		if mode == "uncached" {
-			update.SetPatchCacheSize(0)
+			serverOpts = append(serverOpts, updateserver.WithPatchCacheSize(0))
 		}
+		update := updateserver.New(suite, security.MustGenerateKey("cache-exp-server"), serverOpts...)
 		for v, fw := range [][]byte{v1, v2} {
 			img, err := vendor.BuildImage(vendorserver.Release{
 				AppID: 0x2A, Version: uint16(v + 1), LinkOffset: 0xFFFFFFFF, Firmware: fw,

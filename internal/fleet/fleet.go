@@ -11,10 +11,13 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+
+	"upkit/internal/telemetry"
 )
 
 // Updater is one device's update entry point.
@@ -93,6 +96,10 @@ type Report struct {
 	Target  uint16
 	Results []Result
 	Aborted bool
+	// SpanSummary, when the campaign carries a telemetry registry, is
+	// the phase-span digest at the end of the run (per-phase totals over
+	// completed update spans).
+	SpanSummary string
 }
 
 // Counts tallies outcomes.
@@ -115,7 +122,13 @@ type Campaign struct {
 	target  uint16
 	policy  Policy
 	devices []Updater
+	tel     *telemetry.Registry
 }
+
+// SetTelemetry attaches a metrics registry. Waves, per-device outcomes
+// and attempts are counted on it, and the report carries the registry's
+// phase-span summary. A nil registry leaves the campaign silent.
+func (c *Campaign) SetTelemetry(reg *telemetry.Registry) { c.tel = reg }
 
 // New creates a campaign for target across devices.
 func New(target uint16, policy Policy, devices []Updater) (*Campaign, error) {
@@ -133,13 +146,31 @@ func New(target uint16, policy Policy, devices []Updater) (*Campaign, error) {
 
 // Run executes the campaign: canary wave, gate, then the rest. The
 // returned report always covers every device; err wraps
-// ErrCampaignAborted when the gate tripped.
+// ErrCampaignAborted when the gate tripped. It is RunContext with
+// context.Background().
 func (c *Campaign) Run() (*Report, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the campaign under ctx. Cancellation is honored
+// mid-wave: in-flight device updates finish their current attempt, not
+// yet started devices are marked StatusSkipped, and the returned error
+// wraps ctx.Err(). The report still covers every device.
+func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 	report := &Report{Target: c.target}
 	results := make([]Result, len(c.devices))
 	for i, d := range c.devices {
 		results[i] = Result{DeviceID: d.ID(), Status: StatusPending, Version: d.Version()}
 	}
+	defer func() {
+		if c.tel != nil {
+			report.SpanSummary = c.tel.Spans().Summary()
+			for _, r := range results {
+				c.met("upkit_campaign_devices_total", "Campaign device outcomes.",
+					telemetry.L("status", r.Status.String())).Inc()
+			}
+		}
+	}()
 
 	canary := 0
 	if c.policy.CanaryFraction > 0 {
@@ -147,7 +178,7 @@ func (c *Campaign) Run() (*Report, error) {
 		canary = max(1, min(canary, len(c.devices)))
 	}
 
-	c.wave(results, 0, canary)
+	c.wave(ctx, results, 0, canary)
 	if canary > 0 {
 		var failed int
 		for _, r := range results[:canary] {
@@ -165,13 +196,27 @@ func (c *Campaign) Run() (*Report, error) {
 			return report, fmt.Errorf("%w: %d of %d canaries failed", ErrCampaignAborted, failed, canary)
 		}
 	}
-	c.wave(results, canary, len(c.devices))
+	c.wave(ctx, results, canary, len(c.devices))
 	report.Results = results
+	if err := ctx.Err(); err != nil {
+		report.Aborted = true
+		return report, fmt.Errorf("fleet: campaign canceled: %w", err)
+	}
 	return report, nil
 }
 
-// wave updates devices[from:to] with bounded parallelism.
-func (c *Campaign) wave(results []Result, from, to int) {
+// met resolves a counter on the campaign's registry (nil-safe).
+func (c *Campaign) met(name, help string, labels ...telemetry.Label) *telemetry.Counter {
+	return c.tel.Counter(name, help, labels...)
+}
+
+// wave updates devices[from:to] with bounded parallelism. Devices whose
+// slot comes up after ctx is canceled are skipped.
+func (c *Campaign) wave(ctx context.Context, results []Result, from, to int) {
+	if from >= to {
+		return
+	}
+	c.met("upkit_campaign_waves_total", "Campaign waves started.").Inc()
 	parallelism := c.policy.Parallelism
 	if parallelism <= 0 {
 		parallelism = 4
@@ -184,14 +229,19 @@ func (c *Campaign) wave(results []Result, from, to int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[idx] = c.updateOne(c.devices[idx])
+			if ctx.Err() != nil {
+				results[idx].Status = StatusSkipped
+				return
+			}
+			results[idx] = c.updateOne(ctx, c.devices[idx])
 		}(i)
 	}
 	wg.Wait()
 }
 
-// updateOne drives a single device with retries.
-func (c *Campaign) updateOne(d Updater) Result {
+// updateOne drives a single device with retries. Cancellation stops
+// further retries but never interrupts an attempt halfway.
+func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 	res := Result{DeviceID: d.ID(), Version: d.Version()}
 	if res.Version >= c.target {
 		res.Status = StatusUpdated // already there (or newer)
@@ -199,7 +249,11 @@ func (c *Campaign) updateOne(d Updater) Result {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.policy.MaxRetries; attempt++ {
+		if attempt > 0 && ctx.Err() != nil {
+			break
+		}
 		res.Attempts++
+		c.met("upkit_campaign_attempts_total", "Per-device update attempts.").Inc()
 		v, err := d.TryUpdate()
 		if err == nil && v >= c.target {
 			res.Status = StatusUpdated
@@ -232,6 +286,9 @@ func (r *Report) Render() string {
 	for _, res := range sorted {
 		out += fmt.Sprintf("\n  device %#08x: %-7s v%d (%d attempts)",
 			res.DeviceID, res.Status, res.Version, res.Attempts)
+	}
+	if r.SpanSummary != "" {
+		out += "\n  spans: " + r.SpanSummary
 	}
 	return out
 }

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"upkit/internal/telemetry"
 )
 
 // fakeDevice is a scriptable Updater.
@@ -235,4 +238,78 @@ func TestStatusString(t *testing.T) {
 		}
 	}
 	_ = fmt.Sprint(StatusUpdated)
+}
+
+// cancelAfterUpdate cancels the campaign context once its own update
+// finishes, simulating an operator pulling the plug mid-rollout.
+type cancelAfterUpdate struct {
+	*fakeDevice
+	cancel context.CancelFunc
+}
+
+func (d *cancelAfterUpdate) TryUpdate() (uint16, error) {
+	v, err := d.fakeDevice.TryUpdate()
+	d.cancel()
+	return v, err
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	devs := makeFleet(6, 1, 2)
+	c, err := New(2, Policy{CanaryFraction: 0.34, Parallelism: 2}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, err := c.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if !report.Aborted {
+		t.Fatal("report not marked aborted")
+	}
+	updated, failed, skipped := report.Counts()
+	if updated != 0 || failed != 0 || skipped != 6 {
+		t.Fatalf("counts = %d/%d/%d, want 0/0/6", updated, failed, skipped)
+	}
+	for _, d := range devs {
+		if d.attempts.Load() != 0 {
+			t.Fatalf("device %#x attempted under a canceled context", d.id)
+		}
+	}
+}
+
+func TestRunContextCanceledBetweenWaves(t *testing.T) {
+	devs := makeFleet(5, 1, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// The single canary cancels the context on success; the general
+	// population must then be skipped, not attempted.
+	ups := updaters(devs)
+	ups[0] = &cancelAfterUpdate{fakeDevice: devs[0], cancel: cancel}
+	reg := telemetry.NewRegistry()
+	c, err := New(2, Policy{CanaryFraction: 0.2, MaxRetries: 2}, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTelemetry(reg)
+	report, err := c.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	updated, failed, skipped := report.Counts()
+	if updated != 1 || failed != 0 || skipped != 4 {
+		t.Fatalf("counts = %d/%d/%d, want 1/0/4\n%s", updated, failed, skipped, report.Render())
+	}
+	for _, d := range devs[1:] {
+		if d.attempts.Load() != 0 {
+			t.Fatalf("device %#x attempted after cancellation", d.id)
+		}
+	}
+	if got := reg.Counter("upkit_campaign_devices_total", "", telemetry.L("status", "skipped")).Value(); got != 4 {
+		t.Errorf("upkit_campaign_devices_total{status=skipped} = %d, want 4", got)
+	}
+	if got := reg.Counter("upkit_campaign_devices_total", "", telemetry.L("status", "updated")).Value(); got != 1 {
+		t.Errorf("upkit_campaign_devices_total{status=updated} = %d, want 1", got)
+	}
 }

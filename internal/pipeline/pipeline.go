@@ -30,6 +30,7 @@ import (
 	"upkit/internal/bsdiff"
 	"upkit/internal/lzss"
 	"upkit/internal/security"
+	"upkit/internal/telemetry"
 )
 
 // DefaultBufferSize is used when the caller passes no explicit size; it
@@ -55,6 +56,26 @@ type Pipeline struct {
 	bytesIn  int
 	bytesOut int
 	closed   bool
+
+	telIn  *telemetry.Counter
+	telOut *telemetry.Counter
+}
+
+// SetTelemetry attaches a metrics registry: payload bytes entering the
+// pipeline and firmware bytes reaching the sink are counted, labeled
+// with the pipeline kind (full or differential) — the ratio is the
+// differential traffic saving.
+func (p *Pipeline) SetTelemetry(reg *telemetry.Registry) {
+	kind := "full"
+	if p.IsDifferential() {
+		kind = "differential"
+	}
+	p.telIn = reg.Counter("upkit_pipeline_bytes_total",
+		"Pipeline throughput by direction and pipeline kind.",
+		telemetry.L("direction", "in"), telemetry.L("kind", kind))
+	p.telOut = reg.Counter("upkit_pipeline_bytes_total",
+		"Pipeline throughput by direction and pipeline kind.",
+		telemetry.L("direction", "out"), telemetry.L("kind", kind))
 }
 
 // NewFull builds the full-image pipeline: buffer → writer.
@@ -109,6 +130,7 @@ func (p *Pipeline) Write(data []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	p.bytesIn += len(data)
+	p.telIn.Add(uint64(len(data)))
 	if p.crypt != nil {
 		if err := p.crypt.Feed(data, p.afterDecrypt); err != nil {
 			return 0, fmt.Errorf("pipeline: decrypt stage: %w", err)
@@ -161,6 +183,7 @@ func (p *Pipeline) flush() error {
 		return fmt.Errorf("pipeline: writer stage: %w", err)
 	}
 	p.bytesOut += p.n
+	p.telOut.Add(uint64(p.n))
 	p.n = 0
 	return nil
 }

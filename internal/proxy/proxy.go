@@ -9,6 +9,7 @@
 package proxy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -61,7 +62,7 @@ func (s *Smartphone) PushUpdate() error {
 	case s.Replay != nil:
 		u = s.Replay
 	case s.HTTP != nil:
-		u, err = s.HTTP.Request(s.AppID, tok)
+		u, err = s.HTTP.Request(context.Background(), s.AppID, tok)
 		if err != nil {
 			return fmt.Errorf("proxy: request update over http: %w", err)
 		}

@@ -17,6 +17,7 @@ import (
 	"upkit/internal/platform"
 	"upkit/internal/proxy"
 	"upkit/internal/security"
+	"upkit/internal/telemetry"
 	"upkit/internal/transport"
 	"upkit/internal/updateserver"
 	"upkit/internal/vendorserver"
@@ -55,6 +56,10 @@ type Options struct {
 	// must match the one the shared servers sign with.
 	SharedVendor *vendorserver.Server
 	SharedUpdate *updateserver.Server
+	// Telemetry overrides the metrics registry the whole bed reports
+	// into. Nil selects the update server's own registry, so beds
+	// sharing a server aggregate into one scrape.
+	Telemetry *telemetry.Registry
 }
 
 // Bed is a wired deployment.
@@ -68,7 +73,11 @@ type Bed struct {
 	Link *transport.Link
 
 	opts Options
+	tel  *telemetry.Registry
 }
+
+// Telemetry returns the registry the bed reports into.
+func (b *Bed) Telemetry() *telemetry.Registry { return b.tel }
 
 func (o *Options) applyDefaults() {
 	if o.MCU == nil {
@@ -114,6 +123,11 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 	if update == nil {
 		update = updateserver.New(suite, security.MustGenerateKey(opts.Seed+"-server"))
 	}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = update.Telemetry()
+	}
+	vendor.SetTelemetry(reg)
 
 	var payloadKey []byte
 	if opts.Encrypted {
@@ -141,18 +155,20 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 		JumpTime:            device.DefaultJumpTime,
 		PayloadKey:          payloadKey,
 		WithRecovery:        opts.WithRecovery,
+		Telemetry:           reg,
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	b := &Bed{Suite: suite, Vendor: vendor, Update: update, Device: dev, opts: opts}
+	b := &Bed{Suite: suite, Vendor: vendor, Update: update, Device: dev, opts: opts, tel: reg}
 	switch opts.Approach {
 	case platform.Push:
 		b.Link = transport.BLE(dev.Clock, dev.Meter)
 	default:
 		b.Link = transport.IEEE802154(dev.Clock, dev.Meter)
 	}
+	b.Link.SetTelemetry(reg)
 
 	if factoryFirmware != nil {
 		if err := b.provisionFactory(factoryFirmware); err != nil {
@@ -199,6 +215,7 @@ func (b *Bed) PublishVersion(version uint16, fw []byte) error {
 // Smartphone returns a push proxy connected to the device over BLE.
 func (b *Bed) Smartphone() *proxy.Smartphone {
 	peripheral := ble.NewPeripheral(b.Device.Agent)
+	peripheral.SetTelemetry(b.tel)
 	return &proxy.Smartphone{
 		Server:  b.Update,
 		Central: ble.Connect(b.Link, peripheral),
@@ -211,24 +228,56 @@ func (b *Bed) Smartphone() *proxy.Smartphone {
 func (b *Bed) PullClient() *coap.PullClient {
 	server := coap.NewPullServer(b.Update)
 	return &coap.PullClient{
-		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: server.Handle},
+		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: server.Handle, Telemetry: b.tel},
 		Agent: b.Device.Agent,
 		AppID: b.opts.AppID,
 	}
 }
 
+// startPropagation opens the propagation-phase measurement for one
+// update attempt. The returned function closes it, charging the virtual
+// time the transfer took minus the verification work interleaved with
+// it — the same accounting the Fig. 8 experiments use, where the
+// device verifies signatures while blocks are still arriving.
+func (b *Bed) startPropagation() func() {
+	start := b.Device.Clock.Now()
+	verifBefore := b.Device.Phases.Phase(agentPhaseVerification)
+	return func() {
+		a := b.Device.Agent
+		m := a.Manifest()
+		if m == nil {
+			return // nothing staged: no span to contribute to
+		}
+		elapsed := b.Device.Clock.Now() - start
+		verif := b.Device.Phases.Phase(agentPhaseVerification) - verifBefore
+		b.tel.Spans().Record(telemetry.SpanKey{
+			DeviceID: b.opts.DeviceID,
+			AppID:    b.opts.AppID,
+			From:     a.Token().CurrentVersion,
+			To:       m.Version,
+		}, telemetry.PhasePropagation, elapsed-verif)
+	}
+}
+
+// agentPhaseVerification mirrors the phase name the agent and
+// bootloader charge verification time to.
+const agentPhaseVerification = bootloader.PhaseVerification
+
 // PushUpdate runs a complete push update including the reboot, and
 // returns the boot result.
 func (b *Bed) PushUpdate() (bootloader.Result, error) {
+	done := b.startPropagation()
 	if err := b.Smartphone().PushUpdate(); err != nil {
 		return bootloader.Result{}, err
 	}
+	done()
 	return b.Device.ApplyStagedUpdate()
 }
 
 // PullUpdate runs a complete pull update including the reboot, and
 // returns the boot result.
 func (b *Bed) PullUpdate() (bootloader.Result, error) {
+	done := b.startPropagation()
 	staged, err := b.PullClient().CheckAndUpdate()
 	if err != nil {
 		return bootloader.Result{}, err
@@ -236,5 +285,6 @@ func (b *Bed) PullUpdate() (bootloader.Result, error) {
 	if !staged {
 		return bootloader.Result{}, coap.ErrNoUpdate
 	}
+	done()
 	return b.Device.ApplyStagedUpdate()
 }

@@ -2,6 +2,7 @@ package updateserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 
 	"upkit/internal/manifest"
+	"upkit/internal/telemetry"
 )
 
 // HTTP API — the Internet-facing surface of the update server that
@@ -24,6 +26,7 @@ import (
 //	                                     version (404 stays reserved for
 //	                                     unknown apps)
 //	GET  /api/v1/stats                 → patch-cache counters JSON
+//	GET  /api/v1/metrics               → Prometheus text exposition
 //
 // The CoAP endpoint (internal/coap) serves pulling devices directly;
 // this HTTP endpoint serves proxies, which then forward the image over
@@ -50,13 +53,47 @@ type versionJSON struct {
 	Version uint16 `json:"version"`
 }
 
-// Handler returns the HTTP handler exposing the server's API.
+// Handler returns the HTTP handler exposing the server's API. Every
+// request is counted in upkit_http_requests_total{path,code}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/version", s.handleHTTPVersion)
 	mux.HandleFunc("POST /api/v1/update", s.handleHTTPUpdate)
 	mux.HandleFunc("GET /api/v1/stats", s.handleHTTPStats)
-	return mux
+	mux.Handle("GET /api/v1/metrics", s.tel.Handler())
+	return s.countRequests(mux)
+}
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can label the request counter with it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+func (s *Server) countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.code == 0 {
+			rec.code = http.StatusOK
+		}
+		s.tel.Counter("upkit_http_requests_total", "HTTP API requests by path and status code.",
+			telemetry.L("path", r.URL.Path),
+			telemetry.L("code", strconv.Itoa(rec.code))).Inc()
+	})
 }
 
 // appFromQuery parses the hex app parameter.
@@ -152,9 +189,15 @@ func (c *HTTPClient) client() *http.Client {
 	return http.DefaultClient
 }
 
-// Latest polls the advertised version.
-func (c *HTTPClient) Latest(appID uint32) (uint16, error) {
-	resp, err := c.client().Get(fmt.Sprintf("%s/api/v1/version?app=%x", c.BaseURL, appID))
+// Latest polls the advertised version. The context cancels the
+// in-flight request.
+func (c *HTTPClient) Latest(ctx context.Context, appID uint32) (uint16, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/api/v1/version?app=%x", c.BaseURL, appID), nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -170,8 +213,12 @@ func (c *HTTPClient) Latest(appID uint32) (uint16, error) {
 }
 
 // Stats fetches the server's patch-cache counters.
-func (c *HTTPClient) Stats() (CacheStats, error) {
-	resp, err := c.client().Get(c.BaseURL + "/api/v1/stats")
+func (c *HTTPClient) Stats(ctx context.Context) (CacheStats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v1/stats", nil)
+	if err != nil {
+		return CacheStats{}, err
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return CacheStats{}, err
 	}
@@ -189,7 +236,8 @@ func (c *HTTPClient) Stats() (CacheStats, error) {
 // Request fetches the double-signed update for a device token. When
 // the device already runs the latest version (HTTP 204), it returns
 // ErrNoNewUpdate, mirroring the in-process PrepareUpdate contract.
-func (c *HTTPClient) Request(appID uint32, tok manifest.DeviceToken) (*Update, error) {
+// The context cancels the in-flight request.
+func (c *HTTPClient) Request(ctx context.Context, appID uint32, tok manifest.DeviceToken) (*Update, error) {
 	body, err := json.Marshal(tokenJSON{
 		DeviceID:       tok.DeviceID,
 		Nonce:          tok.Nonce,
@@ -198,9 +246,13 @@ func (c *HTTPClient) Request(appID uint32, tok manifest.DeviceToken) (*Update, e
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.client().Post(
-		fmt.Sprintf("%s/api/v1/update?app=%x", c.BaseURL, appID),
-		"application/json", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		fmt.Sprintf("%s/api/v1/update?app=%x", c.BaseURL, appID), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return nil, err
 	}

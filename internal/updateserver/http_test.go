@@ -2,6 +2,7 @@ package updateserver
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -24,7 +25,7 @@ func TestHTTPVersionEndpoint(t *testing.T) {
 	s.publish(t, 0x2A, 3, bytes.Repeat([]byte("v3"), 500))
 
 	client := &HTTPClient{BaseURL: ts.URL}
-	v, err := client.Latest(0x2A)
+	v, err := client.Latest(context.Background(), 0x2A)
 	if err != nil {
 		t.Fatalf("Latest: %v", err)
 	}
@@ -40,7 +41,7 @@ func TestHTTPUpdateEndpoint(t *testing.T) {
 
 	client := &HTTPClient{BaseURL: ts.URL}
 	tok := manifest.DeviceToken{DeviceID: 0xD1, Nonce: 0x4E}
-	u, err := client.Request(0x2A, tok)
+	u, err := client.Request(context.Background(), 0x2A, tok)
 	if err != nil {
 		t.Fatalf("Request: %v", err)
 	}
@@ -72,7 +73,7 @@ func TestHTTPDifferentialAndEncrypted(t *testing.T) {
 	}
 
 	client := &HTTPClient{BaseURL: ts.URL}
-	u, err := client.Request(0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
+	u, err := client.Request(context.Background(), 0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestHTTPClientMapsNoContentToErrNoNewUpdate(t *testing.T) {
 	s, ts := newHTTPServer(t)
 	s.publish(t, 0x2A, 1, []byte("v1"))
 	client := &HTTPClient{BaseURL: ts.URL}
-	_, err := client.Request(0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
+	_, err := client.Request(context.Background(), 0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2, CurrentVersion: 1})
 	if !errors.Is(err, ErrNoNewUpdate) {
 		t.Fatalf("error = %v, want ErrNoNewUpdate", err)
 	}
@@ -154,11 +155,11 @@ func TestHTTPStatsEndpoint(t *testing.T) {
 	client := &HTTPClient{BaseURL: ts.URL}
 	for i := range 3 {
 		tok := manifest.DeviceToken{DeviceID: uint32(i + 1), Nonce: uint32(i + 10), CurrentVersion: 1}
-		if _, err := client.Request(0x2A, tok); err != nil {
+		if _, err := client.Request(context.Background(), 0x2A, tok); err != nil {
 			t.Fatal(err)
 		}
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(context.Background())
 	if err != nil {
 		t.Fatalf("Stats: %v", err)
 	}
@@ -169,10 +170,62 @@ func TestHTTPStatsEndpoint(t *testing.T) {
 
 func TestHTTPClientAgainstDeadServer(t *testing.T) {
 	client := &HTTPClient{BaseURL: "http://127.0.0.1:1"} // nothing listens
-	if _, err := client.Latest(1); err == nil {
+	if _, err := client.Latest(context.Background(), 1); err == nil {
 		t.Fatal("Latest against a dead server must fail")
 	}
-	if _, err := client.Request(1, manifest.DeviceToken{}); err == nil {
+	if _, err := client.Request(context.Background(), 1, manifest.DeviceToken{}); err == nil {
 		t.Fatal("Request against a dead server must fail")
+	}
+}
+
+func TestHTTPClientNon200(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "backend down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	if _, err := client.Latest(context.Background(), 0x2A); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("Latest error = %v, want HTTP 500", err)
+	}
+	if _, err := client.Stats(context.Background()); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("Stats error = %v, want HTTP 500", err)
+	}
+	if _, err := client.Request(context.Background(), 0x2A, manifest.DeviceToken{}); err == nil || !strings.Contains(err.Error(), "500") {
+		t.Errorf("Request error = %v, want HTTP 500", err)
+	}
+}
+
+func TestHTTPClientContextCancelsInFlightRequest(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release // hold the response until the test ends
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	client := &HTTPClient{BaseURL: ts.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := client.Latest(ctx, 0x2A)
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestHTTPClientPreCanceledContext(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	client := &HTTPClient{BaseURL: ts.URL}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.Request(ctx, 0x2A, manifest.DeviceToken{DeviceID: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
 	}
 }

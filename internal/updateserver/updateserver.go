@@ -19,9 +19,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"upkit/internal/manifest"
 	"upkit/internal/security"
+	"upkit/internal/telemetry"
 	"upkit/internal/vendorserver"
 )
 
@@ -76,6 +78,52 @@ type Server struct {
 	// with singleflight dedup; see cache.go. It has its own lock and is
 	// never touched while mu is held.
 	cache *patchCache
+
+	// tel is never nil: New attaches a private registry unless
+	// WithTelemetry injects a shared one. met holds the pre-resolved
+	// handles for the request hot path.
+	tel *telemetry.Registry
+	met serverMetrics
+}
+
+// serverMetrics are the update server's pre-resolved metric handles.
+type serverMetrics struct {
+	reqDifferential *telemetry.Counter
+	reqFull         *telemetry.Counter
+	reqNoUpdate     *telemetry.Counter
+	reqUnknownApp   *telemetry.Counter
+	reqError        *telemetry.Counter
+	published       *telemetry.Counter
+	payloadBytes    *telemetry.Histogram
+	prepareSeconds  *telemetry.Histogram
+}
+
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithPatchCacheSize bounds the differential-patch cache to n bytes;
+// n <= 0 disables caching (and singleflight dedup) entirely. The
+// default is DefaultPatchCacheBytes.
+func WithPatchCacheSize(n int) Option {
+	return func(s *Server) { s.cache.setMaxBytes(n) }
+}
+
+// WithRetention bounds the number of releases kept per app; 0 (the
+// default) keeps everything.
+func WithRetention(n int) Option {
+	return func(s *Server) { s.retain = n }
+}
+
+// WithTelemetry attaches a shared metrics registry. Every deployment
+// component given the same registry contributes to one scrape (GET
+// /api/v1/metrics) and one span tracer; without this option the server
+// creates a private registry, so telemetry is always on.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.tel = reg
+		}
+	}
 }
 
 // SetRetention bounds the number of releases kept per app, pruning
@@ -84,6 +132,9 @@ type Server struct {
 // reporting that version fall back to full images (the paper's token
 // field already covers this, §III-B) — and drops the pruned app's
 // cached patches.
+//
+// Deprecated: pass WithRetention to New instead; this remains for
+// callers that re-tune a running server.
 func (s *Server) SetRetention(n int) {
 	s.mu.Lock()
 	s.retain = n
@@ -106,19 +157,62 @@ func (s *Server) SetRetention(n int) {
 // n <= 0 disables caching (and singleflight dedup) entirely — the
 // reference configuration the benchmarks compare against. New servers
 // start with DefaultPatchCacheBytes.
+//
+// Deprecated: pass WithPatchCacheSize to New instead; this remains for
+// callers that re-tune a running server.
 func (s *Server) SetPatchCacheSize(n int) { s.cache.setMaxBytes(n) }
 
 // Stats snapshots the patch cache's hit/miss/singleflight counters.
 func (s *Server) Stats() CacheStats { return s.cache.stats() }
 
-// New creates an update server signing with key under suite.
-func New(suite security.Suite, key *security.PrivateKey) *Server {
-	return &Server{
+// Telemetry returns the server's metrics registry (never nil). Shared
+// deployments inject one registry via WithTelemetry so transports,
+// agents, and campaigns land in the same scrape.
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// New creates an update server signing with key under suite, applying
+// any options.
+func New(suite security.Suite, key *security.PrivateKey, opts ...Option) *Server {
+	s := &Server{
 		suite:    suite,
 		key:      key,
 		releases: make(map[uint32][]*vendorserver.Image),
 		cache:    newPatchCache(DefaultPatchCacheBytes),
+		tel:      telemetry.NewRegistry(),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.initTelemetry()
+	return s
+}
+
+// initTelemetry resolves the hot-path handles and bridges the patch
+// cache's own counters onto the registry, migrating the CacheStats
+// surface into the scrape without touching the cache's lock discipline.
+func (s *Server) initTelemetry() {
+	reg := s.tel
+	s.met = serverMetrics{
+		reqDifferential: reg.Counter("upkit_server_requests_total", "Update requests by result.", telemetry.L("result", "differential")),
+		reqFull:         reg.Counter("upkit_server_requests_total", "Update requests by result.", telemetry.L("result", "full")),
+		reqNoUpdate:     reg.Counter("upkit_server_requests_total", "Update requests by result.", telemetry.L("result", "no_update")),
+		reqUnknownApp:   reg.Counter("upkit_server_requests_total", "Update requests by result.", telemetry.L("result", "unknown_app")),
+		reqError:        reg.Counter("upkit_server_requests_total", "Update requests by result.", telemetry.L("result", "error")),
+		published:       reg.Counter("upkit_server_releases_published_total", "Vendor-signed releases accepted by Publish."),
+		payloadBytes:    reg.Histogram("upkit_server_payload_bytes", "Prepared update payload sizes.", telemetry.SizeBuckets),
+		prepareSeconds:  reg.Histogram("upkit_server_prepare_seconds", "PrepareUpdate latency (host time).", nil),
+	}
+	stat := func(read func(CacheStats) float64) func() float64 {
+		return func() float64 { return read(s.cache.stats()) }
+	}
+	reg.CounterFunc("upkit_patch_cache_hits_total", "Patch-cache hits.", stat(func(c CacheStats) float64 { return float64(c.Hits) }))
+	reg.CounterFunc("upkit_patch_cache_misses_total", "Patch-cache misses.", stat(func(c CacheStats) float64 { return float64(c.Misses) }))
+	reg.CounterFunc("upkit_patch_cache_waits_total", "Requests that piggybacked on an in-flight computation.", stat(func(c CacheStats) float64 { return float64(c.Waits) }))
+	reg.CounterFunc("upkit_patch_cache_computations_total", "Actual bsdiff+LZSS runs.", stat(func(c CacheStats) float64 { return float64(c.Computations) }))
+	reg.CounterFunc("upkit_patch_cache_evictions_total", "Entries dropped by the LRU bound.", stat(func(c CacheStats) float64 { return float64(c.Evictions) }))
+	reg.CounterFunc("upkit_patch_cache_invalidations_total", "Entries dropped by Publish or retention pruning.", stat(func(c CacheStats) float64 { return float64(c.Invalidations) }))
+	reg.GaugeFunc("upkit_patch_cache_entries", "Current cached patches.", stat(func(c CacheStats) float64 { return float64(c.Entries) }))
+	reg.GaugeFunc("upkit_patch_cache_bytes", "Current cached patch bytes.", stat(func(c CacheStats) float64 { return float64(c.Bytes) }))
 }
 
 // PublicKey returns the per-request verification key devices must be
@@ -169,6 +263,7 @@ func (s *Server) Publish(img *vendorserver.Image) error {
 	// drop them all before anyone reacts to the announcement.
 	s.cache.invalidateApp(img.Manifest.AppID)
 
+	s.met.published.Inc()
 	ann := Announcement{AppID: img.Manifest.AppID, Version: img.Manifest.Version}
 	for _, ch := range subs {
 		select {
@@ -263,10 +358,12 @@ func lookupVersion(list []*vendorserver.Image, v uint16) *vendorserver.Image {
 // payload if the device's current version allows it, copy the device
 // token into the manifest, and apply the update server's signature.
 func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update, error) {
+	start := time.Now()
 	s.mu.Lock()
 	list := s.releases[appID]
 	if len(list) == 0 {
 		s.mu.Unlock()
+		s.met.reqUnknownApp.Inc()
 		return nil, fmt.Errorf("%w: %#x", ErrUnknownApp, appID)
 	}
 	latest := list[len(list)-1]
@@ -277,6 +374,7 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 	s.mu.Unlock()
 
 	if latest.Manifest.Version <= tok.CurrentVersion {
+		s.met.reqNoUpdate.Inc()
 		return nil, fmt.Errorf("%w: device v%d, latest v%d", ErrNoNewUpdate, tok.CurrentVersion, latest.Manifest.Version)
 	}
 
@@ -315,19 +413,41 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 		// overhead to the wire length.
 		enc, err := security.EncryptPayload(payloadKey, u.Payload, entropy)
 		if err != nil {
+			s.met.reqError.Inc()
 			return nil, fmt.Errorf("updateserver: encrypt payload: %w", err)
 		}
 		u.Payload = enc
 		u.Encrypted = true
 	}
 	if err := m.SignServer(s.suite, s.key); err != nil {
+		s.met.reqError.Inc()
 		return nil, fmt.Errorf("updateserver: %w", err)
 	}
 	enc, err := m.MarshalBinary()
 	if err != nil {
+		s.met.reqError.Inc()
 		return nil, fmt.Errorf("updateserver: %w", err)
 	}
 	u.Manifest = m
 	u.ManifestBytes = enc
+
+	// The per-request work above — diff, encrypt, second signature — is
+	// this reproduction's generation phase (§III-A runs on real server
+	// hardware, so host time is the right clock). The span key is the
+	// tuple the double signature binds.
+	elapsed := time.Since(start)
+	if u.Differential {
+		s.met.reqDifferential.Inc()
+	} else {
+		s.met.reqFull.Inc()
+	}
+	s.met.payloadBytes.Observe(float64(len(u.Payload)))
+	s.met.prepareSeconds.ObserveDuration(elapsed)
+	s.tel.Spans().Record(telemetry.SpanKey{
+		DeviceID: tok.DeviceID,
+		AppID:    appID,
+		From:     tok.CurrentVersion,
+		To:       latest.Manifest.Version,
+	}, telemetry.PhaseGeneration, elapsed)
 	return u, nil
 }

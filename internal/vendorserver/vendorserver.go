@@ -10,9 +10,11 @@ package vendorserver
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"upkit/internal/manifest"
 	"upkit/internal/security"
+	"upkit/internal/telemetry"
 )
 
 // Release errors.
@@ -49,12 +51,17 @@ type Image struct {
 type Server struct {
 	suite security.Suite
 	key   *security.PrivateKey
+	tel   *telemetry.Registry
 }
 
 // New creates a vendor server signing with key under suite.
 func New(suite security.Suite, key *security.PrivateKey) *Server {
 	return &Server{suite: suite, key: key}
 }
+
+// SetTelemetry attaches a metrics registry: built images and signing
+// latency are recorded. Nil keeps the server silent.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) { s.tel = reg }
 
 // PublicKey returns the verification key devices must be provisioned
 // with.
@@ -79,8 +86,11 @@ func (s *Server) BuildImage(rel Release) (*Image, error) {
 		},
 		Firmware: rel.Firmware,
 	}
+	start := time.Now()
 	if err := img.Manifest.SignVendor(s.suite, s.key); err != nil {
 		return nil, fmt.Errorf("vendorserver: %w", err)
 	}
+	s.tel.Histogram("upkit_vendor_sign_seconds", "Vendor signing latency.", nil).ObserveDuration(time.Since(start))
+	s.tel.Counter("upkit_vendor_images_total", "Vendor-signed images built.").Inc()
 	return img, nil
 }

@@ -55,6 +55,7 @@ import (
 	"upkit/internal/security"
 	"upkit/internal/slot"
 	"upkit/internal/suit"
+	"upkit/internal/telemetry"
 	"upkit/internal/testbed"
 	"upkit/internal/updateserver"
 	"upkit/internal/vendorserver"
@@ -189,9 +190,25 @@ func NewVendorServer(suite Suite, key *PrivateKey) *VendorServer {
 	return vendorserver.New(suite, key)
 }
 
+// UpdateServerOption tunes an update server at construction time.
+type UpdateServerOption = updateserver.Option
+
+// WithPatchCacheSize bounds the differential-patch cache to n bytes;
+// zero disables caching.
+func WithPatchCacheSize(n int) UpdateServerOption { return updateserver.WithPatchCacheSize(n) }
+
+// WithRetention bounds the number of releases kept per app.
+func WithRetention(n int) UpdateServerOption { return updateserver.WithRetention(n) }
+
+// WithTelemetry makes the server report into reg instead of a private
+// registry — share one registry across servers to aggregate scrapes.
+func WithTelemetry(reg *MetricsRegistry) UpdateServerOption {
+	return updateserver.WithTelemetry(reg)
+}
+
 // NewUpdateServer creates an update server signing with key under suite.
-func NewUpdateServer(suite Suite, key *PrivateKey) *UpdateServer {
-	return updateserver.New(suite, key)
+func NewUpdateServer(suite Suite, key *PrivateKey, opts ...UpdateServerOption) *UpdateServer {
+	return updateserver.New(suite, key, opts...)
 }
 
 // Device and deployment constructors.
@@ -254,7 +271,33 @@ type (
 	Event = events.Event
 	// EventKind classifies lifecycle events.
 	EventKind = events.Kind
+	// MetricsRegistry collects counters, gauges, and histograms and
+	// serves them in Prometheus text exposition format.
+	MetricsRegistry = telemetry.Registry
+	// SpanTracer traces updates end-to-end across the paper's four
+	// phases; every MetricsRegistry carries one (Spans).
+	SpanTracer = telemetry.Tracer
+	// UpdateSpan is one update's accumulated phase breakdown.
+	UpdateSpan = telemetry.Span
+	// UpdateSpanKey identifies one update flow: the (device, app,
+	// from→to version) tuple the double signature binds.
+	UpdateSpanKey = telemetry.SpanKey
+	// UpdatePhase names one of the four update phases.
+	UpdatePhase = telemetry.Phase
 )
+
+// The paper's four update phases (Fig. 8a), in pipeline order.
+const (
+	PhaseGeneration   = telemetry.PhaseGeneration
+	PhasePropagation  = telemetry.PhasePropagation
+	PhaseVerification = telemetry.PhaseVerification
+	PhaseLoading      = telemetry.PhaseLoading
+)
+
+// NewMetricsRegistry creates an empty metrics registry, typically
+// shared across servers and devices via WithTelemetry and
+// DeploymentOptions.Telemetry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
 
 // Event kinds, re-exported so facade users can match log entries.
 const (
