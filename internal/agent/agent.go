@@ -117,6 +117,18 @@ type Config struct {
 	// the update server encrypts all payloads under this symmetric key,
 	// so intermediate hops see only ciphertext (§VIII future work).
 	PayloadKey []byte
+	// Journal, when set, makes reception crash-safe: download progress
+	// (device token, consumed byte count, pipeline checkpoint) is
+	// persisted so an interrupted transfer can Resume after a reboot
+	// instead of restarting from byte zero.
+	Journal *slot.ReceptionJournal
+	// CheckpointEvery is the minimum number of durably written firmware
+	// bytes between journal checkpoints. Zero selects four pipeline
+	// buffers — a balance between flash wear (each checkpoint costs a
+	// frame program, and every few checkpoints a sector erase) and the
+	// bytes lost to a power cycle. Set it to the pipeline buffer size
+	// to checkpoint at every sector flush.
+	CheckpointEvery int
 	// Events receives lifecycle events; nil drops them.
 	Events *events.Log
 	// Telemetry, when set, counts FSM transitions and early rejections
@@ -193,6 +205,12 @@ type Agent struct {
 	writer   *slot.Writer
 	pipe     *pipeline.Pipeline
 	received int
+
+	// ckptEvery and lastCkpt drive the reception-journal cadence: a new
+	// checkpoint is written once BytesOut has advanced ckptEvery bytes
+	// past the last one.
+	ckptEvery int
+	lastCkpt  int
 }
 
 // New creates an agent in the Waiting state.
@@ -261,6 +279,14 @@ func (a *Agent) RequestDeviceToken() (manifest.DeviceToken, error) {
 		DeviceID:       a.cfg.DeviceID,
 		Nonce:          nonce,
 		CurrentVersion: current,
+	}
+
+	// A fresh token supersedes any journaled download: drop it before
+	// erasing the slot it points into.
+	if a.cfg.Journal != nil {
+		if err := a.cfg.Journal.Invalidate(); err != nil {
+			return manifest.DeviceToken{}, fmt.Errorf("agent: start update: %w", err)
+		}
 	}
 
 	// Start update: erase the target slot with the oldest firmware.
@@ -346,6 +372,12 @@ func (a *Agent) Receive(data []byte) (Status, error) {
 		}
 		a.received += len(data)
 		if a.received < expected {
+			// Mid-transfer (never at the final byte: the resume path
+			// must always have at least one block left to request).
+			if err := a.maybeCheckpoint(); err != nil {
+				a.clean()
+				return StatusNeedMore, fmt.Errorf("agent: checkpoint: %w", err)
+			}
 			return StatusNeedMore, nil
 		}
 		if err := a.finishFirmware(); err != nil {
@@ -408,7 +440,51 @@ func (a *Agent) acceptManifest() error {
 	a.pipe.SetTelemetry(a.cfg.Telemetry)
 	a.m = m
 	a.received = 0
+	a.ckptEvery = a.cfg.CheckpointEvery
+	if a.ckptEvery <= 0 {
+		a.ckptEvery = 4 * bufSize
+	}
+	a.lastCkpt = 0
 	a.setState(StateReceiveFirmware)
+	if a.cfg.Journal != nil {
+		// Journal the accepted manifest and token immediately: a reboot
+		// from here on resumes instead of re-erasing the slot.
+		if err := a.checkpoint(); err != nil {
+			return fmt.Errorf("agent: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// maybeCheckpoint writes a journal record once enough firmware bytes
+// have been flushed since the last one.
+func (a *Agent) maybeCheckpoint() error {
+	if a.cfg.Journal == nil || a.pipe.BytesOut()-a.lastCkpt < a.ckptEvery {
+		return nil
+	}
+	return a.checkpoint()
+}
+
+// checkpoint syncs the pipeline (so its snapshot matches the durable
+// slot content) and persists the download progress in the journal.
+func (a *Agent) checkpoint() error {
+	cp, err := a.pipe.Checkpoint()
+	if err != nil {
+		return err
+	}
+	rec := &slot.ReceptionRecord{
+		Token:           a.token,
+		SlotName:        a.target.Name,
+		ManifestVersion: a.m.Version,
+		Received:        a.received,
+		Pipeline:        cp.Marshal(),
+	}
+	if err := a.cfg.Journal.Save(rec); err != nil {
+		return err
+	}
+	a.lastCkpt = cp.BytesOut()
+	a.cfg.Telemetry.Counter("upkit_agent_checkpoints_total",
+		"Reception-journal checkpoints written.").Inc()
 	return nil
 }
 
@@ -430,18 +506,34 @@ func (a *Agent) finishFirmware() error {
 	if err := a.target.MarkComplete(); err != nil {
 		return err
 	}
+	if a.cfg.Journal != nil {
+		// Best effort: the update is staged either way, and a record
+		// surviving here is rejected at resume (the slot left Receiving).
+		_ = a.cfg.Journal.Invalidate()
+	}
 	a.setState(StateReadyToReboot)
 	return nil
 }
 
-// clean implements the Cleaning state: invalidate the slot and reset
-// all FSM variables, returning to Waiting.
+// clean implements the Cleaning state: invalidate the slot and the
+// reception journal and reset all FSM variables, returning to Waiting.
 func (a *Agent) clean() {
 	if a.target != nil {
 		// Invalidation failures cannot be meaningfully handled here; a
 		// torn trailer already reads as invalid.
 		_ = a.target.Invalidate()
 	}
+	if a.cfg.Journal != nil {
+		// Same reasoning: a record that survives an invalidation failure
+		// is rejected at resume because the slot is no longer Receiving.
+		_ = a.cfg.Journal.Invalidate()
+	}
+	a.releaseTransfer()
+}
+
+// releaseTransfer drops all in-RAM transfer state and returns to
+// Waiting, touching nothing durable.
+func (a *Agent) releaseTransfer() {
 	a.token = manifest.DeviceToken{}
 	a.target = nil
 	a.mbuf = nil
@@ -449,26 +541,48 @@ func (a *Agent) clean() {
 	a.writer = nil
 	a.pipe = nil
 	a.received = 0
+	a.ckptEvery = 0
+	a.lastCkpt = 0
 	a.setState(StateWaiting)
 }
 
-// Abort cancels an in-flight update (e.g. connection lost) and cleans up.
+// Abort hard-cancels an in-flight update and cleans up: the target slot
+// and any journaled progress are invalidated. Use it for verification
+// failures and protocol violations; for transient transport failures
+// prefer Suspend, which keeps the journal so the transfer can Resume.
+// Abort is idempotent and a no-op in Waiting — after Receive returns an
+// error the agent has already cleaned itself, so a following Abort is
+// harmless.
 func (a *Agent) Abort() {
 	if a.state != StateWaiting {
 		a.clean()
 	}
 }
 
+// Suspend parks an in-flight firmware transfer: a final checkpoint is
+// journaled, the RAM state is released, and the agent returns to
+// Waiting with the target slot and journal intact, so a later Resume
+// (or a reboot) continues where the transfer stopped. Outside the
+// firmware phase — or without a journal — there is nothing durable to
+// keep, and Suspend degrades to Abort.
+func (a *Agent) Suspend() error {
+	if a.state != StateReceiveFirmware || a.cfg.Journal == nil {
+		a.Abort()
+		return nil
+	}
+	if err := a.checkpoint(); err != nil {
+		a.clean()
+		return fmt.Errorf("agent: suspend: %w", err)
+	}
+	a.cfg.Events.Emit(events.KindReceptionSuspended, a.m.Version,
+		fmt.Sprintf("at %d bytes", a.received))
+	a.releaseTransfer()
+	return nil
+}
+
 // Reset returns the agent to Waiting after a completed update has been
 // handed to the bootloader (the device reboots; a fresh agent instance
 // runs in the new firmware).
 func (a *Agent) Reset() {
-	a.token = manifest.DeviceToken{}
-	a.target = nil
-	a.mbuf = nil
-	a.m = nil
-	a.writer = nil
-	a.pipe = nil
-	a.received = 0
-	a.setState(StateWaiting)
+	a.releaseTransfer()
 }

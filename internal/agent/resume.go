@@ -1,0 +1,195 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+
+	"upkit/internal/events"
+	"upkit/internal/manifest"
+	"upkit/internal/pipeline"
+	"upkit/internal/security"
+	"upkit/internal/slot"
+	"upkit/internal/verifier"
+)
+
+// Reception resume: the counterpart of the journal checkpoints written
+// during Receive. After a reboot (or a Suspend) the journal names a
+// slot that is still Receiving, the device token whose nonce the double
+// signature was bound to, the number of wire bytes durably consumed,
+// and a pipeline snapshot. Resume re-verifies the manifest stored in
+// the slot against that token — the same check acceptManifest ran, now
+// proving the journaled state belongs to a genuine in-flight update —
+// and rebuilds the pipeline mid-stream.
+
+// ErrNoResume reports that no resumable download is journaled.
+var ErrNoResume = errors.New("agent: no resumable download")
+
+// ResumeInfo tells the transport where to continue a resumed transfer.
+type ResumeInfo struct {
+	// Token is the device token of the interrupted request; pull
+	// clients re-present it to the server to re-establish the session.
+	Token manifest.DeviceToken
+	// Version is the resumed update's manifest version.
+	Version uint16
+	// Received is the number of payload (wire) bytes already consumed;
+	// the transfer continues at this offset.
+	Received int
+}
+
+// CanResume reports whether a journaled download could be resumed. It
+// only inspects the journal; Resume still re-verifies everything.
+func (a *Agent) CanResume() bool {
+	if a.cfg.Journal == nil || a.state != StateWaiting {
+		return false
+	}
+	rec, err := a.cfg.Journal.Load()
+	return err == nil && rec != nil
+}
+
+// Resume re-enters the firmware-reception state from the journal. On
+// success the agent is in StateReceiveFirmware and the caller streams
+// payload bytes starting at ResumeInfo.Received. Any inconsistency —
+// stale journal, slot no longer Receiving, failed re-verification —
+// invalidates the journal and returns an error; the caller then starts
+// a fresh update cycle.
+func (a *Agent) Resume() (ResumeInfo, error) {
+	if a.state != StateWaiting {
+		return ResumeInfo{}, fmt.Errorf("%w: resume in %v", ErrBadState, a.state)
+	}
+	if a.cfg.Journal == nil {
+		return ResumeInfo{}, ErrNoResume
+	}
+	rec, err := a.cfg.Journal.Load()
+	if err != nil || rec == nil {
+		return ResumeInfo{}, ErrNoResume
+	}
+	info, err := a.resumeFromRecord(rec)
+	if err != nil {
+		// The journal lied or went stale: drop it (and any RAM state the
+		// attempt set) so the next cycle starts clean. The slot is left
+		// alone — the next RequestDeviceToken erases it anyway.
+		_ = a.cfg.Journal.Invalidate()
+		a.releaseTransfer()
+		return ResumeInfo{}, fmt.Errorf("agent: resume: %w", err)
+	}
+	return info, nil
+}
+
+// resumeFromRecord validates rec against durable state and rebuilds the
+// transfer.
+func (a *Agent) resumeFromRecord(rec *slot.ReceptionRecord) (ResumeInfo, error) {
+	var target *slot.Slot
+	for _, s := range a.cfg.Targets {
+		if s.Name == rec.SlotName {
+			target = s
+			break
+		}
+	}
+	if target == nil {
+		return ResumeInfo{}, fmt.Errorf("no target slot %q", rec.SlotName)
+	}
+	st, err := target.State()
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	if st != slot.StateReceiving {
+		return ResumeInfo{}, fmt.Errorf("slot %s is %v, not receiving", target.Name, st)
+	}
+	m, err := target.Manifest()
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	if m.Version != rec.ManifestVersion {
+		return ResumeInfo{}, fmt.Errorf("slot manifest v%d != journaled v%d", m.Version, rec.ManifestVersion)
+	}
+	cp, err := pipeline.ParseCheckpoint(rec.Pipeline)
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	encrypted := len(a.cfg.PayloadKey) > 0
+	if cp.Encrypted() != encrypted || cp.Differential() != m.IsDifferential() {
+		return ResumeInfo{}, pipeline.ErrCheckpointMismatch
+	}
+	if m.IsDifferential() && a.runningVersion() != rec.Token.CurrentVersion {
+		// The running base image changed under the parked patch.
+		return ResumeInfo{}, fmt.Errorf("running v%d is not the patch base v%d",
+			a.runningVersion(), rec.Token.CurrentVersion)
+	}
+	expected := int(m.PayloadSize())
+	if encrypted {
+		expected += security.EncryptedOverhead
+	}
+	if rec.Received < 0 || rec.Received >= expected || cp.BytesIn() != rec.Received {
+		return ResumeInfo{}, fmt.Errorf("journaled offset %d inconsistent (expected < %d, pipeline %d)",
+			rec.Received, expected, cp.BytesIn())
+	}
+
+	// Re-run the double verification with the journaled token: the
+	// nonce survived the reboot, so the signatures still bind this
+	// manifest to this device and this request.
+	a.token = rec.Token
+	dev := verifier.DeviceInfo{
+		DeviceID:       a.cfg.DeviceID,
+		AppID:          a.cfg.AppID,
+		CurrentVersion: a.currentVersion(),
+	}
+	dst := verifier.SlotInfo{LinkBase: target.LinkBase, Capacity: target.Capacity()}
+	if err := a.timedVerify(m.Version, func() error {
+		return a.cfg.Verifier.VerifyManifestForAgent(m, rec.Token, dev, dst)
+	}); err != nil {
+		a.reject("resume")
+		return ResumeInfo{}, err
+	}
+
+	w, err := target.ResumeReceive(cp.BytesOut())
+	if err != nil {
+		return ResumeInfo{}, err
+	}
+	bufSize := a.cfg.PipelineBuffer
+	if bufSize <= 0 {
+		bufSize = target.Region().Mem.Geometry().SectorSize
+	}
+	var pipe *pipeline.Pipeline
+	if m.IsDifferential() {
+		if a.cfg.Running == nil {
+			return ResumeInfo{}, ErrDiffNoBase
+		}
+		base, err := a.cfg.Running.FirmwareReader()
+		if err != nil {
+			return ResumeInfo{}, fmt.Errorf("%w: %v", ErrDiffNoBase, err)
+		}
+		pipe = pipeline.NewDifferential(base, w, bufSize)
+	} else {
+		pipe = pipeline.NewFull(w, bufSize)
+	}
+	if encrypted {
+		if err := pipe.EnableDecryption(a.cfg.PayloadKey); err != nil {
+			return ResumeInfo{}, err
+		}
+	}
+	pipe.SetTelemetry(a.cfg.Telemetry)
+	if err := pipe.Restore(cp); err != nil {
+		return ResumeInfo{}, err
+	}
+
+	a.target = target
+	a.writer = w
+	a.m = m
+	a.pipe = pipe
+	a.received = rec.Received
+	a.ckptEvery = a.cfg.CheckpointEvery
+	if a.ckptEvery <= 0 {
+		a.ckptEvery = 4 * bufSize
+	}
+	a.lastCkpt = cp.BytesOut()
+	a.setState(StateReceiveFirmware)
+	a.cfg.Events.Emit(events.KindReceptionResumed, m.Version,
+		fmt.Sprintf("at %d bytes", rec.Received))
+	a.cfg.Telemetry.Counter("upkit_agent_resumes_total",
+		"Journaled downloads resumed after a reboot or suspend.").Inc()
+	return ResumeInfo{Token: rec.Token, Version: m.Version, Received: rec.Received}, nil
+}
+
+// Received reports the payload (wire) bytes consumed in the current
+// transfer.
+func (a *Agent) Received() int { return a.received }

@@ -84,6 +84,11 @@ type Config struct {
 	// static mode.
 	Scratch flash.Region
 	Journal flash.Region
+	// ReceptionJournal, when set, is the agent's download-progress
+	// journal: a slot still Receiving at boot is preserved (not
+	// invalidated) while the journal holds a valid record, so the agent
+	// can resume the interrupted transfer.
+	ReceptionJournal flash.Region
 	// Verifier performs the boot-side verification.
 	Verifier *verifier.Verifier
 	// DeviceID and AppID identify the device.
@@ -146,6 +151,15 @@ func New(cfg Config) (*Bootloader, error) {
 		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, cfg.Mode)
 	}
 	return &Bootloader{cfg: cfg}, nil
+}
+
+// receptionPending reports whether the reception journal records an
+// in-flight download worth preserving.
+func (b *Bootloader) receptionPending() bool {
+	if b.cfg.ReceptionJournal.Mem == nil {
+		return false
+	}
+	return slot.ReceptionPending(b.cfg.ReceptionJournal)
 }
 
 // measure charges the virtual time consumed by fn to the named phase.
@@ -239,8 +253,11 @@ func (b *Bootloader) bootAB() (Result, error) {
 			return verr
 		})
 		if err != nil {
-			// Invalid preferred image: invalidate it and fall back.
-			if st, serr := s.State(); serr == nil && st != slot.StateEmpty {
+			// Invalid preferred image: invalidate it and fall back —
+			// unless it is a journaled in-flight download, which the
+			// agent will resume.
+			if st, serr := s.State(); serr == nil && st != slot.StateEmpty &&
+				!(st == slot.StateReceiving && b.receptionPending()) {
 				_ = s.Invalidate()
 			}
 			rolledBack = true
@@ -306,8 +323,10 @@ func (b *Bootloader) bootStatic() (Result, error) {
 			verifiedBySwap = true
 			m = stagedManifest
 		} else if stageErr != nil {
-			if st, serr := staging.State(); serr == nil && (st.HasImage() || st == slot.StateReceiving) {
-				// Reject the staged image so it is not retried forever.
+			if st, serr := staging.State(); serr == nil && (st.HasImage() ||
+				(st == slot.StateReceiving && !b.receptionPending())) {
+				// Reject the staged image so it is not retried forever —
+				// but preserve a journaled in-flight download for resume.
 				_ = staging.Invalidate()
 			}
 		}

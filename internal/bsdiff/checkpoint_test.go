@@ -1,0 +1,96 @@
+package bsdiff
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckpointResumeEverySplit cuts a raw patch stream at every byte
+// boundary, checkpoints the applier at the cut, restores into a fresh
+// applier over the same old image, and checks the spliced output. The
+// cut lands in every applier state: mid-patch-header, mid-record-header,
+// mid-diff, mid-extra.
+func TestCheckpointResumeEverySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	old := make([]byte, 4096)
+	rng.Read(old)
+	new := bytes.Clone(old)
+	copy(new[1000:], bytes.Repeat([]byte{0xEE}, 200)) // localized change
+	new = append(new, []byte("appended-tail-section")...)
+	patch := Diff(old, new)
+
+	for split := 0; split <= len(patch); split++ {
+		a1 := NewApplier(bytes.NewReader(old))
+		var out []byte
+		sink := func(p []byte) error { out = append(out, p...); return nil }
+		if err := a1.Feed(patch[:split], sink); err != nil {
+			t.Fatalf("split=%d: first feed: %v", split, err)
+		}
+		cp := a1.Checkpoint()
+		if len(cp) != CheckpointSize {
+			t.Fatalf("split=%d: checkpoint = %d bytes, want %d", split, len(cp), CheckpointSize)
+		}
+		a2 := NewApplier(bytes.NewReader(old))
+		if err := a2.Restore(cp); err != nil {
+			t.Fatalf("split=%d: restore: %v", split, err)
+		}
+		if err := a2.Feed(patch[split:], sink); err != nil {
+			t.Fatalf("split=%d: resumed feed: %v", split, err)
+		}
+		if err := a2.Close(); err != nil {
+			t.Fatalf("split=%d: close: %v", split, err)
+		}
+		if !bytes.Equal(out, new) {
+			t.Fatalf("split=%d: spliced output mismatch", split)
+		}
+	}
+}
+
+// TestCheckpointResumeBackwardSeek exercises a patch whose records seek
+// backwards in the old image, so the restored oldPos must carry sign.
+func TestCheckpointResumeBackwardSeek(t *testing.T) {
+	old := bytes.Repeat([]byte("ABCDEFGH"), 500)
+	// new reorders: second half first — forces a backward seek.
+	new := append([]byte{}, old[2000:]...)
+	new = append(new, old[:2000]...)
+	patch := Diff(old, new)
+	for _, split := range []int{1, patchHeaderSize, patchHeaderSize + 5, len(patch) / 2, len(patch) - 1} {
+		a1 := NewApplier(bytes.NewReader(old))
+		var out []byte
+		sink := func(p []byte) error { out = append(out, p...); return nil }
+		if err := a1.Feed(patch[:split], sink); err != nil {
+			t.Fatal(err)
+		}
+		a2 := NewApplier(bytes.NewReader(old))
+		if err := a2.Restore(a1.Checkpoint()); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Feed(patch[split:], sink); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, new) {
+			t.Fatalf("split=%d: mismatch", split)
+		}
+	}
+}
+
+func TestRestoreRejectsBadCheckpoints(t *testing.T) {
+	a := NewApplier(bytes.NewReader(nil))
+	if err := a.Restore(nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("nil blob: error = %v, want ErrBadCheckpoint", err)
+	}
+	cp := NewApplier(bytes.NewReader(nil)).Checkpoint()
+	cp[0] = 'X'
+	if err := a.Restore(cp); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("bad magic: error = %v, want ErrBadCheckpoint", err)
+	}
+	cp = NewApplier(bytes.NewReader(nil)).Checkpoint()
+	if err := a.Restore(cp[:len(cp)-2]); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("short blob: error = %v, want ErrBadCheckpoint", err)
+	}
+}

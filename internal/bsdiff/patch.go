@@ -224,6 +224,84 @@ func (a *Applier) addOldBytes(out []byte) error {
 	return nil
 }
 
+// Checkpoint serialization: the applier's state is a handful of
+// cursors (patch-header/record parse position, old-image offset, diff
+// and extra byte counts left in the current record), so the reception
+// journal can snapshot it cheaply at every buffer flush.
+const (
+	ckptVersion = 1
+	// CheckpointSize is the exact size of a serialized applier state.
+	CheckpointSize = 4 + 1 + 1 + 1 + patchHeaderSize + 1 + recordHeaderSize + 4 + 4 + 8 + 4 + 4 + 4 + 4
+)
+
+var ckptMagic = [4]byte{'B', 'S', 'C', 'K'}
+
+// ErrBadCheckpoint reports an unusable serialized applier state.
+var ErrBadCheckpoint = errors.New("bsdiff: bad checkpoint")
+
+// Checkpoint serializes the applier's full state. The old-image reader
+// is not part of the snapshot: Restore into an applier constructed over
+// the same old image.
+func (a *Applier) Checkpoint() []byte {
+	buf := make([]byte, 0, CheckpointSize)
+	buf = append(buf, ckptMagic[:]...)
+	buf = append(buf, ckptVersion, byte(a.state), byte(a.hdrN))
+	buf = append(buf, a.hdr[:]...)
+	buf = append(buf, byte(a.recN))
+	buf = append(buf, a.record[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.oldSize))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.newSize))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(a.oldPos)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.emitted))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.diffLeft))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(a.extraLeft))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(a.seek)))
+	return buf
+}
+
+// Restore overwrites the applier's state from a Checkpoint snapshot.
+func (a *Applier) Restore(blob []byte) error {
+	if len(blob) != CheckpointSize || [4]byte(blob[:4]) != ckptMagic || blob[4] != ckptVersion {
+		return ErrBadCheckpoint
+	}
+	state := applierState(blob[5])
+	if state < applierHeader || state > applierDone {
+		return fmt.Errorf("%w: state %d", ErrBadCheckpoint, state)
+	}
+	hdrN := int(blob[6])
+	if hdrN > patchHeaderSize {
+		return fmt.Errorf("%w: hdrN %d", ErrBadCheckpoint, hdrN)
+	}
+	p := 7
+	copy(a.hdr[:], blob[p:p+patchHeaderSize])
+	p += patchHeaderSize
+	recN := int(blob[p])
+	p++
+	if recN > recordHeaderSize {
+		return fmt.Errorf("%w: recN %d", ErrBadCheckpoint, recN)
+	}
+	copy(a.record[:], blob[p:p+recordHeaderSize])
+	p += recordHeaderSize
+	oldSize := int(binary.BigEndian.Uint32(blob[p:]))
+	newSize := int(binary.BigEndian.Uint32(blob[p+4:]))
+	oldPos := int(int64(binary.BigEndian.Uint64(blob[p+8:])))
+	emitted := int(binary.BigEndian.Uint32(blob[p+16:]))
+	diffLeft := int(binary.BigEndian.Uint32(blob[p+20:]))
+	extraLeft := int(binary.BigEndian.Uint32(blob[p+24:]))
+	seek := int(int32(binary.BigEndian.Uint32(blob[p+28:])))
+	if emitted > newSize || emitted+diffLeft+extraLeft > newSize {
+		return fmt.Errorf("%w: inconsistent cursors", ErrBadCheckpoint)
+	}
+	a.state = state
+	a.hdrN = hdrN
+	a.recN = recN
+	a.oldSize, a.newSize = oldSize, newSize
+	a.oldPos, a.emitted = oldPos, emitted
+	a.diffLeft, a.extraLeft = diffLeft, extraLeft
+	a.seek = seek
+	return nil
+}
+
 // Close checks that the patch was complete.
 func (a *Applier) Close() error {
 	if a.state != applierDone {

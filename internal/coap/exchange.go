@@ -3,6 +3,7 @@ package coap
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -166,14 +167,37 @@ func (s *UDPServer) Serve() error {
 func (s *UDPServer) Close() error { return s.conn.Close() }
 
 // UDPExchanger exchanges messages with a remote CoAP server over UDP
-// with a simple retransmission schedule.
+// with the RFC 7252 §4.2 retransmission schedule: the response timeout
+// doubles on every retransmission and is widened by a random factor in
+// [1, ACK_RANDOM_FACTOR) so a fleet of clients recovering from the same
+// outage does not retransmit in lockstep.
 type UDPExchanger struct {
 	conn    *net.UDPConn
 	nextMID uint16
-	// Timeout is the per-attempt response timeout.
+	// Timeout is the initial response timeout (ACK_TIMEOUT).
 	Timeout time.Duration
-	// Retries is the number of retransmissions after the first attempt.
+	// Retries is the number of retransmissions after the first attempt
+	// (MAX_RETRANSMIT).
 	Retries int
+	// Rand supplies the jitter source in [0,1); nil selects math/rand.
+	Rand func() float64
+}
+
+// ackRandomFactor is RFC 7252 §4.8's ACK_RANDOM_FACTOR: each timeout is
+// scaled by a uniform factor in [1, 1.5).
+const ackRandomFactor = 1.5
+
+// retryTimeout computes the response timeout for the given attempt:
+// base << attempt, jittered by rand01 per ACK_RANDOM_FACTOR.
+func retryTimeout(base time.Duration, attempt int, rand01 func() float64) time.Duration {
+	if base <= 0 {
+		base = 2 * time.Second
+	}
+	t := base << uint(attempt)
+	if rand01 != nil {
+		t += time.Duration(rand01() * (ackRandomFactor - 1) * float64(t))
+	}
+	return t
 }
 
 // DialUDP connects to a CoAP server at addr.
@@ -200,12 +224,16 @@ func (e *UDPExchanger) Exchange(req *Message) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	rand01 := e.Rand
+	if rand01 == nil {
+		rand01 = rand.Float64
+	}
 	buf := make([]byte, 64*1024)
 	for attempt := 0; attempt <= e.Retries; attempt++ {
 		if _, err := e.conn.Write(enc); err != nil {
 			return nil, err
 		}
-		if err := e.conn.SetReadDeadline(time.Now().Add(e.Timeout)); err != nil {
+		if err := e.conn.SetReadDeadline(time.Now().Add(retryTimeout(e.Timeout, attempt, rand01))); err != nil {
 			return nil, err
 		}
 		n, err := e.conn.Read(buf)

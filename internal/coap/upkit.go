@@ -10,6 +10,7 @@ import (
 	"upkit/internal/agent"
 	"upkit/internal/manifest"
 	"upkit/internal/telemetry"
+	"upkit/internal/transport"
 	"upkit/internal/updateserver"
 )
 
@@ -43,12 +44,22 @@ type sessionKey struct {
 	nonce    uint32
 }
 
+// session is one prepared update. Both the manifest and the payload are
+// kept so that re-presenting the same device token (a client resuming
+// after a power cycle) replays the identical bytes instead of preparing
+// a fresh update — with payload encryption a fresh prepare would pick a
+// new IV and the resumed mid-stream decryption would fail verification.
+type session struct {
+	manifest []byte
+	payload  []byte
+}
+
 // PullServer adapts an update server to CoAP for pulling devices.
 type PullServer struct {
 	Updates *updateserver.Server
 
 	mu       sync.Mutex
-	sessions map[sessionKey][]byte
+	sessions map[sessionKey]session
 
 	// Resolved on the update server's registry; nil handles drop samples.
 	reqVersion *telemetry.Counter
@@ -61,7 +72,7 @@ type PullServer struct {
 // NewPullServer wraps updates, recording CoAP request and block counts
 // on the update server's telemetry registry.
 func NewPullServer(updates *updateserver.Server) *PullServer {
-	s := &PullServer{Updates: updates, sessions: make(map[sessionKey][]byte)}
+	s := &PullServer{Updates: updates, sessions: make(map[sessionKey]session)}
 	var reg *telemetry.Registry
 	if updates != nil {
 		reg = updates.Telemetry()
@@ -128,12 +139,21 @@ func (s *PullServer) handleRequest(req *Message) *Message {
 	if err := tok.UnmarshalBinary(req.Payload); err != nil {
 		return &Message{Type: Acknowledgement, Code: CodeBadReq}
 	}
+	key := sessionKey{tok.DeviceID, tok.Nonce}
+	// Idempotent per (device, nonce): a repeated POST with the same token
+	// replays the stored session instead of preparing a new one.
+	s.mu.Lock()
+	if sess, ok := s.sessions[key]; ok {
+		s.mu.Unlock()
+		return &Message{Type: Acknowledgement, Code: CodeContent, Payload: sess.manifest}
+	}
+	s.mu.Unlock()
 	u, err := s.Updates.PrepareUpdate(appID, tok)
 	if err != nil {
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
 	s.mu.Lock()
-	s.sessions[sessionKey{tok.DeviceID, tok.Nonce}] = u.Payload
+	s.sessions[key] = session{manifest: u.ManifestBytes, payload: u.Payload}
 	s.mu.Unlock()
 	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: u.ManifestBytes}
 }
@@ -145,11 +165,12 @@ func (s *PullServer) handleImage(req *Message) *Message {
 		return &Message{Type: Acknowledgement, Code: CodeBadReq}
 	}
 	s.mu.Lock()
-	payload, ok := s.sessions[sessionKey{deviceID, nonce}]
+	sess, ok := s.sessions[sessionKey{deviceID, nonce}]
 	s.mu.Unlock()
 	if !ok {
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
+	payload := sess.payload
 
 	block := Block{SZX: 2} // default 64-byte blocks
 	if raw, has := req.Option(OptBlock2); has {
@@ -192,8 +213,50 @@ type PullClient struct {
 	AppID uint32
 	// BlockSize is the Block2 size (default DefaultBlockSize).
 	BlockSize int
+	// TransferRetries is the number of extra attempts per exchange after
+	// a retryable transport failure (the exchanger's own retransmissions
+	// having been exhausted); 0 selects 2. Once these too are exhausted,
+	// an in-flight transfer is suspended — the journal keeps the offset
+	// for the next cycle — rather than aborted.
+	TransferRetries int
+	// Backoff, when set, is called before retry attempt n ≥ 1. The
+	// testbed uses it to advance the simulated clock; real deployments
+	// can sleep.
+	Backoff func(attempt int)
 
 	token []byte
+}
+
+// retryableTransport reports whether err is a transient transport
+// failure (timeouts, lost frames) worth retrying — as opposed to a
+// protocol refusal or verification failure, which never heal on their
+// own.
+func retryableTransport(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, transport.ErrLost)
+}
+
+// exchange performs one request with transfer-level retries on
+// retryable transport errors.
+func (c *PullClient) exchange(req *Message) (*Message, error) {
+	retries := c.TransferRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 && c.Backoff != nil {
+			c.Backoff(attempt)
+		}
+		resp, err := c.Ex.Exchange(req)
+		if err == nil {
+			return resp, nil
+		}
+		if !retryableTransport(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // appQuery renders the app=... query option value.
@@ -231,6 +294,12 @@ func (c *PullClient) nextToken() []byte {
 // and if a newer one exists, request it with a fresh device token,
 // verify the manifest, and stream the image into the agent. It returns
 // true when a verified update is staged and the device should reboot.
+//
+// When the agent holds a journaled, interrupted download of the latest
+// version, the cycle resumes it instead: the journaled device token is
+// re-presented to the server and the Block2 transfer continues at the
+// block containing the journaled offset, so only the remaining bytes
+// travel again.
 func (c *PullClient) CheckAndUpdate() (bool, error) {
 	latest, err := c.Poll()
 	if err != nil {
@@ -238,6 +307,15 @@ func (c *PullClient) CheckAndUpdate() (bool, error) {
 	}
 	if latest <= c.Agent.CurrentVersion() {
 		return false, ErrNoUpdate
+	}
+
+	if c.Agent.CanResume() {
+		staged, handled, err := c.resume(latest)
+		if handled {
+			return staged, err
+		}
+		// The journal did not apply (stale, or for an older version);
+		// fall through to a fresh cycle.
 	}
 
 	tok, err := c.Agent.RequestDeviceToken()
@@ -264,6 +342,8 @@ func (c *PullClient) CheckAndUpdate() (bool, error) {
 
 	status, err := c.Agent.Receive(resp.Payload)
 	if err != nil {
+		// The agent rejected the manifest and has already cleaned itself
+		// up (slot invalidated, state back to Waiting) — no Abort needed.
 		return false, fmt.Errorf("coap: manifest rejected: %w", err)
 	}
 	if status != agent.StatusManifestAccepted {
@@ -271,11 +351,76 @@ func (c *PullClient) CheckAndUpdate() (bool, error) {
 		return false, fmt.Errorf("coap: unexpected agent status %v after manifest", status)
 	}
 
-	return c.fetchImage(tok)
+	return c.fetchImage(tok, 0)
 }
 
-// fetchImage streams the payload blocks into the agent (step 7 + 12).
-func (c *PullClient) fetchImage(tok manifest.DeviceToken) (bool, error) {
+// resume continues a journaled download. handled reports whether the
+// resume path ran to a conclusion; when false the journal did not apply
+// and the caller should run a fresh cycle.
+func (c *PullClient) resume(latest uint16) (staged, handled bool, err error) {
+	info, err := c.Agent.Resume()
+	if err != nil {
+		// The journal was stale or inconsistent; the agent has already
+		// invalidated it, so a fresh cycle starts clean.
+		return false, false, nil
+	}
+	if info.Version != latest {
+		// The server moved on while the download was parked. Drop the
+		// now-pointless partial transfer and fetch the newer version.
+		c.Agent.Abort()
+		return false, false, nil
+	}
+	if err := c.establishSession(info.Token); err != nil {
+		return false, true, err
+	}
+	staged, err = c.fetchImage(info.Token, info.Received)
+	return staged, true, err
+}
+
+// establishSession re-presents tok to the server so it (re-)prepares
+// the session — idempotent on the server per (device, nonce), so a
+// resume replays the same manifest and payload bytes.
+func (c *PullClient) establishSession(tok manifest.DeviceToken) error {
+	tokBytes, err := tok.MarshalBinary()
+	if err != nil {
+		c.Agent.Abort()
+		return err
+	}
+	req := &Message{Type: Confirmable, Code: CodePOST, Token: c.nextToken(), Payload: tokBytes}
+	req.SetPath(PathRequest)
+	req.AddOption(OptUriQuery, c.appQuery())
+	resp, err := c.exchange(req)
+	if err != nil {
+		if retryableTransport(err) {
+			// Transport is down; keep the journal and try again later.
+			_ = c.Agent.Suspend()
+		} else {
+			c.Agent.Abort()
+		}
+		return err
+	}
+	if resp.Code != CodeContent {
+		c.Agent.Abort()
+		return fmt.Errorf("%w: %s", ErrServerRefused, resp.Code)
+	}
+	return nil
+}
+
+// fetchImage streams the payload blocks into the agent (step 7 + 12),
+// starting at the block containing offset (0 for a fresh transfer).
+//
+// Error handling follows a strict classification:
+//   - Retryable transport failures (timeouts, lost frames) that survive
+//     the exchange-level retries suspend the transfer: the reception
+//     journal keeps the offset and the next cycle resumes there.
+//   - Protocol refusals and malformed responses hard-abort: the slot
+//     and journal are invalidated.
+//   - Agent verification errors need no Abort — the agent has already
+//     cleaned itself (slot + journal invalidated) before returning.
+//   - CodeNotFound mid-transfer means the server forgot the session
+//     (restart or expiry); the token is re-presented once and the same
+//     block retried before giving up.
+func (c *PullClient) fetchImage(tok manifest.DeviceToken, offset int) (bool, error) {
 	size := c.BlockSize
 	if size <= 0 {
 		size = DefaultBlockSize
@@ -287,23 +432,52 @@ func (c *PullClient) fetchImage(tok manifest.DeviceToken) (bool, error) {
 	}
 	query := []byte(fmt.Sprintf("d=%x", tok.DeviceID))
 	query2 := []byte(fmt.Sprintf("n=%x", tok.Nonce))
-	for num := uint32(0); ; num++ {
+	// A resumed transfer re-fetches the block containing offset; the
+	// prefix of that block the agent already consumed is trimmed before
+	// feeding so the pipeline sees a seamless byte stream.
+	num := uint32(offset / size)
+	skip := offset % size
+	reestablished := false
+	for ; ; num++ {
 		req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
 		req.SetPath(PathImage)
 		req.AddOption(OptUriQuery, query)
 		req.AddOption(OptUriQuery, query2)
 		req.AddOption(OptBlock2, Block{Num: num, SZX: szx}.Marshal())
-		resp, err := c.Ex.Exchange(req)
+		resp, err := c.exchange(req)
 		if err != nil {
-			c.Agent.Abort()
+			if retryableTransport(err) {
+				_ = c.Agent.Suspend()
+			} else {
+				c.Agent.Abort()
+			}
 			return false, err
+		}
+		if resp.Code == CodeNotFound && !reestablished {
+			reestablished = true
+			if err := c.establishSession(tok); err != nil {
+				return false, err
+			}
+			num--
+			continue
 		}
 		if resp.Code != CodeContent {
 			c.Agent.Abort()
 			return false, fmt.Errorf("%w: %s for block %d", ErrServerRefused, resp.Code, num)
 		}
-		status, err := c.Agent.Receive(resp.Payload)
+		chunk := resp.Payload
+		if skip > 0 {
+			if skip >= len(chunk) {
+				c.Agent.Abort()
+				return false, fmt.Errorf("coap: resumed block %d too short: %d bytes, skipping %d", num, len(chunk), skip)
+			}
+			chunk = chunk[skip:]
+			skip = 0
+		}
+		status, err := c.Agent.Receive(chunk)
 		if err != nil {
+			// The agent rejected the data and has already cleaned itself
+			// up (slot + journal invalidated) — no Abort needed.
 			return false, fmt.Errorf("coap: firmware rejected: %w", err)
 		}
 		raw, has := resp.Option(OptBlock2)

@@ -76,6 +76,10 @@ type Options struct {
 	// PayloadKey enables the pipeline's decryption stage: the update
 	// server must encrypt payloads under the same symmetric key.
 	PayloadKey []byte
+	// CheckpointEvery tunes the reception journal's cadence (bytes of
+	// durably written firmware between checkpoints); zero selects the
+	// agent default of four pipeline buffers.
+	CheckpointEvery int
 	// WithRecovery allocates a third, non-bootable recovery slot
 	// holding the factory image (Fig. 6, Configuration B): the
 	// bootloader's last resort when neither slot verifies. It lives on
@@ -110,11 +114,13 @@ type Device struct {
 	// Events records the device's update lifecycle.
 	Events *events.Log
 
-	opts    Options
-	scratch flash.Region
-	journal flash.Region
-	running *slot.Slot
-	reboots int
+	opts       Options
+	scratch    flash.Region
+	journal    flash.Region
+	rjournal   flash.Region
+	recJournal *slot.ReceptionJournal
+	running    *slot.Slot
+	reboots    int
 
 	// chargedErases/chargedWrites track flash activity already charged
 	// to the energy meter by EnergyReport.
@@ -124,10 +130,12 @@ type Device struct {
 
 // New builds a device per opts. The internal flash layout is
 //
-//	[bootloader][slot A][slot B*][scratch][journal]
+//	[bootloader][slot A][slot B*][scratch][swap journal][reception journal]
 //
 // with slot B placed on external flash when the MCU has one and its
-// internal flash cannot hold both slots (the CC2650 case, §V).
+// internal flash cannot hold both slots (the CC2650 case, §V). The
+// reception journal spans two sectors so the latest download
+// checkpoint always survives the journal ring's own sector erases.
 func New(opts Options) (*Device, error) {
 	if opts.Suite == nil {
 		return nil, errors.New("device: options need a crypto suite")
@@ -147,7 +155,8 @@ func New(opts Options) (*Device, error) {
 	}
 
 	sector := opts.MCU.Internal.SectorSize
-	overhead := opts.MCU.ReservedBootloader + 2*sector // scratch + journal
+	// scratch + swap journal + 2-sector reception journal
+	overhead := opts.MCU.ReservedBootloader + 4*sector
 	slotBytes := opts.SlotBytes
 	// Internal slots: A and B, plus the recovery slot when it cannot go
 	// to external flash.
@@ -198,6 +207,14 @@ func New(opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	rjournal, err := flash.NewRegion(internal, afterB+2*sector, 2*sector)
+	if err != nil {
+		return nil, err
+	}
+	recJournal, err := slot.NewReceptionJournal(rjournal)
+	if err != nil {
+		return nil, err
+	}
 	var recovery *slot.Slot
 	if opts.WithRecovery {
 		var recRegion flash.Region
@@ -209,7 +226,7 @@ func New(opts Options) (*Device, error) {
 			}
 			recRegion, err = flash.NewRegion(external, recOffset, slotBytes)
 		} else {
-			recRegion, err = flash.NewRegion(internal, afterB+2*sector, slotBytes)
+			recRegion, err = flash.NewRegion(internal, afterB+4*sector, slotBytes)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: recovery slot", ErrTooSmallFlash)
@@ -241,9 +258,10 @@ func New(opts Options) (*Device, error) {
 		Boot:      slotA,
 		Alt:       slotB,
 		Recovery:  recovery,
-		Scratch:   scratch,
-		Journal:   journal,
-		Verifier:  ver,
+		Scratch:          scratch,
+		Journal:          journal,
+		ReceptionJournal: rjournal,
+		Verifier:         ver,
 		DeviceID:  opts.DeviceID,
 		AppID:     opts.AppID,
 		Clock:     clock,
@@ -272,6 +290,8 @@ func New(opts Options) (*Device, error) {
 		opts:       opts,
 		scratch:    scratch,
 		journal:    journal,
+		rjournal:   rjournal,
+		recJournal: recJournal,
 	}
 	if err := d.rebuildAgent(); err != nil {
 		return nil, err
@@ -297,6 +317,8 @@ func (d *Device) rebuildAgent() error {
 		Clock:               d.Clock,
 		Phases:              d.Phases,
 		PayloadKey:          d.opts.PayloadKey,
+		Journal:             d.recJournal,
+		CheckpointEvery:     d.opts.CheckpointEvery,
 		Events:              d.Events,
 		Telemetry:           d.opts.Telemetry,
 	})
@@ -310,6 +332,10 @@ func (d *Device) rebuildAgent() error {
 // Running returns the slot currently executing, or nil before first
 // boot.
 func (d *Device) Running() *slot.Slot { return d.running }
+
+// ReceptionPending reports whether the reception journal holds a valid
+// download checkpoint (i.e. an interrupted transfer awaits resume).
+func (d *Device) ReceptionPending() bool { return slot.ReceptionPending(d.rjournal) }
 
 // RunningVersion reports the executing firmware version, or 0.
 func (d *Device) RunningVersion() uint16 {

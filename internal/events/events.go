@@ -46,6 +46,11 @@ const (
 	KindSwapResumed
 	// KindBootFailed: no valid image could be booted.
 	KindBootFailed
+	// KindReceptionSuspended: an in-flight download was parked in the
+	// reception journal for a later resume.
+	KindReceptionSuspended
+	// KindReceptionResumed: a journaled download was picked up again.
+	KindReceptionResumed
 )
 
 // String names the kind.
@@ -75,6 +80,10 @@ func (k Kind) String() string {
 		return "swap-resumed"
 	case KindBootFailed:
 		return "boot-failed"
+	case KindReceptionSuspended:
+		return "reception-suspended"
+	case KindReceptionResumed:
+		return "reception-resumed"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -14,8 +14,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"upkit/internal/telemetry"
 )
@@ -75,6 +77,14 @@ type Policy struct {
 	MaxRetries int
 	// Parallelism bounds concurrent device updates per wave; 0 means 4.
 	Parallelism int
+	// RetryBackoff is the base wait before retry n, growing as
+	// RetryBackoff << (n-1). Zero retries immediately (the previous
+	// behaviour). The wait is interrupted by context cancellation.
+	RetryBackoff time.Duration
+	// RetryJitter widens each backoff by a uniform factor in
+	// [1, 1+RetryJitter), decorrelating retries across the fleet so a
+	// wave of failures does not hammer the server in lockstep.
+	RetryJitter float64
 }
 
 // ErrCampaignAborted is wrapped into Run's error when the canary gate
@@ -239,8 +249,38 @@ func (c *Campaign) wave(ctx context.Context, results []Result, from, to int) {
 	wg.Wait()
 }
 
+// retryDelay computes the wait before retry attempt n ≥ 1: exponential
+// in the base backoff, widened by the jitter factor.
+func retryDelay(p Policy, attempt int, rand01 func() float64) time.Duration {
+	if p.RetryBackoff <= 0 || attempt <= 0 {
+		return 0
+	}
+	d := p.RetryBackoff << uint(attempt-1)
+	if p.RetryJitter > 0 && rand01 != nil {
+		d += time.Duration(rand01() * p.RetryJitter * float64(d))
+	}
+	return d
+}
+
+// sleepCtx waits for d, returning early with ctx's error on
+// cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // updateOne drives a single device with retries. Cancellation stops
-// further retries but never interrupts an attempt halfway.
+// further retries (including mid-backoff) but never interrupts an
+// attempt halfway.
 func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 	res := Result{DeviceID: d.ID(), Version: d.Version()}
 	if res.Version >= c.target {
@@ -249,8 +289,10 @@ func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.policy.MaxRetries; attempt++ {
-		if attempt > 0 && ctx.Err() != nil {
-			break
+		if attempt > 0 {
+			if err := sleepCtx(ctx, retryDelay(c.policy, attempt, rand.Float64)); err != nil {
+				break
+			}
 		}
 		res.Attempts++
 		c.met("upkit_campaign_attempts_total", "Per-device update attempts.").Inc()

@@ -1,0 +1,99 @@
+package lzss
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestCheckpointResumeEverySplit cuts a compressed stream at every byte
+// boundary, snapshots the decoder at the cut, restores the snapshot
+// into a fresh decoder, and checks the spliced output — the checkpoint
+// must be valid in every intermediate decoder state (mid-header,
+// mid-flag-group, mid-match-token).
+func TestCheckpointResumeEverySplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	src := make([]byte, 6000)
+	for i := range src {
+		src[i] = byte(rng.Intn(8)) // compressible
+	}
+	enc := Encode(src)
+	for split := 0; split <= len(enc); split++ {
+		d1 := NewDecoder()
+		var out []byte
+		sink := func(p []byte) error { out = append(out, p...); return nil }
+		if err := d1.Feed(enc[:split], sink); err != nil {
+			t.Fatalf("split=%d: first feed: %v", split, err)
+		}
+		cp := d1.Checkpoint()
+		if len(cp) != CheckpointSize {
+			t.Fatalf("split=%d: checkpoint = %d bytes, want %d", split, len(cp), CheckpointSize)
+		}
+		d2 := NewDecoder()
+		if err := d2.Restore(cp); err != nil {
+			t.Fatalf("split=%d: restore: %v", split, err)
+		}
+		if err := d2.Feed(enc[split:], sink); err != nil {
+			t.Fatalf("split=%d: resumed feed: %v", split, err)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatalf("split=%d: close: %v", split, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("split=%d: spliced output mismatch", split)
+		}
+	}
+}
+
+// TestCheckpointWindowMatches resumes inside long back-references,
+// verifying the restored window reproduces overlapping matches.
+func TestCheckpointWindowMatches(t *testing.T) {
+	block := make([]byte, windowSize-100)
+	rng := rand.New(rand.NewSource(11))
+	rng.Read(block)
+	src := append(append([]byte{}, block...), block...) // far matches
+	enc := Encode(src)
+	for _, split := range []int{1, headerSize, headerSize + 1, len(enc) / 3, len(enc) / 2, len(enc) - 1} {
+		d1 := NewDecoder()
+		var out []byte
+		sink := func(p []byte) error { out = append(out, p...); return nil }
+		if err := d1.Feed(enc[:split], sink); err != nil {
+			t.Fatal(err)
+		}
+		d2 := NewDecoder()
+		if err := d2.Restore(d1.Checkpoint()); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Feed(enc[split:], sink); err != nil {
+			t.Fatal(err)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("split=%d: mismatch", split)
+		}
+	}
+}
+
+func TestRestoreRejectsBadCheckpoints(t *testing.T) {
+	d := NewDecoder()
+	if err := d.Restore(nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("nil blob: error = %v, want ErrBadCheckpoint", err)
+	}
+	cp := NewDecoder().Checkpoint()
+	cp[0] = 'X'
+	if err := d.Restore(cp); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("bad magic: error = %v, want ErrBadCheckpoint", err)
+	}
+	cp = NewDecoder().Checkpoint()
+	cp[4] = 99 // version
+	if err := d.Restore(cp); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("bad version: error = %v, want ErrBadCheckpoint", err)
+	}
+	cp = NewDecoder().Checkpoint()
+	if err := d.Restore(cp[:len(cp)-1]); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("short blob: error = %v, want ErrBadCheckpoint", err)
+	}
+}

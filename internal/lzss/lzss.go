@@ -274,6 +274,91 @@ func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
 	return flush()
 }
 
+// Checkpoint serialization. The decoder's complete state is small and
+// flat — the ring window dominates — so a checkpoint is a fixed-size
+// snapshot the reception journal can persist at every buffer flush and
+// a rebooted device can Restore to continue the stream mid-token.
+const (
+	ckptVersion = 1
+	// CheckpointSize is the exact size of a serialized decoder state.
+	CheckpointSize = 4 + 1 + 1 + 1 + headerSize + 4 + 4 + 1 + 1 + 2 + 1 + 1 + 2 + windowSize
+)
+
+var ckptMagic = [4]byte{'L', 'Z', 'C', 'K'}
+
+// ErrBadCheckpoint reports an unusable serialized decoder state.
+var ErrBadCheckpoint = errors.New("lzss: bad checkpoint")
+
+// Checkpoint serializes the decoder's full state: parser position,
+// flag/token cursors, and the sliding window. The snapshot is only
+// consistent with the output emitted so far — persist both or neither.
+func (d *Decoder) Checkpoint() []byte {
+	buf := make([]byte, 0, CheckpointSize)
+	buf = append(buf, ckptMagic[:]...)
+	buf = append(buf, ckptVersion, byte(d.state), byte(d.headerN))
+	buf = append(buf, d.header[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d.total))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(d.emitted))
+	buf = append(buf, d.flags, byte(d.flagsLeft))
+	buf = append(buf, d.pending[:]...)
+	buf = append(buf, byte(d.pendingN), boolByte(d.isLiteral))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(d.wpos))
+	buf = append(buf, d.window[:]...)
+	return buf
+}
+
+// Restore overwrites the decoder's state from a Checkpoint snapshot.
+func (d *Decoder) Restore(blob []byte) error {
+	if len(blob) != CheckpointSize || [4]byte(blob[:4]) != ckptMagic || blob[4] != ckptVersion {
+		return ErrBadCheckpoint
+	}
+	state := decoderState(blob[5])
+	if state < stateHeader || state > stateDone {
+		return fmt.Errorf("%w: state %d", ErrBadCheckpoint, state)
+	}
+	headerN := int(blob[6])
+	if headerN > headerSize {
+		return fmt.Errorf("%w: headerN %d", ErrBadCheckpoint, headerN)
+	}
+	p := 7
+	copy(d.header[:], blob[p:p+headerSize])
+	p += headerSize
+	total := int(binary.BigEndian.Uint32(blob[p:]))
+	emitted := int(binary.BigEndian.Uint32(blob[p+4:]))
+	p += 8
+	flags := blob[p]
+	flagsLeft := int(blob[p+1])
+	p += 2
+	copy(d.pending[:], blob[p:p+2])
+	p += 2
+	pendingN := int(blob[p])
+	isLiteral := blob[p+1] != 0
+	p += 2
+	wpos := int(binary.BigEndian.Uint16(blob[p:]))
+	p += 2
+	if flagsLeft > 8 || pendingN > 1 || wpos >= windowSize || emitted > total {
+		return fmt.Errorf("%w: inconsistent cursors", ErrBadCheckpoint)
+	}
+	copy(d.window[:], blob[p:p+windowSize])
+	d.state = state
+	d.headerN = headerN
+	d.total = total
+	d.emitted = emitted
+	d.flags = flags
+	d.flagsLeft = flagsLeft
+	d.pendingN = pendingN
+	d.isLiteral = isLiteral
+	d.wpos = wpos
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // Close checks that the stream is complete.
 func (d *Decoder) Close() error {
 	if d.state != stateDone {

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Reception-journal support: a pipeline checkpoint captures everything
+// needed to rebuild the pipeline after a power loss and continue the
+// payload stream mid-byte — the input/output byte counters plus the
+// serialized state of every active stage (decrypter, LZSS decoder,
+// bspatch applier). The buffer stage is deliberately NOT part of the
+// snapshot: Checkpoint first Syncs the buffer to the sink, so a
+// checkpoint always describes a pipeline whose entire output is durable.
+
+// Checkpoint is a serializable snapshot of a pipeline's position.
+type Checkpoint struct {
+	bytesIn      int
+	bytesOut     int
+	differential bool
+	encrypted    bool
+
+	crypt []byte // decrypter state, empty when cleartext
+	dec   []byte // lzss decoder state, empty for full images
+	app   []byte // bspatch applier state, empty for full images
+}
+
+// BytesIn reports the payload (wire) bytes consumed at snapshot time.
+func (c *Checkpoint) BytesIn() int { return c.bytesIn }
+
+// BytesOut reports the firmware bytes durably written at snapshot time.
+func (c *Checkpoint) BytesOut() int { return c.bytesOut }
+
+// Differential reports whether the snapshot came from a differential
+// pipeline.
+func (c *Checkpoint) Differential() bool { return c.differential }
+
+// Encrypted reports whether the snapshot came from a decrypting
+// pipeline.
+func (c *Checkpoint) Encrypted() bool { return c.encrypted }
+
+const (
+	ckptVersion      = 1
+	ckptFlagDiff     = 1 << 0
+	ckptFlagEncrypt  = 1 << 1
+	ckptFixedEncoded = 4 + 1 + 1 + 8 + 8 + 3*2
+)
+
+var ckptMagic = [4]byte{'P', 'P', 'C', 'K'}
+
+// ErrBadCheckpoint reports an unusable serialized pipeline snapshot.
+var ErrBadCheckpoint = errors.New("pipeline: bad checkpoint")
+
+// ErrCheckpointMismatch reports a Restore into a pipeline whose
+// configuration (differential/encrypted) differs from the snapshot's.
+var ErrCheckpointMismatch = errors.New("pipeline: checkpoint does not match pipeline configuration")
+
+// Marshal encodes the checkpoint for persistent storage.
+func (c *Checkpoint) Marshal() []byte {
+	buf := make([]byte, 0, ckptFixedEncoded+len(c.crypt)+len(c.dec)+len(c.app))
+	buf = append(buf, ckptMagic[:]...)
+	var flags byte
+	if c.differential {
+		flags |= ckptFlagDiff
+	}
+	if c.encrypted {
+		flags |= ckptFlagEncrypt
+	}
+	buf = append(buf, ckptVersion, flags)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.bytesIn))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.bytesOut))
+	for _, blob := range [][]byte{c.crypt, c.dec, c.app} {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf
+}
+
+// ParseCheckpoint decodes a Marshal-ed checkpoint.
+func ParseCheckpoint(blob []byte) (*Checkpoint, error) {
+	if len(blob) < ckptFixedEncoded || [4]byte(blob[:4]) != ckptMagic || blob[4] != ckptVersion {
+		return nil, ErrBadCheckpoint
+	}
+	flags := blob[5]
+	c := &Checkpoint{
+		differential: flags&ckptFlagDiff != 0,
+		encrypted:    flags&ckptFlagEncrypt != 0,
+		bytesIn:      int(binary.BigEndian.Uint64(blob[6:])),
+		bytesOut:     int(binary.BigEndian.Uint64(blob[14:])),
+	}
+	p := 22
+	for _, dst := range []*[]byte{&c.crypt, &c.dec, &c.app} {
+		if p+2 > len(blob) {
+			return nil, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		}
+		n := int(binary.BigEndian.Uint16(blob[p:]))
+		p += 2
+		if p+n > len(blob) {
+			return nil, fmt.Errorf("%w: truncated", ErrBadCheckpoint)
+		}
+		if n > 0 {
+			*dst = append([]byte(nil), blob[p:p+n]...)
+		}
+		p += n
+	}
+	if p != len(blob) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadCheckpoint)
+	}
+	if c.bytesIn < 0 || c.bytesOut < 0 {
+		return nil, fmt.Errorf("%w: negative counters", ErrBadCheckpoint)
+	}
+	return c, nil
+}
+
+// Sync flushes the partially filled buffer stage to the sink. Flash
+// programming is page-granular below sector erases, so a partial-buffer
+// program is legal; a later resumed stream simply re-programs identical
+// bytes over the already written tail of the page (a NOR no-op).
+func (p *Pipeline) Sync() error {
+	if p.closed {
+		return ErrClosed
+	}
+	return p.flush()
+}
+
+// Checkpoint Syncs the pipeline and returns a snapshot of its position.
+// After the call BytesOut counts every byte the sink has accepted, so
+// the snapshot and the sink's content are mutually consistent — the
+// invariant the reception journal depends on.
+func (p *Pipeline) Checkpoint() (*Checkpoint, error) {
+	if err := p.Sync(); err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{
+		bytesIn:      p.bytesIn,
+		bytesOut:     p.bytesOut,
+		differential: p.IsDifferential(),
+		encrypted:    p.IsEncrypted(),
+	}
+	if p.crypt != nil {
+		c.crypt = p.crypt.Checkpoint()
+	}
+	if p.dec != nil {
+		c.dec = p.dec.Checkpoint()
+		c.app = p.app.Checkpoint()
+	}
+	return c, nil
+}
+
+// Restore rewinds a freshly constructed pipeline to a checkpointed
+// position. The pipeline must have the same configuration the snapshot
+// was taken with (same kind, same decryption setting, and for
+// differential pipelines an old-image reader over the same base image)
+// and must not have consumed any data yet. The sink must already hold
+// the BytesOut() firmware bytes the snapshot accounts for.
+func (p *Pipeline) Restore(c *Checkpoint) error {
+	if p.closed || p.bytesIn > 0 || p.n > 0 {
+		return errors.New("pipeline: Restore after data")
+	}
+	if c.differential != p.IsDifferential() || c.encrypted != p.IsEncrypted() {
+		return ErrCheckpointMismatch
+	}
+	if p.crypt != nil {
+		if err := p.crypt.Restore(c.crypt); err != nil {
+			return err
+		}
+	}
+	if p.dec != nil {
+		if err := p.dec.Restore(c.dec); err != nil {
+			return err
+		}
+		if err := p.app.Restore(c.app); err != nil {
+			return err
+		}
+	}
+	p.bytesIn = c.bytesIn
+	p.bytesOut = c.bytesOut
+	return nil
+}

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"upkit/internal/bsdiff"
+	"upkit/internal/lzss"
+	"upkit/internal/security"
+)
+
+// splitResume runs wire through a pipeline in two halves with a
+// checkpoint/restore at the cut, and returns the concatenated sink
+// output of both halves.
+func splitResume(t *testing.T, build func(sink *bytes.Buffer) *Pipeline, wire []byte, split int) []byte {
+	t.Helper()
+	var sink1 bytes.Buffer
+	p1 := build(&sink1)
+	if _, err := p1.Write(wire[:split]); err != nil {
+		t.Fatalf("split=%d: first write: %v", split, err)
+	}
+	cp, err := p1.Checkpoint()
+	if err != nil {
+		t.Fatalf("split=%d: checkpoint: %v", split, err)
+	}
+	// Checkpoint syncs: the first sink must hold exactly BytesOut bytes.
+	if sink1.Len() != cp.BytesOut() {
+		t.Fatalf("split=%d: sink has %d bytes, checkpoint says %d", split, sink1.Len(), cp.BytesOut())
+	}
+	if cp.BytesIn() != split {
+		t.Fatalf("split=%d: checkpoint BytesIn = %d", split, cp.BytesIn())
+	}
+
+	// Serialize through the wire format, as the journal does.
+	parsed, err := ParseCheckpoint(cp.Marshal())
+	if err != nil {
+		t.Fatalf("split=%d: parse: %v", split, err)
+	}
+
+	var sink2 bytes.Buffer
+	p2 := build(&sink2)
+	if err := p2.Restore(parsed); err != nil {
+		t.Fatalf("split=%d: restore: %v", split, err)
+	}
+	if _, err := p2.Write(wire[split:]); err != nil {
+		t.Fatalf("split=%d: resumed write: %v", split, err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatalf("split=%d: close: %v", split, err)
+	}
+	return append(sink1.Bytes(), sink2.Bytes()...)
+}
+
+func checkSplits(t *testing.T, build func(sink *bytes.Buffer) *Pipeline, wire, want []byte) {
+	t.Helper()
+	splits := []int{0, 1, 7, len(wire) / 3, len(wire) / 2, len(wire) - 1}
+	for _, split := range splits {
+		if split < 0 || split > len(wire) {
+			continue
+		}
+		got := splitResume(t, build, wire, split)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("split=%d: output mismatch: got %d bytes, want %d", split, len(got), len(want))
+		}
+	}
+}
+
+func TestCheckpointResumeFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	fw := make([]byte, 10000)
+	rng.Read(fw)
+	checkSplits(t, func(sink *bytes.Buffer) *Pipeline {
+		return NewFull(sink, 1024)
+	}, fw, fw)
+}
+
+func TestCheckpointResumeFullEncrypted(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	fw := make([]byte, 10000)
+	rng.Read(fw)
+	key := bytes.Repeat([]byte{0x11}, 16)
+	wire, err := security.EncryptPayload(key, fw, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSplits(t, func(sink *bytes.Buffer) *Pipeline {
+		p := NewFull(sink, 1024)
+		if err := p.EnableDecryption(key); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}, wire, fw)
+}
+
+func diffWire(t *testing.T) (old, new, wire []byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	old = make([]byte, 12000)
+	rng.Read(old)
+	new = bytes.Clone(old)
+	copy(new[4000:], bytes.Repeat([]byte{0xAB}, 500))
+	new = append(new, []byte("tail-growth")...)
+	return old, new, lzss.Encode(bsdiff.Diff(old, new))
+}
+
+func TestCheckpointResumeDifferential(t *testing.T) {
+	old, new, wire := diffWire(t)
+	checkSplits(t, func(sink *bytes.Buffer) *Pipeline {
+		return NewDifferential(bytes.NewReader(old), sink, 1024)
+	}, wire, new)
+}
+
+func TestCheckpointResumeDifferentialEncrypted(t *testing.T) {
+	old, new, wire := diffWire(t)
+	key := bytes.Repeat([]byte{0x22}, 16)
+	rng := rand.New(rand.NewSource(43))
+	enc, err := security.EncryptPayload(key, wire, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSplits(t, func(sink *bytes.Buffer) *Pipeline {
+		p := NewDifferential(bytes.NewReader(old), sink, 1024)
+		if err := p.EnableDecryption(key); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}, enc, new)
+}
+
+func TestRestoreRejectsKindMismatch(t *testing.T) {
+	var sink bytes.Buffer
+	full := NewFull(&sink, 256)
+	cp, err := full.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := NewDifferential(bytes.NewReader(nil), &sink, 256)
+	if err := diff.Restore(cp); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("full checkpoint into differential pipeline: error = %v, want ErrCheckpointMismatch", err)
+	}
+	enc := NewFull(&sink, 256)
+	if err := enc.EnableDecryption(bytes.Repeat([]byte{9}, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Restore(cp); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Fatalf("cleartext checkpoint into encrypted pipeline: error = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestRestoreRejectsUsedPipeline(t *testing.T) {
+	var sink bytes.Buffer
+	p := NewFull(&sink, 256)
+	cp, err := p.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewFull(&sink, 256)
+	if _, err := p2.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Restore(cp); err == nil {
+		t.Fatal("restore into a pipeline that has consumed data must fail")
+	}
+}
+
+func TestParseCheckpointRejectsGarbage(t *testing.T) {
+	if _, err := ParseCheckpoint(nil); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("nil blob: error = %v, want ErrBadCheckpoint", err)
+	}
+	var sink bytes.Buffer
+	cp, err := NewFull(&sink, 256).Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := cp.Marshal()
+	blob[0] = 'X'
+	if _, err := ParseCheckpoint(blob); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("bad magic: error = %v, want ErrBadCheckpoint", err)
+	}
+	blob = append(cp.Marshal(), 0xFF)
+	if _, err := ParseCheckpoint(blob); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("trailing byte: error = %v, want ErrBadCheckpoint", err)
+	}
+}

@@ -3,6 +3,7 @@ package security
 import (
 	"crypto/aes"
 	"crypto/cipher"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -71,6 +72,9 @@ type PayloadDecrypter struct {
 	iv     [PayloadIVSize]byte
 	ivN    int
 	stream cipher.Stream
+	// off counts plaintext bytes produced so far; a restored decrypter
+	// fast-forwards the CTR keystream by this much.
+	off uint64
 }
 
 // NewPayloadDecrypter returns a decrypter for key.
@@ -99,8 +103,62 @@ func (d *PayloadDecrypter) Feed(chunk []byte, emit func([]byte) error) error {
 	}
 	out := make([]byte, len(chunk))
 	d.stream.XORKeyStream(out, chunk)
+	d.off += uint64(len(chunk))
 	return emit(out)
 }
 
 // Started reports whether the IV has been fully received.
 func (d *PayloadDecrypter) Started() bool { return d.stream != nil }
+
+// Decrypter checkpoint serialization (reception-journal support): the
+// IV and the plaintext offset are enough to recreate the CTR stream at
+// the exact position a power loss interrupted it.
+const decrypterCkptVersion = 1
+
+// DecrypterCheckpointSize is the exact serialized decrypter state size.
+const DecrypterCheckpointSize = 4 + 1 + 1 + PayloadIVSize + 8
+
+var decrypterCkptMagic = [4]byte{'P', 'D', 'C', 'K'}
+
+// ErrBadCheckpoint reports an unusable serialized decrypter state.
+var ErrBadCheckpoint = errors.New("security: bad decrypter checkpoint")
+
+// Checkpoint serializes the decrypter's position. The key is not part
+// of the snapshot: Restore into a decrypter built with the same key.
+func (d *PayloadDecrypter) Checkpoint() []byte {
+	buf := make([]byte, 0, DecrypterCheckpointSize)
+	buf = append(buf, decrypterCkptMagic[:]...)
+	buf = append(buf, decrypterCkptVersion, byte(d.ivN))
+	buf = append(buf, d.iv[:]...)
+	return binary.BigEndian.AppendUint64(buf, d.off)
+}
+
+// Restore overwrites the decrypter's state from a Checkpoint snapshot,
+// fast-forwarding the keystream to the recorded plaintext offset.
+func (d *PayloadDecrypter) Restore(blob []byte) error {
+	if len(blob) != DecrypterCheckpointSize ||
+		[4]byte(blob[:4]) != decrypterCkptMagic || blob[4] != decrypterCkptVersion {
+		return ErrBadCheckpoint
+	}
+	ivN := int(blob[5])
+	if ivN > PayloadIVSize {
+		return fmt.Errorf("%w: ivN %d", ErrBadCheckpoint, ivN)
+	}
+	copy(d.iv[:], blob[6:6+PayloadIVSize])
+	off := binary.BigEndian.Uint64(blob[6+PayloadIVSize:])
+	d.ivN = ivN
+	d.off = 0
+	d.stream = nil
+	if ivN == PayloadIVSize {
+		d.stream = cipher.NewCTR(d.block, d.iv[:])
+		var sink [512]byte
+		for off > d.off {
+			n := min(uint64(len(sink)), off-d.off)
+			d.stream.XORKeyStream(sink[:n], sink[:n])
+			d.off += n
+		}
+	} else if off != 0 {
+		return fmt.Errorf("%w: offset before full IV", ErrBadCheckpoint)
+	}
+	return nil
+}

@@ -1,0 +1,308 @@
+package slot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"upkit/internal/flash"
+	"upkit/internal/manifest"
+)
+
+// ReceptionJournal is the reception-side mirror of the safeswap journal:
+// a small flash region where the update agent persists the progress of
+// an in-flight firmware download, so a power loss mid-transfer costs
+// only the bytes since the last checkpoint instead of the whole image.
+//
+// NOR flash cannot rewrite in place, so the journal is a ring of
+// fixed-size record frames across at least two sectors. Each Save
+// programs the next free frame with a monotonically increasing sequence
+// number; entering a sector's first frame erases that sector — and only
+// that sector — so the frame holding the latest valid record always
+// lives in the sector that is NOT being erased. On load, the valid
+// record with the highest sequence number wins; torn frames simply fail
+// their CRC and are skipped.
+//
+// Record frame layout (big endian):
+//
+//	magic "URXJ" | seq uint32 | len uint32 | payload (len bytes) | crc32
+//
+// where payload is:
+//
+//	device token (10 B) | nameLen uint8 | slot name | manifest version
+//	uint16 | received uint32 | pipeLen uint16 | pipeline checkpoint
+
+// recFrameSize is the record frame granularity: one frame per sector on
+// small-sector parts (CC2538), two on 4 KiB-sector parts.
+const recFrameSize = 2048
+
+// recMagic marks a programmed record frame.
+const recMagic uint32 = 0x5552584A // "URXJ"
+
+const recHeaderSize = 4 + 4 + 4
+
+// Reception journal errors.
+var (
+	ErrRecJournalTooSmall = errors.New("slot: reception journal needs at least two sectors")
+	ErrRecRecordTooLarge  = errors.New("slot: reception record exceeds frame size")
+)
+
+// ReceptionRecord is one persisted download-progress snapshot.
+type ReceptionRecord struct {
+	// Token is the device token of the in-flight request; its nonce is
+	// what lets the double-signature check pass again after a reboot.
+	Token manifest.DeviceToken
+	// SlotName names the target slot holding the partial image.
+	SlotName string
+	// ManifestVersion is the accepted manifest's version (a cheap
+	// staleness check against the server's advertised latest).
+	ManifestVersion uint16
+	// Received counts the payload (wire) bytes durably consumed.
+	Received int
+	// Pipeline is the serialized pipeline checkpoint matching Received.
+	Pipeline []byte
+}
+
+// ReceptionJournal manages the journal region. The cursor and sequence
+// cache are rebuilt from flash whenever they are unknown (fresh object
+// or after a failed write), so the struct itself holds no durable state.
+type ReceptionJournal struct {
+	region    flash.Region
+	frameSize int
+	frames    int
+	perSector int
+
+	scanned bool
+	nextSeq uint32
+	cursor  int
+}
+
+// NewReceptionJournal wraps region, which must span at least two
+// sectors so the latest record survives the ring's sector erases.
+func NewReceptionJournal(region flash.Region) (*ReceptionJournal, error) {
+	sector := region.Mem.Geometry().SectorSize
+	if region.Sectors() < 2 {
+		return nil, ErrRecJournalTooSmall
+	}
+	frame := min(recFrameSize, sector)
+	return &ReceptionJournal{
+		region:    region,
+		frameSize: frame,
+		frames:    region.Length / frame,
+		perSector: sector / frame,
+	}, nil
+}
+
+// ReceptionPending reports whether region holds a valid reception
+// record — the bootloader's cue to preserve a Receiving slot across a
+// reboot instead of invalidating it. Read errors report false: an
+// unreadable journal must never keep a bad image alive.
+func ReceptionPending(region flash.Region) bool {
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		return false
+	}
+	rec, err := j.Load()
+	return err == nil && rec != nil
+}
+
+// frameAt reads and validates the frame at index i, returning the
+// decoded record and its sequence number, or nil if the frame is blank
+// or corrupt.
+func (j *ReceptionJournal) frameAt(i int) (*ReceptionRecord, uint32) {
+	hdr := make([]byte, recHeaderSize)
+	off := i * j.frameSize
+	if err := j.region.ReadAt(off, hdr); err != nil {
+		return nil, 0
+	}
+	if binary.BigEndian.Uint32(hdr) != recMagic {
+		return nil, 0
+	}
+	seq := binary.BigEndian.Uint32(hdr[4:])
+	n := int(binary.BigEndian.Uint32(hdr[8:]))
+	if n < 0 || recHeaderSize+n+4 > j.frameSize {
+		return nil, 0
+	}
+	frame := make([]byte, recHeaderSize+n+4)
+	if err := j.region.ReadAt(off, frame); err != nil {
+		return nil, 0
+	}
+	body := frame[:recHeaderSize+n]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(frame[recHeaderSize+n:]) {
+		return nil, 0
+	}
+	rec, err := decodeReceptionRecord(body[recHeaderSize:])
+	if err != nil {
+		return nil, 0
+	}
+	return rec, seq
+}
+
+// scan walks all frames and rebuilds the cursor/sequence cache.
+func (j *ReceptionJournal) scan() (best *ReceptionRecord, bestFrame int) {
+	bestFrame = -1
+	var bestSeq uint32
+	for i := range j.frames {
+		rec, seq := j.frameAt(i)
+		if rec == nil {
+			continue
+		}
+		if best == nil || seq > bestSeq {
+			best, bestSeq, bestFrame = rec, seq, i
+		}
+	}
+	j.nextSeq = bestSeq + 1
+	j.cursor = 0
+	if bestFrame >= 0 {
+		j.cursor = (bestFrame + 1) % j.frames
+	}
+	j.scanned = true
+	return best, bestFrame
+}
+
+// Load returns the latest valid record, or nil if the journal holds
+// none.
+func (j *ReceptionJournal) Load() (*ReceptionRecord, error) {
+	rec, _ := j.scan()
+	return rec, nil
+}
+
+// Save persists rec as the new latest record. On success earlier
+// records are superseded (not erased — the ring reclaims them lazily).
+func (j *ReceptionJournal) Save(rec *ReceptionRecord) error {
+	payload, err := encodeReceptionRecord(rec)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, recHeaderSize+len(payload)+4)
+	if len(frame) > j.frameSize {
+		return fmt.Errorf("%w: %d > %d bytes", ErrRecRecordTooLarge, len(frame), j.frameSize)
+	}
+	if !j.scanned {
+		j.scan()
+	}
+	binary.BigEndian.PutUint32(frame, recMagic)
+	binary.BigEndian.PutUint32(frame[4:], j.nextSeq)
+	binary.BigEndian.PutUint32(frame[8:], uint32(len(payload)))
+	copy(frame[recHeaderSize:], payload)
+	binary.BigEndian.PutUint32(frame[recHeaderSize+len(payload):],
+		crc32.ChecksumIEEE(frame[:recHeaderSize+len(payload)]))
+
+	// Find a programmable frame: entering a sector erases it whole;
+	// within a sector, torn frames (not blank, e.g. a previous Save hit
+	// by a power loss) are skipped. Bounded: every perSector-th step
+	// erases, so at most frames+perSector probes.
+	for probe := 0; probe <= j.frames+j.perSector; probe++ {
+		at := j.cursor
+		if at%j.perSector == 0 {
+			if err := j.region.EraseSectorAt(at * j.frameSize); err != nil {
+				j.scanned = false
+				return fmt.Errorf("slot: reception journal erase: %w", err)
+			}
+		} else if !j.frameBlank(at) {
+			j.cursor = (at + 1) % j.frames
+			continue
+		}
+		if err := j.region.ProgramAt(at*j.frameSize, frame); err != nil {
+			j.scanned = false
+			return fmt.Errorf("slot: reception journal write: %w", err)
+		}
+		j.cursor = (at + 1) % j.frames
+		j.nextSeq++
+		return nil
+	}
+	j.scanned = false
+	return errors.New("slot: reception journal has no free frame")
+}
+
+// frameBlank reports whether frame i is fully erased.
+func (j *ReceptionJournal) frameBlank(i int) bool {
+	buf := make([]byte, j.frameSize)
+	if err := j.region.ReadAt(i*j.frameSize, buf); err != nil {
+		return false
+	}
+	for _, b := range buf {
+		if b != 0xFF {
+			return false
+		}
+	}
+	return true
+}
+
+// Invalidate discards all records, erasing only sectors that are not
+// already blank (the common post-update case costs zero erases).
+func (j *ReceptionJournal) Invalidate() error {
+	sector := j.region.Mem.Geometry().SectorSize
+	for off := 0; off < j.region.Length; off += sector {
+		blank := true
+		for f := off / j.frameSize; f < (off+sector)/j.frameSize; f++ {
+			if !j.frameBlank(f) {
+				blank = false
+				break
+			}
+		}
+		if blank {
+			continue
+		}
+		if err := j.region.EraseSectorAt(off); err != nil {
+			j.scanned = false
+			return fmt.Errorf("slot: reception journal invalidate: %w", err)
+		}
+	}
+	j.scanned = false
+	return nil
+}
+
+// encodeReceptionRecord renders the record payload.
+func encodeReceptionRecord(rec *ReceptionRecord) ([]byte, error) {
+	if len(rec.SlotName) > 255 {
+		return nil, fmt.Errorf("slot: reception record: slot name %q too long", rec.SlotName)
+	}
+	if rec.Received < 0 {
+		return nil, fmt.Errorf("slot: reception record: negative received count")
+	}
+	tok, err := rec.Token.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(tok)+1+len(rec.SlotName)+2+4+2+len(rec.Pipeline))
+	buf = append(buf, tok...)
+	buf = append(buf, byte(len(rec.SlotName)))
+	buf = append(buf, rec.SlotName...)
+	buf = binary.BigEndian.AppendUint16(buf, rec.ManifestVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(rec.Received))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(rec.Pipeline)))
+	buf = append(buf, rec.Pipeline...)
+	return buf, nil
+}
+
+// decodeReceptionRecord parses the record payload.
+func decodeReceptionRecord(buf []byte) (*ReceptionRecord, error) {
+	rec := &ReceptionRecord{}
+	if len(buf) < manifest.TokenEncodedSize+1 {
+		return nil, errors.New("slot: reception record truncated")
+	}
+	if err := rec.Token.UnmarshalBinary(buf[:manifest.TokenEncodedSize]); err != nil {
+		return nil, err
+	}
+	p := manifest.TokenEncodedSize
+	nameLen := int(buf[p])
+	p++
+	if p+nameLen+2+4+2 > len(buf) {
+		return nil, errors.New("slot: reception record truncated")
+	}
+	rec.SlotName = string(buf[p : p+nameLen])
+	p += nameLen
+	rec.ManifestVersion = binary.BigEndian.Uint16(buf[p:])
+	p += 2
+	rec.Received = int(binary.BigEndian.Uint32(buf[p:]))
+	p += 4
+	pipeLen := int(binary.BigEndian.Uint16(buf[p:]))
+	p += 2
+	if p+pipeLen != len(buf) {
+		return nil, errors.New("slot: reception record length mismatch")
+	}
+	rec.Pipeline = append([]byte(nil), buf[p:p+pipeLen]...)
+	return rec, nil
+}

@@ -1,0 +1,257 @@
+package slot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"upkit/internal/flash"
+	"upkit/internal/manifest"
+)
+
+// recRig allocates a two-sector journal region on a fresh chip.
+func recRig(t *testing.T) (*flash.Memory, flash.Region) {
+	t.Helper()
+	mem, err := flash.New(testGeometry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region, err := flash.NewRegion(mem, 0, 2*testGeometry().SectorSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, region
+}
+
+func testRecord(received int) *ReceptionRecord {
+	return &ReceptionRecord{
+		Token:           manifest.DeviceToken{DeviceID: 0xD0D0CAFE, Nonce: uint32(received) ^ 0x5EED, CurrentVersion: 1},
+		SlotName:        "B",
+		ManifestVersion: 2,
+		Received:        received,
+		Pipeline:        bytes.Repeat([]byte{byte(received)}, 64),
+	}
+}
+
+func sameRecord(a, b *ReceptionRecord) bool {
+	return a.Token == b.Token && a.SlotName == b.SlotName &&
+		a.ManifestVersion == b.ManifestVersion && a.Received == b.Received &&
+		bytes.Equal(a.Pipeline, b.Pipeline)
+}
+
+func TestRecJournalEmptyLoadsNil(t *testing.T) {
+	_, region := recRig(t)
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("empty journal returned a record")
+	}
+	if ReceptionPending(region) {
+		t.Fatal("empty journal reports pending reception")
+	}
+}
+
+func TestRecJournalRejectsSmallRegion(t *testing.T) {
+	mem, _ := recRig(t)
+	small, err := flash.NewRegion(mem, 0, testGeometry().SectorSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReceptionJournal(small); !errors.Is(err, ErrRecJournalTooSmall) {
+		t.Fatalf("error = %v, want ErrRecJournalTooSmall", err)
+	}
+}
+
+// TestRecJournalLatestWinsAcrossWraps saves enough records to cycle the
+// ring several times; the highest sequence number must always win, also
+// when re-scanned by a fresh journal (a reboot).
+func TestRecJournalLatestWinsAcrossWraps(t *testing.T) {
+	_, region := recRig(t)
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		want := testRecord(i * 1000)
+		if err := j.Save(want); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		got, err := j.Load()
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		if got == nil || !sameRecord(got, want) {
+			t.Fatalf("load %d: got %+v, want %+v", i, got, want)
+		}
+		// A reboot rebuilds the journal from flash alone.
+		j2, err := NewReceptionJournal(region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, err := j2.Load()
+		if err != nil {
+			t.Fatalf("rescan %d: %v", i, err)
+		}
+		if got2 == nil || !sameRecord(got2, want) {
+			t.Fatalf("rescan %d: stale record", i)
+		}
+		if !ReceptionPending(region) {
+			t.Fatalf("save %d: pending should be true", i)
+		}
+	}
+}
+
+func TestRecJournalInvalidate(t *testing.T) {
+	_, region := recRig(t)
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Save(testRecord(5000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := j.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("record survived Invalidate")
+	}
+	if ReceptionPending(region) {
+		t.Fatal("pending after Invalidate")
+	}
+	// Idempotent.
+	if err := j.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecJournalPowerLossDuringSave cuts power at every flash operation
+// of a Save. After the reboot the journal must hold either the previous
+// record or the new one — never garbage, never nothing.
+func TestRecJournalPowerLossDuringSave(t *testing.T) {
+	for failAt := 0; ; failAt++ {
+		mem, region := recRig(t)
+		j, err := NewReceptionJournal(region)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := testRecord(1000)
+		if err := j.Save(prev); err != nil {
+			t.Fatal(err)
+		}
+		next := testRecord(2000)
+		mem.FailAfter(failAt)
+		err = j.Save(next)
+		mem.ClearFault()
+		if err == nil {
+			// The save completed before the fault budget ran out: the
+			// sweep has covered every operation of a Save.
+			if failAt == 0 {
+				t.Fatal("sweep never injected a fault")
+			}
+			return
+		}
+		if !errors.Is(err, flash.ErrPowerLoss) {
+			t.Fatalf("failAt=%d: error = %v, want ErrPowerLoss", failAt, err)
+		}
+		// Reboot: a fresh scan must find a fully valid record.
+		j2, err := NewReceptionJournal(region)
+		if err != nil {
+			t.Fatalf("failAt=%d: rescan: %v", failAt, err)
+		}
+		got, err := j2.Load()
+		if err != nil {
+			t.Fatalf("failAt=%d: load: %v", failAt, err)
+		}
+		if got == nil {
+			t.Fatalf("failAt=%d: both records lost", failAt)
+		}
+		if !sameRecord(got, prev) && !sameRecord(got, next) {
+			t.Fatalf("failAt=%d: journal returned garbage: %+v", failAt, got)
+		}
+		// And the journal must still accept new records afterwards.
+		final := testRecord(3000)
+		if err := j2.Save(final); err != nil {
+			t.Fatalf("failAt=%d: save after recovery: %v", failAt, err)
+		}
+		got, err = j2.Load()
+		if err != nil || got == nil || !sameRecord(got, final) {
+			t.Fatalf("failAt=%d: journal broken after recovery (%v)", failAt, err)
+		}
+	}
+}
+
+func TestRecJournalRejectsOversizedRecord(t *testing.T) {
+	_, region := recRig(t)
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord(1)
+	rec.Pipeline = make([]byte, recFrameSize)
+	if err := j.Save(rec); !errors.Is(err, ErrRecRecordTooLarge) {
+		t.Fatalf("error = %v, want ErrRecRecordTooLarge", err)
+	}
+}
+
+func TestRecJournalCorruptFrameSkipped(t *testing.T) {
+	mem, region := recRig(t)
+	j, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	older, newer := testRecord(100), testRecord(200)
+	if err := j.Save(older); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Save(newer); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit of the newest frame (frame 1): its CRC fails
+	// and the scan must fall back to the older record.
+	if err := mem.Corrupt(region.Offset+recFrameSize+recHeaderSize+3, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := NewReceptionJournal(region)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := j2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !sameRecord(got, older) {
+		t.Fatalf("got %+v, want the older record", got)
+	}
+}
+
+func TestRecordEncodingRoundTrip(t *testing.T) {
+	for _, rec := range []*ReceptionRecord{
+		testRecord(0),
+		testRecord(1 << 20),
+		{SlotName: "", Pipeline: nil},
+		{SlotName: "a-rather-long-slot-name", ManifestVersion: 0xFFFF, Received: 1, Pipeline: []byte{1}},
+	} {
+		buf, err := encodeReceptionRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeReceptionRecord(buf)
+		if err != nil {
+			t.Fatalf("decode %q: %v", rec.SlotName, err)
+		}
+		if !sameRecord(got, rec) {
+			t.Fatalf("round trip mismatch: %+v != %+v", got, rec)
+		}
+	}
+}

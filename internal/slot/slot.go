@@ -206,6 +206,27 @@ func (s *Slot) BeginReceive() (*Writer, error) {
 	return &Writer{slot: s}, nil
 }
 
+// ResumeReceive returns a Writer positioned pos bytes into the
+// firmware area of a slot that is already Receiving — the reception
+// journal's resume path after a power loss. Unlike BeginReceive it
+// erases nothing: the bytes up to pos are the durable prefix the
+// journal vouches for, and the resumed stream may legally re-program
+// identical bytes beyond pos (NOR programming is idempotent for equal
+// data).
+func (s *Slot) ResumeReceive(pos int) (*Writer, error) {
+	st, err := s.State()
+	if err != nil {
+		return nil, err
+	}
+	if st != StateReceiving {
+		return nil, fmt.Errorf("%w: resume receive in state %v", ErrBadTransition, st)
+	}
+	if pos < 0 || pos > s.Capacity() {
+		return nil, fmt.Errorf("%w: resume at %d of %d", ErrImageTooLarge, pos, s.Capacity())
+	}
+	return &Writer{slot: s, pos: pos}, nil
+}
+
 // WriteManifest programs the encoded manifest into the manifest area.
 // The slot must be Receiving.
 func (s *Slot) WriteManifest(m *manifest.Manifest) error {

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"upkit/internal/ble"
 	"upkit/internal/bootloader"
@@ -60,6 +61,10 @@ type Options struct {
 	// into. Nil selects the update server's own registry, so beds
 	// sharing a server aggregate into one scrape.
 	Telemetry *telemetry.Registry
+	// CheckpointEvery sets the device agent's reception-journal cadence
+	// in flushed bytes; zero keeps the agent default (four pipeline
+	// buffers).
+	CheckpointEvery int
 }
 
 // Bed is a wired deployment.
@@ -74,6 +79,10 @@ type Bed struct {
 
 	opts Options
 	tel  *telemetry.Registry
+	// pull is the bed's single CoAP pull server: its session table must
+	// survive across PullClient calls so a device resuming after a power
+	// cycle re-joins the same prepared session (same payload bytes).
+	pull *coap.PullServer
 }
 
 // Telemetry returns the registry the bed reports into.
@@ -156,12 +165,14 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 		PayloadKey:          payloadKey,
 		WithRecovery:        opts.WithRecovery,
 		Telemetry:           reg,
+		CheckpointEvery:     opts.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	b := &Bed{Suite: suite, Vendor: vendor, Update: update, Device: dev, opts: opts, tel: reg}
+	b.pull = coap.NewPullServer(update)
 	switch opts.Approach {
 	case platform.Push:
 		b.Link = transport.BLE(dev.Clock, dev.Meter)
@@ -224,13 +235,18 @@ func (b *Bed) Smartphone() *proxy.Smartphone {
 }
 
 // PullClient returns a CoAP pull client connected to the update server
-// through the device's 802.15.4 link (via a border router).
+// through the device's 802.15.4 link (via a border router). Clients
+// share the bed's pull server, so a client created after a (simulated)
+// device reboot can resume the session an earlier client established.
+// Transfer-level retry backoff advances the device clock.
 func (b *Bed) PullClient() *coap.PullClient {
-	server := coap.NewPullServer(b.Update)
 	return &coap.PullClient{
-		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: server.Handle, Telemetry: b.tel},
+		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: b.pull.Handle, Telemetry: b.tel},
 		Agent: b.Device.Agent,
 		AppID: b.opts.AppID,
+		Backoff: func(attempt int) {
+			b.Device.Clock.Advance(2 * time.Second << uint(attempt-1))
+		},
 	}
 }
 
