@@ -2,6 +2,7 @@ package upkit_test
 
 import (
 	"strconv"
+	"sync/atomic"
 	"testing"
 
 	"upkit"
@@ -158,4 +159,54 @@ func BenchmarkAblationLossyLink(b *testing.B) {
 // BenchmarkPortability reports the platform-independent code shares.
 func BenchmarkPortability(b *testing.B) {
 	benchExperiment(b, "portability")
+}
+
+// BenchmarkPrepareUpdateParallel measures the update server's request
+// hot path under many concurrent devices (real CPU time). With the
+// patch warmed into the cache, every request is a store lookup plus a
+// per-request ECDSA signature over sharded read locks, so throughput
+// should scale with cores; run with -cpu 1,2,4 to see it.
+func BenchmarkPrepareUpdateParallel(b *testing.B) {
+	suite := upkit.NewTinyCrypt()
+	vendor := upkit.NewVendorServer(suite, upkit.MustGenerateKey("bench-vendor"))
+	server := upkit.NewUpdateServer(suite, upkit.MustGenerateKey("bench-server"))
+
+	v1 := upkit.MakeFirmware("bench-base", 64*1024)
+	v2 := upkit.DeriveAppChange(v1, 1000)
+	for v, fw := range map[uint16][]byte{1: v1, 2: v2} {
+		img, err := vendor.BuildImage(upkit.Release{
+			AppID: 1, Version: v, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := server.Publish(img); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Warm the 1→2 patch so the loop measures the steady state, not one
+	// bsdiff computation.
+	if _, err := server.PrepareUpdate(1, upkit.DeviceToken{DeviceID: 1, Nonce: 1, CurrentVersion: 1}); err != nil {
+		b.Fatal(err)
+	}
+
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := next.Add(1)
+			tok := upkit.DeviceToken{
+				DeviceID:       uint32(0x1000 + n),
+				Nonce:          uint32(n),
+				CurrentVersion: 1,
+			}
+			u, err := server.PrepareUpdate(1, tok)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if u.Manifest.Version != 2 {
+				b.Fatalf("served v%d, want v2", u.Manifest.Version)
+			}
+		}
+	})
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/signal"
@@ -54,6 +55,7 @@ func run() error {
 	keyPath := flag.String("key", "", "update-server private key file")
 	seed := flag.String("seed", "", "derive the server key from a seed (simulation only)")
 	suiteName := flag.String("suite", "tinycrypt", "crypto suite")
+	stateDir := flag.String("state", "", "directory for the durable release store; empty keeps releases in memory only")
 	var images imageList
 	flag.Var(&images, "image", "vendor-signed image file (.upk); repeatable")
 	flag.Parse()
@@ -79,21 +81,30 @@ func run() error {
 		return fmt.Errorf("need -key or -seed")
 	}
 
-	server := updateserver.New(suite, key)
+	var serverOpts []updateserver.Option
+	if *stateDir != "" {
+		store, err := updateserver.NewFileStore(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer store.Close()
+		st := store.Stats()
+		fmt.Printf("release store %s: %d apps, %d releases, %d bytes (loaded in %.3fs",
+			*stateDir, st.Apps, st.Releases, st.Bytes, st.LoadSeconds)
+		if st.TornTails > 0 {
+			fmt.Printf(", %d torn log tail(s) truncated", st.TornTails)
+		}
+		fmt.Println(")")
+		serverOpts = append(serverOpts, updateserver.WithStore(store))
+	}
+
+	server := updateserver.New(suite, key, serverOpts...)
 	// A short-lived subscription around the publish loop echoes what
 	// watchers will see; it must be released afterwards or it would sit
 	// in the server's subscriber list for the whole process lifetime.
 	announcements := server.Subscribe()
-	for _, path := range images {
-		img, err := loadImage(path)
-		if err != nil {
-			return fmt.Errorf("load %s: %w", path, err)
-		}
-		if err := server.Publish(img); err != nil {
-			return fmt.Errorf("publish %s: %w", path, err)
-		}
-		fmt.Printf("published %s: app %#x v%d (%d bytes)\n",
-			path, img.Manifest.AppID, img.Manifest.Version, len(img.Firmware))
+	if err := publishImages(server, images, os.Stdout); err != nil {
+		return err
 	}
 	server.Unsubscribe(announcements)
 	for {
@@ -173,6 +184,30 @@ func run() error {
 	}
 	fmt.Println("spans:", server.Telemetry().Spans().Summary())
 	return runErr
+}
+
+// publishImages loads and publishes each .upk file. An image the
+// server already holds (same or older version, the normal case when a
+// durable server restarts with unchanged -image flags) is skipped with
+// a notice instead of failing startup.
+func publishImages(server *updateserver.Server, paths []string, out io.Writer) error {
+	for _, path := range paths {
+		img, err := loadImage(path)
+		if err != nil {
+			return fmt.Errorf("load %s: %w", path, err)
+		}
+		switch err := server.Publish(img); {
+		case err == nil:
+			fmt.Fprintf(out, "published %s: app %#x v%d (%d bytes)\n",
+				path, img.Manifest.AppID, img.Manifest.Version, len(img.Firmware))
+		case errors.Is(err, updateserver.ErrStaleVersion):
+			fmt.Fprintf(out, "skipping %s: app %#x v%d already stored\n",
+				path, img.Manifest.AppID, img.Manifest.Version)
+		default:
+			return fmt.Errorf("publish %s: %w", path, err)
+		}
+	}
+	return nil
 }
 
 // loadImage parses a .upk file (manifest || firmware) into a

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"upkit/internal/manifest"
 	"upkit/internal/security"
+	"upkit/internal/updateserver"
 	"upkit/internal/vendorserver"
 )
 
@@ -73,5 +78,89 @@ func TestLoadImageErrors(t *testing.T) {
 	}
 	if _, err := loadImage(bad); err == nil {
 		t.Error("truncated payload accepted")
+	}
+}
+
+// TestPublishImagesRestartWithStateDir models the operator flow: the
+// server runs with -state and -image flags, is killed, and restarts
+// with the same flags. The replayed store already holds the images, so
+// the publish loop must skip them instead of failing startup, and the
+// server must serve the same release set.
+func TestPublishImagesRestartWithStateDir(t *testing.T) {
+	dir := t.TempDir()
+	state := filepath.Join(dir, "state")
+	fw1 := make([]byte, 2048)
+	fw2 := make([]byte, 2048)
+	for i := range fw2 {
+		fw2[i] = byte(i * 31)
+	}
+	p1 := writeImageFile(t, dir, "v1.upk", 1, fw1)
+	p2 := writeImageFile(t, dir, "v2.upk", 2, fw2)
+	paths := []string{p1, p2}
+
+	suite := security.NewTinyCrypt()
+	key := security.MustGenerateKey("srv-restart")
+
+	// First boot: both images publish into the durable store.
+	store, err := updateserver.NewFileStore(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := updateserver.New(suite, key, updateserver.WithStore(store))
+	var out1 strings.Builder
+	if err := publishImages(server, paths, &out1); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out1.String(), "published"); got != 2 {
+		t.Fatalf("first boot published %d images, want 2:\n%s", got, out1.String())
+	}
+	tok := manifest.DeviceToken{DeviceID: 0xD1, Nonce: 9, CurrentVersion: 0}
+	before, err := server.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close() // the kill
+
+	// Restart with identical flags: every image is already stored.
+	store2, err := updateserver.NewFileStore(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	restarted := updateserver.New(suite, key, updateserver.WithStore(store2))
+	var out2 strings.Builder
+	if err := publishImages(restarted, paths, &out2); err != nil {
+		t.Fatalf("restart with unchanged -image flags failed: %v", err)
+	}
+	if got := strings.Count(out2.String(), "skipping"); got != 2 {
+		t.Fatalf("restart skipped %d images, want 2:\n%s", got, out2.String())
+	}
+	if v, ok := restarted.Latest(0x2A); !ok || v != 2 {
+		t.Fatalf("restarted Latest = (%d,%v), want (2,true)", v, ok)
+	}
+	after, err := restarted.PrepareUpdate(0x2A, tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Payload, after.Payload) {
+		t.Fatal("restarted server serves different payload bytes")
+	}
+	if !bytes.Equal(after.Payload, fw2) {
+		t.Fatal("served payload is not the v2 firmware")
+	}
+}
+
+// TestPublishImagesStillFailsOnBadFile keeps hard failures hard: a
+// corrupt image file aborts startup, stale versions are the only
+// tolerated publish error.
+func TestPublishImagesStillFailsOnBadFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.upk")
+	if err := os.WriteFile(bad, []byte("not an image"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	server := updateserver.New(security.NewTinyCrypt(), security.MustGenerateKey("srv-badfile"))
+	if err := publishImages(server, []string{bad}, io.Discard); err == nil {
+		t.Fatal("corrupt image file accepted")
 	}
 }

@@ -1,0 +1,92 @@
+// Package announce is a minimal publish/subscribe bus for new-release
+// announcements (step 3 of the paper's Fig. 2: the update server
+// "announces the availability of the update over the Internet").
+//
+// The bus carries small value-type events to an unbounded set of
+// subscribers with broadcast-with-drop semantics: Publish never blocks
+// on a slow subscriber — a full channel simply misses that event, and
+// subscribers that care about completeness poll the authoritative
+// source (the release store) instead of relying on the bus. This is
+// the subscriber machinery that used to live inside the update server,
+// extracted so proxies, gateways, and tests can run the same fan-out
+// without holding a server.
+package announce
+
+import "sync"
+
+// DefaultBuffer is the per-subscriber channel capacity used when New
+// is given a non-positive buffer size.
+const DefaultBuffer = 16
+
+// Bus fans events of type T out to subscribers. The zero value is not
+// usable; construct with New.
+type Bus[T any] struct {
+	buffer int
+
+	mu   sync.Mutex
+	subs []chan T
+}
+
+// New creates a bus whose subscriber channels hold buffer events;
+// buffer <= 0 selects DefaultBuffer.
+func New[T any](buffer int) *Bus[T] {
+	if buffer <= 0 {
+		buffer = DefaultBuffer
+	}
+	return &Bus[T]{buffer: buffer}
+}
+
+// Subscribe returns a channel receiving published events. The channel
+// is buffered; events published while it is full are dropped for that
+// subscriber. Callers that stop listening must call Unsubscribe, or
+// the bus accumulates dead channels for its whole lifetime.
+func (b *Bus[T]) Subscribe() <-chan T {
+	ch := make(chan T, b.buffer)
+	b.mu.Lock()
+	b.subs = append(b.subs, ch)
+	b.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a channel obtained from Subscribe. The channel
+// is not closed (a Publish that already snapshotted the subscriber
+// list may still deliver one last buffered event); it simply stops
+// receiving and is released for garbage collection. Unknown channels
+// are ignored.
+func (b *Bus[T]) Unsubscribe(ch <-chan T) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, sub := range b.subs {
+		if (<-chan T)(sub) == ch {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Publish delivers v to every current subscriber without blocking and
+// reports how many subscribers received it and how many dropped it
+// because their channel was full.
+func (b *Bus[T]) Publish(v T) (delivered, dropped int) {
+	b.mu.Lock()
+	subs := make([]chan T, len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- v:
+			delivered++
+		default: // a slow subscriber must not block publishing
+			dropped++
+		}
+	}
+	return delivered, dropped
+}
+
+// Count reports the number of live subscribers (an operational leak
+// indicator).
+func (b *Bus[T]) Count() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

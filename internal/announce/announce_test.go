@@ -1,0 +1,71 @@
+package announce
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	b := New[int](4)
+	a, c := b.Subscribe(), b.Subscribe()
+	delivered, dropped := b.Publish(7)
+	if delivered != 2 || dropped != 0 {
+		t.Fatalf("delivered/dropped = %d/%d, want 2/0", delivered, dropped)
+	}
+	if got := <-a; got != 7 {
+		t.Fatalf("subscriber a got %d", got)
+	}
+	if got := <-c; got != 7 {
+		t.Fatalf("subscriber c got %d", got)
+	}
+}
+
+func TestSlowSubscriberDropsInsteadOfBlocking(t *testing.T) {
+	b := New[int](1)
+	ch := b.Subscribe()
+	if d, _ := b.Publish(1); d != 1 {
+		t.Fatalf("first publish delivered %d", d)
+	}
+	// Channel full: the second publish must drop, not block.
+	delivered, dropped := b.Publish(2)
+	if delivered != 0 || dropped != 1 {
+		t.Fatalf("delivered/dropped = %d/%d, want 0/1", delivered, dropped)
+	}
+	if got := <-ch; got != 1 {
+		t.Fatalf("got %d, want the first event", got)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	b := New[string](0)
+	ch := b.Subscribe()
+	b.Unsubscribe(ch)
+	if n := b.Count(); n != 0 {
+		t.Fatalf("Count = %d after Unsubscribe", n)
+	}
+	if delivered, _ := b.Publish("late"); delivered != 0 {
+		t.Fatalf("delivered %d events to an unsubscribed channel", delivered)
+	}
+	// Unknown channels are ignored.
+	b.Unsubscribe(make(chan string))
+}
+
+func TestConcurrentSubscribePublishUnsubscribe(t *testing.T) {
+	b := New[int](8)
+	var wg sync.WaitGroup
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 100 {
+				ch := b.Subscribe()
+				b.Publish(1)
+				b.Unsubscribe(ch)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := b.Count(); n != 0 {
+		t.Fatalf("%d subscribers leaked", n)
+	}
+}

@@ -85,6 +85,18 @@ type Policy struct {
 	// [1, 1+RetryJitter), decorrelating retries across the fleet so a
 	// wave of failures does not hammer the server in lockstep.
 	RetryJitter float64
+	// Rand supplies the jitter randomness in [0, 1); nil selects the
+	// global math/rand.Float64. Inject a deterministic source to make
+	// backoff schedules reproducible in tests.
+	Rand func() float64
+}
+
+// rand01 returns the policy's jitter source.
+func (p Policy) rand01() func() float64 {
+	if p.Rand != nil {
+		return p.Rand
+	}
+	return rand.Float64
 }
 
 // ErrCampaignAborted is wrapped into Run's error when the canary gate
@@ -290,7 +302,7 @@ func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 	var lastErr error
 	for attempt := 0; attempt <= c.policy.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, retryDelay(c.policy, attempt, rand.Float64)); err != nil {
+			if err := sleepCtx(ctx, retryDelay(c.policy, attempt, c.policy.rand01())); err != nil {
 				break
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"upkit/internal/telemetry"
 )
@@ -311,5 +312,48 @@ func TestRunContextCanceledBetweenWaves(t *testing.T) {
 	}
 	if got := reg.Counter("upkit_campaign_devices_total", "", telemetry.L("status", "updated")).Value(); got != 1 {
 		t.Errorf("upkit_campaign_devices_total{status=updated} = %d, want 1", got)
+	}
+}
+
+// TestRetryJitterInjectableRand pins the backoff schedule with an
+// injected randomness source: the jitter math becomes exact, and the
+// campaign consults Policy.Rand (not the global math/rand) once per
+// retry wait.
+func TestRetryJitterInjectableRand(t *testing.T) {
+	p := Policy{RetryBackoff: 100 * time.Millisecond, RetryJitter: 0.5}
+	half := func() float64 { return 0.5 }
+	if got := retryDelay(p, 1, half); got != 125*time.Millisecond {
+		t.Errorf("retry 1 delay = %v, want 125ms", got)
+	}
+	if got := retryDelay(p, 2, half); got != 250*time.Millisecond {
+		t.Errorf("retry 2 delay = %v, want 250ms", got)
+	}
+	zero := func() float64 { return 0 }
+	if got := retryDelay(p, 1, zero); got != 100*time.Millisecond {
+		t.Errorf("retry 1 delay with zero jitter draw = %v, want 100ms", got)
+	}
+
+	var calls atomic.Int32
+	dev := newFake(0x42, 1, 2) // two failures, then success
+	dev.target = 2
+	c, err := New(2, Policy{
+		MaxRetries:   2,
+		RetryBackoff: time.Nanosecond,
+		RetryJitter:  1,
+		Rand:         func() float64 { calls.Add(1); return 0 },
+	}, updaters([]*fakeDevice{dev}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated, _, _ := rep.Counts(); updated != 1 {
+		t.Fatalf("updated = %d, want 1", updated)
+	}
+	// Three attempts means two retry waits, each drawing exactly once.
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("Policy.Rand consulted %d times, want 2", got)
 	}
 }

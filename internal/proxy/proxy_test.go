@@ -5,7 +5,9 @@ import (
 	"errors"
 	"net/http/httptest"
 	"testing"
+	"time"
 
+	"upkit/internal/announce"
 	"upkit/internal/ble"
 	"upkit/internal/platform"
 	"upkit/internal/proxy"
@@ -247,5 +249,136 @@ func TestStartWatchRequiresServer(t *testing.T) {
 	phone := &proxy.Smartphone{}
 	if _, err := phone.StartWatch(); err == nil {
 		t.Fatal("StartWatch without a server must fail")
+	}
+}
+
+func TestStartWatchOverAnnouncementsBus(t *testing.T) {
+	// A watch fed by a standalone bus (not the in-process server) runs
+	// the same delivery loop: the announcement machinery is detachable.
+	b := newPushBed(t)
+	ts := httptest.NewServer(b.Update.Handler())
+	defer ts.Close()
+
+	bus := announce.New[updateserver.Announcement](announce.DefaultBuffer)
+	phone := b.Smartphone()
+	phone.Server = nil
+	phone.HTTP = &updateserver.HTTPClient{BaseURL: ts.URL}
+	phone.Announcements = bus
+
+	watch, err := phone.StartWatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Publish(updateserver.Announcement{AppID: phone.AppID, Version: 2})
+	bus.Publish(updateserver.Announcement{AppID: 0x99, Version: 9}) // other app: ignored
+	delivered, werr := watch.Stop()
+	if werr != nil {
+		t.Fatalf("watch error: %v", werr)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if !b.Device.ReadyToReboot() {
+		t.Fatal("bus-driven watch did not stage the update")
+	}
+	if n := bus.Count(); n != 0 {
+		t.Fatalf("%d bus subscriptions leaked", n)
+	}
+}
+
+func TestPollerFeedsBusAndCatchesUp(t *testing.T) {
+	// The poller bridges the poll-only HTTP surface onto the bus. v2 is
+	// already published when the poller starts, so the first successful
+	// poll must announce it (catch-up), and the watcher on the same bus
+	// pushes it to the device.
+	b := newPushBed(t)
+	ts := httptest.NewServer(b.Update.Handler())
+	defer ts.Close()
+
+	bus := announce.New[updateserver.Announcement](announce.DefaultBuffer)
+	phone := b.Smartphone()
+	phone.Server = nil
+	phone.HTTP = &updateserver.HTTPClient{BaseURL: ts.URL}
+	phone.Announcements = bus
+	watch, err := phone.StartWatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Observe the catch-up announcement on our own subscription; the
+	// watcher's channel received the same broadcast, and Stop drains it
+	// before returning, so the push is complete once Stop returns.
+	probe := bus.Subscribe()
+	defer bus.Unsubscribe(probe)
+	client := &updateserver.HTTPClient{BaseURL: ts.URL}
+	poller := proxy.StartPoller(client, phone.AppID, time.Millisecond, bus)
+	select {
+	case ann := <-probe:
+		if ann.AppID != phone.AppID || ann.Version != 2 {
+			t.Fatalf("catch-up announcement = %+v, want app %#x v2", ann, phone.AppID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("poller never delivered the catch-up announcement")
+	}
+	if err := poller.Stop(); err != nil {
+		t.Fatalf("poller error: %v", err)
+	}
+	delivered, werr := watch.Stop()
+	if werr != nil {
+		t.Fatalf("watch error: %v", werr)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	res, err := b.Device.ApplyStagedUpdate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 2 {
+		t.Fatalf("booted v%d, want v2", res.Version)
+	}
+}
+
+func TestPollerAnnouncesOnlyAdvances(t *testing.T) {
+	// Repeated polls of the same version must not re-announce it.
+	b := newPushBed(t)
+	ts := httptest.NewServer(b.Update.Handler())
+	defer ts.Close()
+
+	bus := announce.New[updateserver.Announcement](announce.DefaultBuffer)
+	ch := bus.Subscribe()
+	defer bus.Unsubscribe(ch)
+	client := &updateserver.HTTPClient{BaseURL: ts.URL}
+	poller := proxy.StartPoller(client, 0x2A, time.Millisecond, bus)
+
+	var first updateserver.Announcement
+	select {
+	case first = <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no announcement within 5s")
+	}
+	if first.AppID != 0x2A || first.Version != 2 {
+		t.Fatalf("announcement = %+v, want app 0x2A v2", first)
+	}
+	// Let several more polls happen; the version has not advanced, so
+	// nothing further may arrive.
+	time.Sleep(20 * time.Millisecond)
+	if err := poller.Stop(); err != nil {
+		t.Fatalf("poller error: %v", err)
+	}
+	select {
+	case ann := <-ch:
+		t.Fatalf("duplicate announcement %+v for an unchanged version", ann)
+	default:
+	}
+}
+
+func TestPollerReportsLastError(t *testing.T) {
+	bus := announce.New[updateserver.Announcement](announce.DefaultBuffer)
+	client := &updateserver.HTTPClient{BaseURL: "http://127.0.0.1:1"} // nothing listens
+	poller := proxy.StartPoller(client, 1, time.Millisecond, bus)
+	time.Sleep(10 * time.Millisecond)
+	if err := poller.Stop(); err == nil {
+		t.Fatal("poller against a dead server must report its last error")
 	}
 }

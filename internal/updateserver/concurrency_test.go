@@ -223,3 +223,141 @@ func buildRelease(appID uint32, v uint16) vendorserver.Release {
 		Firmware:   bytes.Repeat([]byte{byte(v)}, 256),
 	}
 }
+
+// TestStressStoreUnderFullConcurrency is the whole-server stress test:
+// publishers, preparing devices, retention changes, and subscriber
+// churn all run at once against the sharded store (run with -race, as
+// CI does). Afterwards: no published release may be lost (up to
+// retention), every reader must have observed a monotonically
+// non-decreasing Latest, and no subscriber may leak.
+func TestStressStoreUnderFullConcurrency(t *testing.T) {
+	s := newServers(t)
+	const (
+		apps        = 4
+		versionsPer = 25
+		readers     = 8
+		churners    = 4
+	)
+	// Seed every app so readers and devices never hit ErrUnknownApp.
+	for app := uint32(1); app <= apps; app++ {
+		s.publish(t, app, 1, bytes.Repeat([]byte{byte(app)}, 512))
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 256)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	// Publishers: one per app, strictly increasing versions.
+	for app := uint32(1); app <= apps; app++ {
+		wg.Add(1)
+		go func(app uint32) {
+			defer wg.Done()
+			for v := uint16(2); v <= versionsPer; v++ {
+				img, err := s.vendor.BuildImage(buildRelease(app, v))
+				if err != nil {
+					fail("build %d/%d: %v", app, v, err)
+					return
+				}
+				if err := s.update.Publish(img); err != nil {
+					fail("publish %d/%d: %v", app, v, err)
+					return
+				}
+			}
+		}(app)
+	}
+
+	// Readers: Latest must never go backwards per app, and PrepareUpdate
+	// must always hand back a version ahead of the token.
+	for r := range readers {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			last := make(map[uint32]uint16)
+			for i := range 150 {
+				app := uint32(1 + (r+i)%apps)
+				v, ok := s.update.Latest(app)
+				if !ok {
+					fail("reader %d: app %d vanished", r, app)
+					return
+				}
+				if v < last[app] {
+					fail("reader %d: Latest(%d) went backwards %d -> %d", r, app, last[app], v)
+					return
+				}
+				last[app] = v
+				tok := manifest.DeviceToken{
+					DeviceID:       uint32(0x7000 + r*1000 + i),
+					Nonce:          uint32(i + 1),
+					CurrentVersion: 0,
+				}
+				u, err := s.update.PrepareUpdate(app, tok)
+				if err != nil {
+					fail("reader %d: prepare app %d: %v", r, app, err)
+					return
+				}
+				if u.Manifest.Version < last[app] {
+					fail("reader %d: served v%d below observed latest v%d", r, u.Manifest.Version, last[app])
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Retention churn: flip between bounded and unbounded while
+	// everything else runs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range 40 {
+			if i%2 == 0 {
+				s.update.SetRetention(5)
+			} else {
+				s.update.SetRetention(0)
+			}
+		}
+	}()
+
+	// Subscriber churn.
+	for range churners {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				ch := s.update.Subscribe()
+				s.update.Unsubscribe(ch)
+				for len(ch) > 0 {
+					<-ch
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// No lost releases: every app ends on its final version, and the
+	// newest releases survive whatever retention was last set.
+	for app := uint32(1); app <= apps; app++ {
+		if v, ok := s.update.Latest(app); !ok || v != versionsPer {
+			t.Errorf("app %d: Latest = (%d,%v), want (%d,true)", app, v, ok, versionsPer)
+		}
+		if _, ok := s.update.ImageByVersion(app, versionsPer); !ok {
+			t.Errorf("app %d: final release lost", app)
+		}
+	}
+	if n := s.update.SubscriberCount(); n != 0 {
+		t.Fatalf("%d subscribers leaked", n)
+	}
+	st := s.update.Store().Stats()
+	if st.Apps != apps {
+		t.Fatalf("store apps = %d, want %d", st.Apps, apps)
+	}
+}

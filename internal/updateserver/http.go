@@ -7,16 +7,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
 
 	"upkit/internal/manifest"
 	"upkit/internal/telemetry"
+	"upkit/internal/vendorserver"
 )
 
 // HTTP API — the Internet-facing surface of the update server that
 // smartphones and gateways use in the push approach (Fig. 2, steps 3–7:
-// announce, receive the device token, return the double-signed image).
+// announce, receive the device token, return the double-signed image),
+// plus an admin plane over the release store.
 //
 //	GET  /api/v1/version?app=<hex>     → {"version": n}
 //	POST /api/v1/update?app=<hex>      body: device-token JSON
@@ -25,12 +29,34 @@ import (
 //	                                     device already runs the latest
 //	                                     version (404 stays reserved for
 //	                                     unknown apps)
+//	GET  /api/v1/apps                  → release-store listing JSON
+//	POST /api/v1/images                body: vendor-signed image
+//	                                   (manifest || firmware, as built by
+//	                                   upkit-sign), application/octet-stream
+//	                                   → 201 {"appId": n, "version": n};
+//	                                     409 when the version is not newer
+//	                                     than the stored latest
 //	GET  /api/v1/stats                 → patch-cache counters JSON
 //	GET  /api/v1/metrics               → Prometheus text exposition
+//
+// Every request body is bounded with http.MaxBytesReader and every
+// body-carrying endpoint checks its Content-Type. The images endpoint
+// cannot verify the vendor signature (the update server holds no
+// vendor key — devices do, end-to-end), so deployments must gate it
+// like any admin surface.
 //
 // The CoAP endpoint (internal/coap) serves pulling devices directly;
 // this HTTP endpoint serves proxies, which then forward the image over
 // their local connection to the device.
+
+// Request-body bounds.
+const (
+	// maxTokenBody bounds the device-token JSON on POST /api/v1/update.
+	maxTokenBody = 4096
+	// maxImageBody bounds a published image (manifest + firmware) on
+	// POST /api/v1/images — generous for constrained-device firmware.
+	maxImageBody = 32 << 20
+)
 
 // tokenJSON is the wire form of a device token on the HTTP API.
 type tokenJSON struct {
@@ -53,12 +79,33 @@ type versionJSON struct {
 	Version uint16 `json:"version"`
 }
 
+// AppInfo is one app's row in the release-store listing
+// (GET /api/v1/apps).
+type AppInfo struct {
+	AppID    uint32 `json:"appId"`
+	Latest   uint16 `json:"latest"`
+	Releases int    `json:"releases"`
+}
+
+// appsJSON is the release-store listing response.
+type appsJSON struct {
+	Apps []AppInfo `json:"apps"`
+}
+
+// publishedJSON is the successful publish response.
+type publishedJSON struct {
+	AppID   uint32 `json:"appId"`
+	Version uint16 `json:"version"`
+}
+
 // Handler returns the HTTP handler exposing the server's API. Every
 // request is counted in upkit_http_requests_total{path,code}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/v1/version", s.handleHTTPVersion)
 	mux.HandleFunc("POST /api/v1/update", s.handleHTTPUpdate)
+	mux.HandleFunc("GET /api/v1/apps", s.handleHTTPApps)
+	mux.HandleFunc("POST /api/v1/images", s.handleHTTPPublish)
 	mux.HandleFunc("GET /api/v1/stats", s.handleHTTPStats)
 	mux.Handle("GET /api/v1/metrics", s.tel.Handler())
 	return s.countRequests(mux)
@@ -109,6 +156,19 @@ func appFromQuery(r *http.Request) (uint32, error) {
 	return uint32(v), nil
 }
 
+// requireContentType enforces an exact media type on a body-carrying
+// request, answering 415 itself when the header is missing or
+// different.
+func requireContentType(w http.ResponseWriter, r *http.Request, want string) bool {
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil || mt != want {
+		http.Error(w, fmt.Sprintf("Content-Type must be %s", want), http.StatusUnsupportedMediaType)
+		return false
+	}
+	return true
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -135,8 +195,11 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if !requireContentType(w, r, "application/json") {
+		return
+	}
 	var tok tokenJSON
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4096)).Decode(&tok); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTokenBody)).Decode(&tok); err != nil {
 		http.Error(w, "bad token body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -167,6 +230,68 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 		Manifest:     base64.StdEncoding.EncodeToString(u.ManifestBytes),
 		Payload:      base64.StdEncoding.EncodeToString(u.Payload),
 	})
+}
+
+func (s *Server) handleHTTPApps(w http.ResponseWriter, _ *http.Request) {
+	apps := s.store.Apps()
+	out := appsJSON{Apps: make([]AppInfo, 0, len(apps))}
+	for _, app := range apps {
+		list := s.store.Snapshot(app)
+		if len(list) == 0 {
+			continue // pruned between Apps and Snapshot
+		}
+		out.Apps = append(out.Apps, AppInfo{
+			AppID:    app,
+			Latest:   list[len(list)-1].Manifest.Version,
+			Releases: len(list),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHTTPPublish(w http.ResponseWriter, r *http.Request) {
+	if !requireContentType(w, r, "application/octet-stream") {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImageBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) == 0 {
+		http.Error(w, "empty image body", http.StatusBadRequest)
+		return
+	}
+	if len(body) < manifest.EncodedSize {
+		http.Error(w, "image smaller than a manifest", http.StatusBadRequest)
+		return
+	}
+	m, err := manifest.Unmarshal(body[:manifest.EncodedSize])
+	if err != nil {
+		http.Error(w, "bad manifest: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	fw := body[manifest.EncodedSize:]
+	if int(m.Size) != len(fw) {
+		http.Error(w, fmt.Sprintf("manifest says %d firmware bytes, body has %d", m.Size, len(fw)), http.StatusBadRequest)
+		return
+	}
+	img := &vendorserver.Image{Manifest: *m, Firmware: fw}
+	switch err := s.Publish(img); {
+	case err == nil:
+	case errors.Is(err, ErrStaleVersion):
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusCreated, publishedJSON{AppID: m.AppID, Version: m.Version})
 }
 
 func (s *Server) handleHTTPStats(w http.ResponseWriter, _ *http.Request) {
@@ -231,6 +356,60 @@ func (c *HTTPClient) Stats(ctx context.Context) (CacheStats, error) {
 		return CacheStats{}, err
 	}
 	return st, nil
+}
+
+// Apps fetches the server's release-store listing.
+func (c *HTTPClient) Apps(ctx context.Context) ([]AppInfo, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v1/apps", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("updateserver: apps: HTTP %d", resp.StatusCode)
+	}
+	var out appsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Apps, nil
+}
+
+// PublishImage uploads a vendor-signed image to the server's admin
+// endpoint. A version not newer than the stored latest returns
+// ErrStaleVersion, mirroring the in-process Publish contract.
+func (c *HTTPClient) PublishImage(ctx context.Context, img *vendorserver.Image) error {
+	if img == nil {
+		return errors.New("updateserver: nil image")
+	}
+	m, err := img.Manifest.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	body := append(m, img.Firmware...)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/api/v1/images", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		return nil
+	case http.StatusConflict:
+		return fmt.Errorf("%w: server refused v%d", ErrStaleVersion, img.Manifest.Version)
+	default:
+		return fmt.Errorf("updateserver: publish: HTTP %d", resp.StatusCode)
+	}
 }
 
 // Request fetches the double-signed update for a device token. When

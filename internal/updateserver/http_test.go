@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"upkit/internal/manifest"
+	"upkit/internal/vendorserver"
 )
 
 func newHTTPServer(t *testing.T) (*servers, *httptest.Server) {
@@ -227,5 +228,160 @@ func TestHTTPClientPreCanceledContext(t *testing.T) {
 	cancel()
 	if _, err := client.Request(ctx, 0x2A, manifest.DeviceToken{DeviceID: 1}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestHTTPAppsEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	client := &HTTPClient{BaseURL: ts.URL}
+	apps, err := client.Apps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 0 {
+		t.Fatalf("empty server lists %v", apps)
+	}
+	s.publish(t, 0x2A, 1, []byte("v1"))
+	s.publish(t, 0x2A, 2, []byte("v2"))
+	s.publish(t, 7, 5, []byte("other"))
+	apps, err = client.Apps(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 2 {
+		t.Fatalf("apps = %v, want 2 entries", apps)
+	}
+	if apps[0].AppID != 7 || apps[0].Latest != 5 || apps[0].Releases != 1 {
+		t.Fatalf("apps[0] = %+v", apps[0])
+	}
+	if apps[1].AppID != 0x2A || apps[1].Latest != 2 || apps[1].Releases != 2 {
+		t.Fatalf("apps[1] = %+v", apps[1])
+	}
+}
+
+func TestHTTPPublishEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	client := &HTTPClient{BaseURL: ts.URL}
+
+	fw := bytes.Repeat([]byte("uploaded"), 100)
+	img, err := s.vendor.BuildImage(vendorserver.Release{
+		AppID: 0x2A, Version: 3, LinkOffset: 0xFFFFFFFF, Firmware: fw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.PublishImage(context.Background(), img); err != nil {
+		t.Fatalf("PublishImage: %v", err)
+	}
+	// The uploaded release is immediately servable, signature intact.
+	u, err := client.Request(context.Background(), 0x2A, manifest.DeviceToken{DeviceID: 1, Nonce: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Manifest.Version != 3 || !bytes.Equal(u.Payload, fw) {
+		t.Fatal("uploaded release not served back")
+	}
+	if !u.Manifest.VerifyVendorSig(s.suite, s.vendor.PublicKey()) {
+		t.Fatal("vendor signature broken by the publish round trip")
+	}
+
+	// Republishing the same version is a conflict mapped to
+	// ErrStaleVersion on the client.
+	if err := client.PublishImage(context.Background(), img); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("republish error = %v, want ErrStaleVersion", err)
+	}
+	if err := client.PublishImage(context.Background(), nil); err == nil {
+		t.Fatal("nil image accepted")
+	}
+}
+
+func TestHTTPPublishRejectsBadBodies(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	post := func(contentType string, body []byte) int {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/v1/images", contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("application/json", []byte("{}")); got != http.StatusUnsupportedMediaType {
+		t.Errorf("wrong content type: %d, want 415", got)
+	}
+	if got := post("", []byte("x")); got != http.StatusUnsupportedMediaType {
+		t.Errorf("missing content type: %d, want 415", got)
+	}
+	if got := post("application/octet-stream", nil); got != http.StatusBadRequest {
+		t.Errorf("empty body: %d, want 400", got)
+	}
+	if got := post("application/octet-stream", []byte("short")); got != http.StatusBadRequest {
+		t.Errorf("truncated manifest: %d, want 400", got)
+	}
+	garbage := bytes.Repeat([]byte{0xFF}, manifest.EncodedSize+10)
+	if got := post("application/octet-stream", garbage); got != http.StatusBadRequest {
+		t.Errorf("garbage manifest: %d, want 400", got)
+	}
+}
+
+func TestHTTPPublishSizeMismatchRejected(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	img, err := s.vendor.BuildImage(vendorserver.Release{
+		AppID: 0x2A, Version: 1, LinkOffset: 0xFFFFFFFF, Firmware: []byte("complete-firmware"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := img.Manifest.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manifest promises len(firmware) bytes; send one fewer.
+	body := append(m, img.Firmware[:len(img.Firmware)-1]...)
+	resp, err := http.Post(ts.URL+"/api/v1/images", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("size mismatch: %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestHTTPUpdateRequiresJSONContentType(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.publish(t, 0x2A, 1, []byte("v1"))
+	resp, err := http.Post(ts.URL+"/api/v1/update?app=2a", "text/plain",
+		strings.NewReader(`{"deviceId":1,"nonce":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("non-JSON update: %d, want 415", resp.StatusCode)
+	}
+	// A charset parameter on the right media type is fine.
+	resp, err = http.Post(ts.URL+"/api/v1/update?app=2a", "application/json; charset=utf-8",
+		strings.NewReader(`{"deviceId":1,"nonce":2,"currentVersion":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json+charset update: %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestHTTPUpdateBodyBounded(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	s.publish(t, 0x2A, 1, []byte("v1"))
+	huge := `{"deviceId":1,"nonce":2,"pad":"` + strings.Repeat("A", maxTokenBody) + `"}`
+	resp, err := http.Post(ts.URL+"/api/v1/update?app=2a", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized token body: %d, want 400", resp.StatusCode)
 	}
 }

@@ -1,0 +1,215 @@
+package updateserver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"upkit/internal/vendorserver"
+)
+
+// The release store.
+//
+// The update server's durable state is exactly one thing: the set of
+// vendor-signed images published per app. Everything else the server
+// does — token binding, diffing, signing, announcing — is a stateless
+// pipeline over that set. ReleaseStore cuts the seam the SUIT
+// architecture draws between the "firmware repository" and the party
+// that serves devices, so the repository can evolve independently:
+// sharded in memory for read-mostly request floods (MemStore), or
+// backed by per-app record logs that survive a server restart
+// (FileStore) — which is what lets a restarted server re-serve the
+// exact bytes a device's reception journal checkpointed against.
+
+// ReleaseStore is the release repository behind an update server.
+// Implementations must be safe for concurrent use; images handed in
+// and out are shared, immutable-by-convention snapshots (callers must
+// not mutate a stored image's manifest or firmware).
+type ReleaseStore interface {
+	// Publish stores img. Versions must be strictly increasing per
+	// app; publishing a version not newer than the stored latest fails
+	// with ErrStaleVersion.
+	Publish(img *vendorserver.Image) error
+	// Latest returns the newest stored image for app, or ok=false.
+	Latest(appID uint32) (*vendorserver.Image, bool)
+	// ByVersion returns the stored image with exactly version v, or
+	// ok=false.
+	ByVersion(appID uint32, v uint16) (*vendorserver.Image, bool)
+	// Prune bounds every app's history to its newest n releases and
+	// reports the apps it dropped releases from. n <= 0 keeps
+	// everything and reports nil.
+	Prune(n int) []uint32
+	// Apps lists every app holding at least one release, ascending.
+	Apps() []uint32
+	// Snapshot returns app's stored releases, oldest first. The slice
+	// is the caller's; the images are shared.
+	Snapshot(appID uint32) []*vendorserver.Image
+	// Stats sizes the store for telemetry.
+	Stats() StoreStats
+}
+
+// StoreStats sizes a release store, exposed as upkit_store_* gauges.
+type StoreStats struct {
+	// Apps and Releases count distinct apps and stored images.
+	Apps     int `json:"apps"`
+	Releases int `json:"releases"`
+	// Bytes is the firmware payload bytes held (manifests excluded).
+	Bytes int `json:"bytes"`
+	// LoadSeconds is the time a durable store spent replaying its logs
+	// at startup; zero for in-memory stores.
+	LoadSeconds float64 `json:"loadSeconds"`
+	// TornTails counts log files whose tail record was torn (e.g. by a
+	// crash mid-publish) and discarded during replay.
+	TornTails int `json:"tornTails"`
+}
+
+// DefaultStoreShards is the shard count of the in-memory store a
+// Server creates when no WithStore/WithShards option is given.
+const DefaultStoreShards = 16
+
+// MemStore is the sharded in-memory ReleaseStore: releases are
+// partitioned by app across shards, each guarded by its own RWMutex,
+// so the read-mostly request hot path (Latest/ByVersion) never
+// serializes on one global lock.
+type MemStore struct {
+	shards []memShard
+}
+
+type memShard struct {
+	mu   sync.RWMutex
+	apps map[uint32][]*vendorserver.Image // per app, sorted by version
+}
+
+// NewMemStore creates an in-memory store with the given shard count;
+// n <= 0 selects DefaultStoreShards.
+func NewMemStore(n int) *MemStore {
+	if n <= 0 {
+		n = DefaultStoreShards
+	}
+	s := &MemStore{shards: make([]memShard, n)}
+	for i := range s.shards {
+		s.shards[i].apps = make(map[uint32][]*vendorserver.Image)
+	}
+	return s
+}
+
+// shard maps an app to its shard. The Fibonacci multiplier spreads
+// sequential or stride-patterned app IDs evenly.
+func (s *MemStore) shard(appID uint32) *memShard {
+	h := appID * 0x9E3779B1
+	h ^= h >> 16
+	return &s.shards[h%uint32(len(s.shards))]
+}
+
+// Publish implements ReleaseStore.
+func (s *MemStore) Publish(img *vendorserver.Image) error {
+	if img == nil {
+		return errors.New("updateserver: nil image")
+	}
+	appID := img.Manifest.AppID
+	sh := s.shard(appID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.apps[appID]
+	if n := len(list); n > 0 && img.Manifest.Version <= list[n-1].Manifest.Version {
+		return fmt.Errorf("%w: v%d after v%d", ErrStaleVersion, img.Manifest.Version, list[n-1].Manifest.Version)
+	}
+	sh.apps[appID] = append(list, img)
+	return nil
+}
+
+// Latest implements ReleaseStore.
+func (s *MemStore) Latest(appID uint32) (*vendorserver.Image, bool) {
+	sh := s.shard(appID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	list := sh.apps[appID]
+	if len(list) == 0 {
+		return nil, false
+	}
+	return list[len(list)-1], true
+}
+
+// ByVersion implements ReleaseStore.
+func (s *MemStore) ByVersion(appID uint32, v uint16) (*vendorserver.Image, bool) {
+	sh := s.shard(appID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	img := lookupVersion(sh.apps[appID], v)
+	return img, img != nil
+}
+
+// pruneApp trims one app's history to its newest n releases, reporting
+// whether anything was dropped.
+func (s *MemStore) pruneApp(appID uint32, n int) bool {
+	sh := s.shard(appID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	list := sh.apps[appID]
+	if n <= 0 || len(list) <= n {
+		return false
+	}
+	sh.apps[appID] = append([]*vendorserver.Image{}, list[len(list)-n:]...)
+	return true
+}
+
+// Prune implements ReleaseStore.
+func (s *MemStore) Prune(n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	var pruned []uint32
+	for _, app := range s.Apps() {
+		if s.pruneApp(app, n) {
+			pruned = append(pruned, app)
+		}
+	}
+	return pruned
+}
+
+// Apps implements ReleaseStore.
+func (s *MemStore) Apps() []uint32 {
+	var apps []uint32
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for app := range sh.apps {
+			if len(sh.apps[app]) > 0 {
+				apps = append(apps, app)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(apps, func(i, j int) bool { return apps[i] < apps[j] })
+	return apps
+}
+
+// Snapshot implements ReleaseStore.
+func (s *MemStore) Snapshot(appID uint32) []*vendorserver.Image {
+	sh := s.shard(appID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]*vendorserver.Image{}, sh.apps[appID]...)
+}
+
+// Stats implements ReleaseStore.
+func (s *MemStore) Stats() StoreStats {
+	var st StoreStats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, list := range sh.apps {
+			if len(list) == 0 {
+				continue
+			}
+			st.Apps++
+			st.Releases += len(list)
+			for _, img := range list {
+				st.Bytes += len(img.Firmware)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return st
+}

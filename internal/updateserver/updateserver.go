@@ -9,6 +9,12 @@
 // the version the device reports), and signs the result with its own
 // key. The signed image is then valid for exactly that device and that
 // request, independent of transport security.
+//
+// The server itself is a stateless prepare pipeline: all release state
+// lives behind the ReleaseStore interface (sharded in-memory by
+// default, durable on disk via FileStore), and announcements fan out
+// through an announce.Bus — so the repository and the notification
+// plane can each be swapped or shared without touching the pipeline.
 package updateserver
 
 import (
@@ -21,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"upkit/internal/announce"
 	"upkit/internal/manifest"
 	"upkit/internal/security"
 	"upkit/internal/telemetry"
@@ -64,19 +71,29 @@ type Server struct {
 	suite security.Suite
 	key   *security.PrivateKey
 
-	mu       sync.Mutex
-	releases map[uint32][]*vendorserver.Image // per app, sorted by version
-	subs     []chan Announcement
+	// store holds the published releases; the server keeps no release
+	// state of its own.
+	store ReleaseStore
+	// bus fans new-release announcements out to subscribers.
+	bus *announce.Bus[Announcement]
 
+	// encMu guards the payload-encryption configuration, the server's
+	// only remaining mutable state.
+	encMu      sync.RWMutex
 	payloadKey []byte
 	entropy    io.Reader
 
 	// retain bounds stored releases per app; 0 keeps everything.
-	retain int
+	retainMu sync.Mutex
+	retain   int
+
+	// shards configures the default in-memory store's shard count;
+	// ignored when WithStore injects a backend.
+	shards int
 
 	// cache memoises differential payloads per (app, from, to) pair
 	// with singleflight dedup; see cache.go. It has its own lock and is
-	// never touched while mu is held.
+	// independent of the store's locks.
 	cache *patchCache
 
 	// tel is never nil: New attaches a private registry unless
@@ -114,6 +131,28 @@ func WithRetention(n int) Option {
 	return func(s *Server) { s.retain = n }
 }
 
+// WithStore backs the server with st instead of the default sharded
+// in-memory store. Pass a FileStore to make published releases survive
+// a server restart.
+func WithStore(st ReleaseStore) Option {
+	return func(s *Server) {
+		if st != nil {
+			s.store = st
+		}
+	}
+}
+
+// WithShards sets the shard count of the default in-memory store
+// (DefaultStoreShards when unset). It has no effect when WithStore
+// injects a backend.
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.shards = n
+		}
+	}
+}
+
 // WithTelemetry attaches a shared metrics registry. Every deployment
 // component given the same registry contributes to one scrape (GET
 // /api/v1/metrics) and one span tracer; without this option the server
@@ -136,19 +175,10 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // Deprecated: pass WithRetention to New instead; this remains for
 // callers that re-tune a running server.
 func (s *Server) SetRetention(n int) {
-	s.mu.Lock()
+	s.retainMu.Lock()
 	s.retain = n
-	var pruned []uint32
-	if n > 0 {
-		for app, list := range s.releases {
-			if len(list) > n {
-				s.releases[app] = append([]*vendorserver.Image{}, list[len(list)-n:]...)
-				pruned = append(pruned, app)
-			}
-		}
-	}
-	s.mu.Unlock()
-	for _, app := range pruned {
+	s.retainMu.Unlock()
+	for _, app := range s.store.Prune(n) {
 		s.cache.invalidateApp(app)
 	}
 }
@@ -165,6 +195,10 @@ func (s *Server) SetPatchCacheSize(n int) { s.cache.setMaxBytes(n) }
 // Stats snapshots the patch cache's hit/miss/singleflight counters.
 func (s *Server) Stats() CacheStats { return s.cache.stats() }
 
+// Store returns the server's release store (never nil) — the durable
+// half of the server, useful for admin surfaces and close-on-shutdown.
+func (s *Server) Store() ReleaseStore { return s.store }
+
 // Telemetry returns the server's metrics registry (never nil). Shared
 // deployments inject one registry via WithTelemetry so transports,
 // agents, and campaigns land in the same scrape.
@@ -174,22 +208,27 @@ func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
 // any options.
 func New(suite security.Suite, key *security.PrivateKey, opts ...Option) *Server {
 	s := &Server{
-		suite:    suite,
-		key:      key,
-		releases: make(map[uint32][]*vendorserver.Image),
-		cache:    newPatchCache(DefaultPatchCacheBytes),
-		tel:      telemetry.NewRegistry(),
+		suite:  suite,
+		key:    key,
+		bus:    announce.New[Announcement](announce.DefaultBuffer),
+		shards: DefaultStoreShards,
+		cache:  newPatchCache(DefaultPatchCacheBytes),
+		tel:    telemetry.NewRegistry(),
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.store == nil {
+		s.store = NewMemStore(s.shards)
 	}
 	s.initTelemetry()
 	return s
 }
 
 // initTelemetry resolves the hot-path handles and bridges the patch
-// cache's own counters onto the registry, migrating the CacheStats
-// surface into the scrape without touching the cache's lock discipline.
+// cache's and the release store's own counters onto the registry,
+// migrating both surfaces into the scrape without touching their lock
+// disciplines.
 func (s *Server) initTelemetry() {
 	reg := s.tel
 	s.met = serverMetrics{
@@ -213,6 +252,15 @@ func (s *Server) initTelemetry() {
 	reg.CounterFunc("upkit_patch_cache_invalidations_total", "Entries dropped by Publish or retention pruning.", stat(func(c CacheStats) float64 { return float64(c.Invalidations) }))
 	reg.GaugeFunc("upkit_patch_cache_entries", "Current cached patches.", stat(func(c CacheStats) float64 { return float64(c.Entries) }))
 	reg.GaugeFunc("upkit_patch_cache_bytes", "Current cached patch bytes.", stat(func(c CacheStats) float64 { return float64(c.Bytes) }))
+
+	sstat := func(read func(StoreStats) float64) func() float64 {
+		return func() float64 { return read(s.store.Stats()) }
+	}
+	reg.GaugeFunc("upkit_store_releases", "Releases currently in the release store.", sstat(func(st StoreStats) float64 { return float64(st.Releases) }))
+	reg.GaugeFunc("upkit_store_bytes", "Firmware bytes currently in the release store.", sstat(func(st StoreStats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("upkit_store_apps", "Apps with at least one stored release.", sstat(func(st StoreStats) float64 { return float64(st.Apps) }))
+	reg.GaugeFunc("upkit_store_load_seconds", "Time the store spent replaying its logs at startup.", sstat(func(st StoreStats) float64 { return st.LoadSeconds }))
+	reg.GaugeFunc("upkit_store_torn_tails", "Log files whose torn tail record was dropped at startup.", sstat(func(st StoreStats) float64 { return float64(st.TornTails) }))
 }
 
 // PublicKey returns the per-request verification key devices must be
@@ -229,10 +277,10 @@ func (s *Server) SetPayloadEncryption(key []byte, entropy io.Reader) error {
 	if entropy == nil {
 		entropy = rand.Reader
 	}
-	s.mu.Lock()
+	s.encMu.Lock()
 	s.payloadKey = append([]byte{}, key...)
 	s.entropy = entropy
-	s.mu.Unlock()
+	s.encMu.Unlock()
 	return nil
 }
 
@@ -243,34 +291,29 @@ func (s *Server) Publish(img *vendorserver.Image) error {
 	if img == nil {
 		return errors.New("updateserver: nil image")
 	}
-	s.mu.Lock()
-	list := s.releases[img.Manifest.AppID]
-	if n := len(list); n > 0 && img.Manifest.Version <= list[n-1].Manifest.Version {
-		s.mu.Unlock()
-		return fmt.Errorf("%w: v%d after v%d", ErrStaleVersion, img.Manifest.Version, list[n-1].Manifest.Version)
+	if err := s.store.Publish(img); err != nil {
+		return err
 	}
-	list = append(list, img)
-	if s.retain > 0 && len(list) > s.retain {
-		list = append([]*vendorserver.Image{}, list[len(list)-s.retain:]...)
+	s.retainMu.Lock()
+	retain := s.retain
+	s.retainMu.Unlock()
+	var pruned []uint32
+	if retain > 0 {
+		pruned = s.store.Prune(retain)
 	}
-	s.releases[img.Manifest.AppID] = list
-	subs := make([]chan Announcement, len(s.subs))
-	copy(subs, s.subs)
-	s.mu.Unlock()
 
 	// Every cached patch for this app targets a now-superseded latest
 	// version (and publish-time pruning may have dropped bases), so
 	// drop them all before anyone reacts to the announcement.
 	s.cache.invalidateApp(img.Manifest.AppID)
-
-	s.met.published.Inc()
-	ann := Announcement{AppID: img.Manifest.AppID, Version: img.Manifest.Version}
-	for _, ch := range subs {
-		select {
-		case ch <- ann:
-		default: // a slow subscriber must not block publishing
+	for _, app := range pruned {
+		if app != img.Manifest.AppID {
+			s.cache.invalidateApp(app)
 		}
 	}
+
+	s.met.published.Inc()
+	s.bus.Publish(Announcement{AppID: img.Manifest.AppID, Version: img.Manifest.Version})
 	return nil
 }
 
@@ -279,69 +322,39 @@ func (s *Server) Publish(img *vendorserver.Image) error {
 // can always poll Latest). Callers that stop listening must call
 // Unsubscribe, or the server accumulates dead channels for its whole
 // lifetime.
-func (s *Server) Subscribe() <-chan Announcement {
-	ch := make(chan Announcement, 16)
-	s.mu.Lock()
-	s.subs = append(s.subs, ch)
-	s.mu.Unlock()
-	return ch
-}
+func (s *Server) Subscribe() <-chan Announcement { return s.bus.Subscribe() }
 
 // Unsubscribe removes a channel obtained from Subscribe. The channel
 // is not closed (a Publish that already snapshotted the subscriber
 // list may still deliver one last buffered announcement); it simply
 // stops receiving and is released for garbage collection. Unknown
 // channels are ignored.
-func (s *Server) Unsubscribe(ch <-chan Announcement) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i, sub := range s.subs {
-		if (<-chan Announcement)(sub) == ch {
-			s.subs = append(s.subs[:i], s.subs[i+1:]...)
-			return
-		}
-	}
-}
+func (s *Server) Unsubscribe(ch <-chan Announcement) { s.bus.Unsubscribe(ch) }
 
 // SubscriberCount reports the number of live announcement subscribers
 // (an operational leak indicator).
-func (s *Server) SubscriberCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.subs)
-}
+func (s *Server) SubscriberCount() int { return s.bus.Count() }
 
 // LatestImage returns the newest vendor-signed image for app, or
 // ok=false. Baseline systems (mcumgr, LwM2M) distribute this image
 // as-is, without the per-request second signature.
 func (s *Server) LatestImage(appID uint32) (*vendorserver.Image, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.releases[appID]
-	if len(list) == 0 {
-		return nil, false
-	}
-	return list[len(list)-1], true
+	return s.store.Latest(appID)
 }
 
 // ImageByVersion returns the stored image with exactly version v, or
 // ok=false (used by replay/downgrade attack experiments).
 func (s *Server) ImageByVersion(appID uint32, v uint16) (*vendorserver.Image, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	img := lookupVersion(s.releases[appID], v)
-	return img, img != nil
+	return s.store.ByVersion(appID, v)
 }
 
 // Latest reports the newest published version for app, or ok=false.
 func (s *Server) Latest(appID uint32) (uint16, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	list := s.releases[appID]
-	if len(list) == 0 {
+	img, ok := s.store.Latest(appID)
+	if !ok {
 		return 0, false
 	}
-	return list[len(list)-1].Manifest.Version, true
+	return img.Manifest.Version, true
 }
 
 // lookup returns the image with exactly version v, or nil.
@@ -359,23 +372,18 @@ func lookupVersion(list []*vendorserver.Image, v uint16) *vendorserver.Image {
 // token into the manifest, and apply the update server's signature.
 func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update, error) {
 	start := time.Now()
-	s.mu.Lock()
-	list := s.releases[appID]
-	if len(list) == 0 {
-		s.mu.Unlock()
+	latest, ok := s.store.Latest(appID)
+	if !ok {
 		s.met.reqUnknownApp.Inc()
 		return nil, fmt.Errorf("%w: %#x", ErrUnknownApp, appID)
 	}
-	latest := list[len(list)-1]
-	var base *vendorserver.Image
-	if tok.SupportsDifferential() && tok.CurrentVersion < latest.Manifest.Version {
-		base = lookupVersion(list, tok.CurrentVersion)
-	}
-	s.mu.Unlock()
-
 	if latest.Manifest.Version <= tok.CurrentVersion {
 		s.met.reqNoUpdate.Inc()
 		return nil, fmt.Errorf("%w: device v%d, latest v%d", ErrNoNewUpdate, tok.CurrentVersion, latest.Manifest.Version)
+	}
+	var base *vendorserver.Image
+	if tok.SupportsDifferential() && tok.CurrentVersion < latest.Manifest.Version {
+		base, _ = s.store.ByVersion(appID, tok.CurrentVersion)
 	}
 
 	m := latest.Manifest // copy; the stored vendor-signed manifest stays pristine
@@ -404,10 +412,10 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 		// published image for every later request.
 		u.Payload = bytes.Clone(latest.Firmware)
 	}
-	s.mu.Lock()
+	s.encMu.RLock()
 	payloadKey := s.payloadKey
 	entropy := s.entropy
-	s.mu.Unlock()
+	s.encMu.RUnlock()
 	if payloadKey != nil {
 		// PatchSize/Size describe the plaintext; both ends add the IV
 		// overhead to the wire length.

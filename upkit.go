@@ -101,6 +101,16 @@ type (
 	// UpdateServerStats snapshots the server's differential-patch
 	// cache counters (UpdateServer.Stats).
 	UpdateServerStats = updateserver.CacheStats
+	// ReleaseStore is the release repository behind an update server:
+	// sharded in-memory by default, file-backed for durability.
+	ReleaseStore = updateserver.ReleaseStore
+	// ReleaseStoreStats sizes a release store (UpdateServer.Store().Stats()).
+	ReleaseStoreStats = updateserver.StoreStats
+	// ReleaseFileStore is the durable, crash-safe release store backed
+	// by per-app record logs under a state directory.
+	ReleaseFileStore = updateserver.FileStore
+	// Announcement is a new-release notice delivered to subscribers.
+	Announcement = updateserver.Announcement
 )
 
 // Device side.
@@ -204,6 +214,21 @@ func WithRetention(n int) UpdateServerOption { return updateserver.WithRetention
 // registry — share one registry across servers to aggregate scrapes.
 func WithTelemetry(reg *MetricsRegistry) UpdateServerOption {
 	return updateserver.WithTelemetry(reg)
+}
+
+// WithStore backs the update server with an explicit release store —
+// e.g. a NewReleaseFileStore for durability across restarts.
+func WithStore(st ReleaseStore) UpdateServerOption { return updateserver.WithStore(st) }
+
+// WithShards sets the shard count of the default in-memory release
+// store (ignored when WithStore is given).
+func WithShards(n int) UpdateServerOption { return updateserver.WithShards(n) }
+
+// NewReleaseFileStore opens (creating if needed) a durable release
+// store rooted at dir, replaying its per-app record logs; pass it to
+// NewUpdateServer via WithStore and Close it on shutdown.
+func NewReleaseFileStore(dir string) (*ReleaseFileStore, error) {
+	return updateserver.NewFileStore(dir)
 }
 
 // NewUpdateServer creates an update server signing with key under suite.
