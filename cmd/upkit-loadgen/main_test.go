@@ -1,0 +1,37 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// resetFlags lets run() be invoked repeatedly within one process.
+func resetFlags(args ...string) {
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ContinueOnError)
+	os.Args = append([]string{"upkit-loadgen"}, args...)
+}
+
+func TestRunWritesResultFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "result.json")
+	resetFlags("-n", "3", "-p", "2", "-fw", "16", "-seed", "loadgen-cmd-test", "-o", out)
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Devices int `json:"devices"`
+		Updated int `json:"updated"`
+	}
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("result is not JSON: %v", err)
+	}
+	if res.Devices != 3 || res.Updated != 3 {
+		t.Fatalf("devices/updated = %d/%d, want 3/3", res.Devices, res.Updated)
+	}
+}

@@ -207,7 +207,7 @@ type Agent struct {
 	received int
 
 	// ckptEvery and lastCkpt drive the reception-journal cadence: a new
-	// checkpoint is written once BytesOut has advanced ckptEvery bytes
+	// checkpoint is written once DurableBytes has advanced ckptEvery bytes
 	// past the last one.
 	ckptEvery int
 	lastCkpt  int
@@ -459,7 +459,7 @@ func (a *Agent) acceptManifest() error {
 // maybeCheckpoint writes a journal record once enough firmware bytes
 // have been flushed since the last one.
 func (a *Agent) maybeCheckpoint() error {
-	if a.cfg.Journal == nil || a.pipe.BytesOut()-a.lastCkpt < a.ckptEvery {
+	if a.cfg.Journal == nil || a.pipe.DurableBytes()-a.lastCkpt < a.ckptEvery {
 		return nil
 	}
 	return a.checkpoint()
@@ -482,7 +482,7 @@ func (a *Agent) checkpoint() error {
 	if err := a.cfg.Journal.Save(rec); err != nil {
 		return err
 	}
-	a.lastCkpt = cp.BytesOut()
+	a.lastCkpt = cp.DurableBytes()
 	a.cfg.Telemetry.Counter("upkit_agent_checkpoints_total",
 		"Reception-journal checkpoints written.").Inc()
 	return nil

@@ -141,7 +141,7 @@ func (a *Agent) resumeFromRecord(rec *slot.ReceptionRecord) (ResumeInfo, error) 
 		return ResumeInfo{}, err
 	}
 
-	w, err := target.ResumeReceive(cp.BytesOut())
+	w, err := target.ResumeReceive(cp.DurableBytes())
 	if err != nil {
 		return ResumeInfo{}, err
 	}
@@ -181,7 +181,7 @@ func (a *Agent) resumeFromRecord(rec *slot.ReceptionRecord) (ResumeInfo, error) 
 	if a.ckptEvery <= 0 {
 		a.ckptEvery = 4 * bufSize
 	}
-	a.lastCkpt = cp.BytesOut()
+	a.lastCkpt = cp.DurableBytes()
 	a.setState(StateReceiveFirmware)
 	a.cfg.Events.Emit(events.KindReceptionResumed, m.Version,
 		fmt.Sprintf("at %d bytes", rec.Received))

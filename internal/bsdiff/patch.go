@@ -93,12 +93,17 @@ type Applier struct {
 	diffLeft, extraLeft int
 	seek                int
 
-	oldBuf []byte
+	// oldBuf and diffBuf are reusable working buffers: oldBuf batches
+	// old-image reads to the flash sector size, diffBuf holds the
+	// in-flight diff chunk so Feed allocates nothing per call. Neither
+	// is part of the checkpoint.
+	oldBuf  []byte
+	diffBuf []byte
 }
 
 // NewApplier returns an applier that reads old-image bytes from old.
 func NewApplier(old io.ReaderAt) *Applier {
-	return &Applier{old: old, state: applierHeader, oldBuf: make([]byte, 512)}
+	return &Applier{old: old, state: applierHeader, oldBuf: make([]byte, 4096)}
 }
 
 // NewSize reports the declared output size, or -1 before the header has
@@ -153,7 +158,10 @@ func (a *Applier) Feed(chunk []byte, emit func([]byte) error) error {
 			a.advanceState()
 		case applierDiff:
 			n := min(len(chunk), a.diffLeft)
-			out := make([]byte, n)
+			if cap(a.diffBuf) < n {
+				a.diffBuf = make([]byte, n)
+			}
+			out := a.diffBuf[:n]
 			copy(out, chunk[:n])
 			if err := a.addOldBytes(out); err != nil {
 				return err

@@ -52,6 +52,17 @@ type sessionKey struct {
 type session struct {
 	manifest []byte
 	payload  []byte
+
+	// mu guards scratch, the per-session block buffer: responses must
+	// not alias the stored payload (transports and, in attack
+	// experiments, hostile hops could reach back into it), but a
+	// Block2 transfer serves hundreds of blocks per device and a fresh
+	// allocation per block is pure churn. Each block is copied into
+	// the session's reusable scratch instead; exchanges are synchronous
+	// per device, so the previous block is always consumed before the
+	// next overwrites it.
+	mu      sync.Mutex
+	scratch []byte
 }
 
 // PullServer adapts an update server to CoAP for pulling devices.
@@ -59,7 +70,7 @@ type PullServer struct {
 	Updates *updateserver.Server
 
 	mu       sync.Mutex
-	sessions map[sessionKey]session
+	sessions map[sessionKey]*session
 
 	// Resolved on the update server's registry; nil handles drop samples.
 	reqVersion *telemetry.Counter
@@ -72,7 +83,7 @@ type PullServer struct {
 // NewPullServer wraps updates, recording CoAP request and block counts
 // on the update server's telemetry registry.
 func NewPullServer(updates *updateserver.Server) *PullServer {
-	s := &PullServer{Updates: updates, sessions: make(map[sessionKey]session)}
+	s := &PullServer{Updates: updates, sessions: make(map[sessionKey]*session)}
 	var reg *telemetry.Registry
 	if updates != nil {
 		reg = updates.Telemetry()
@@ -153,7 +164,7 @@ func (s *PullServer) handleRequest(req *Message) *Message {
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
 	s.mu.Lock()
-	s.sessions[key] = session{manifest: u.ManifestBytes, payload: u.Payload}
+	s.sessions[key] = &session{manifest: u.ManifestBytes, payload: u.Payload}
 	s.mu.Unlock()
 	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: u.ManifestBytes}
 }
@@ -186,11 +197,16 @@ func (s *PullServer) handleImage(req *Message) *Message {
 		return &Message{Type: Acknowledgement, Code: CodeBadReq}
 	}
 	end := min(start+size, len(payload))
-	// Copy the block: the response travels through transports (and, in
-	// attack experiments, hostile hops) that must not be able to reach
-	// back into the stored session payload.
-	chunk := make([]byte, end-start)
+	// Copy the block into the session's reusable scratch: the response
+	// must not alias the stored payload (see session.scratch), but it
+	// need not allocate per block either.
+	sess.mu.Lock()
+	if cap(sess.scratch) < size {
+		sess.scratch = make([]byte, size)
+	}
+	chunk := sess.scratch[:end-start]
 	copy(chunk, payload[start:end])
+	sess.mu.Unlock()
 	s.blocks.Inc()
 	resp := &Message{Type: Acknowledgement, Code: CodeContent, Payload: chunk}
 	respBlock := Block{Num: block.Num, More: end < len(payload), SZX: block.SZX}

@@ -105,6 +105,69 @@ func TestPullServerResources(t *testing.T) {
 	}
 }
 
+// TestImageBlocksIsolatedFromStoredPayload pins the per-session
+// scratch-buffer contract: a hostile hop mutating a served block must
+// not reach the stored session payload (a later re-request of the same
+// block returns the pristine bytes), even though consecutive blocks
+// reuse one buffer.
+func TestImageBlocksIsolatedFromStoredPayload(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+
+	tok, err := b.Device.Agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokBytes, _ := tok.MarshalBinary()
+	req := &coap.Message{Type: coap.Confirmable, Code: coap.CodePOST, Payload: tokBytes}
+	req.SetPath(coap.PathRequest)
+	req.AddOption(coap.OptUriQuery, []byte("app=2a"))
+	if resp := srv.Handle(req); resp.Code != coap.CodeContent {
+		t.Fatalf("request code = %v", resp.Code)
+	}
+
+	getBlock := func(num uint32) []byte {
+		img := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+		img.SetPath(coap.PathImage)
+		img.AddOption(coap.OptUriQuery, []byte("d="+hex32(tok.DeviceID)))
+		img.AddOption(coap.OptUriQuery, []byte("n="+hex32(tok.Nonce)))
+		img.AddOption(coap.OptBlock2, coap.Block{Num: num, SZX: 2}.Marshal())
+		resp := srv.Handle(img)
+		if resp.Code != coap.CodeContent {
+			t.Fatalf("block %d code = %v", num, resp.Code)
+		}
+		return resp.Payload
+	}
+
+	first := append([]byte(nil), getBlock(0)...)
+	// A hostile hop scribbles over the served block.
+	for i := range getBlock(0) {
+		getBlock(0)[i] = 0
+	}
+	mutated := getBlock(1)
+	for i := range mutated {
+		mutated[i] ^= 0xFF
+	}
+	// The stored payload must be untouched: re-serving block 0 yields
+	// the original bytes.
+	if got := getBlock(0); !equalBytes(got, first) {
+		t.Fatal("stored payload reachable through served block")
+	}
+	b.Device.Agent.Abort()
+}
+
+func equalBytes(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestPullAgentRejectionPropagates(t *testing.T) {
 	b := newPullBed(t, true)
 	client := b.PullClient()

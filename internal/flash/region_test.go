@@ -268,6 +268,52 @@ func TestFileBackedRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSaveToFileAtomicReplace pins the crash-safety contract of
+// SaveToFile: an existing dump — even one a crashed writer left
+// truncated — is replaced wholesale via rename, the new dump is always
+// full chip length, and no temporary siblings leak into the directory.
+func TestSaveToFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "chip.bin")
+	geo := testGeometry()
+
+	mem, err := New(geo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Program(0, []byte("generation-2")); err != nil {
+		t.Fatal(err)
+	}
+	// A previous save died mid-write: the dump on disk is truncated.
+	if err := os.WriteFile(path, []byte("gen"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.SaveToFile(path); err != nil {
+		t.Fatalf("SaveToFile over truncated dump: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != geo.Size {
+		t.Fatalf("dump = %d bytes, want full chip %d", len(raw), geo.Size)
+	}
+	if string(raw[:12]) != "generation-2" {
+		t.Fatalf("dump starts %q, want %q", raw[:12], "generation-2")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "chip.bin" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only chip.bin (no temp leftovers)", names)
+	}
+}
+
 func TestLoadFromFileRejectsOversized(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "big.bin")

@@ -87,16 +87,28 @@ type Policy struct {
 	RetryJitter float64
 	// Rand supplies the jitter randomness in [0, 1); nil selects the
 	// global math/rand.Float64. Inject a deterministic source to make
-	// backoff schedules reproducible in tests.
+	// backoff schedules reproducible in tests. The source does not need
+	// to be safe for concurrent use: the campaign serializes calls to it
+	// even when Parallelism > 1.
 	Rand func() float64
 }
 
-// rand01 returns the policy's jitter source.
-func (p Policy) rand01() func() float64 {
-	if p.Rand != nil {
-		return p.Rand
+// newRand01 builds the campaign-wide jitter source from a policy.
+// Retry waits run on per-device wave goroutines, so an injected
+// Policy.Rand — typically a plain *rand.Rand closure with no internal
+// locking — must be serialized here; the math/rand.Float64 default is
+// already safe.
+func newRand01(p Policy) func() float64 {
+	if p.Rand == nil {
+		return rand.Float64
 	}
-	return rand.Float64
+	var mu sync.Mutex
+	src := p.Rand
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return src()
+	}
 }
 
 // ErrCampaignAborted is wrapped into Run's error when the canary gate
@@ -124,8 +136,11 @@ type Report struct {
 	SpanSummary string
 }
 
-// Counts tallies outcomes.
-func (r *Report) Counts() (updated, failed, skipped int) {
+// Counts tallies outcomes. Every device lands in exactly one bucket,
+// so updated+failed+skipped+pending == len(Results); pending is only
+// non-zero when a report is inspected mid-run or after a crash left
+// devices unattempted.
+func (r *Report) Counts() (updated, failed, skipped, pending int) {
 	for _, res := range r.Results {
 		switch res.Status {
 		case StatusUpdated:
@@ -134,6 +149,8 @@ func (r *Report) Counts() (updated, failed, skipped int) {
 			failed++
 		case StatusSkipped:
 			skipped++
+		case StatusPending:
+			pending++
 		}
 	}
 	return
@@ -145,6 +162,9 @@ type Campaign struct {
 	policy  Policy
 	devices []Updater
 	tel     *telemetry.Registry
+	// rand01 is the serialized jitter source shared by all wave
+	// goroutines; see newRand01.
+	rand01 func() float64
 }
 
 // SetTelemetry attaches a metrics registry. Waves, per-device outcomes
@@ -163,7 +183,7 @@ func New(target uint16, policy Policy, devices []Updater) (*Campaign, error) {
 	if policy.CanaryFraction < 0 || policy.CanaryFraction > 1 {
 		return nil, fmt.Errorf("fleet: canary fraction %f out of [0,1]", policy.CanaryFraction)
 	}
-	return &Campaign{target: target, policy: policy, devices: devices}, nil
+	return &Campaign{target: target, policy: policy, devices: devices, rand01: newRand01(policy)}, nil
 }
 
 // Run executes the campaign: canary wave, gate, then the rest. The
@@ -302,7 +322,7 @@ func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 	var lastErr error
 	for attempt := 0; attempt <= c.policy.MaxRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, retryDelay(c.policy, attempt, c.policy.rand01())); err != nil {
+			if err := sleepCtx(ctx, retryDelay(c.policy, attempt, c.rand01)); err != nil {
 				break
 			}
 		}
@@ -328,9 +348,9 @@ func (c *Campaign) updateOne(ctx context.Context, d Updater) Result {
 
 // Render returns a sorted, human-readable campaign summary.
 func (r *Report) Render() string {
-	updated, failed, skipped := r.Counts()
-	out := fmt.Sprintf("campaign to v%d: %d updated, %d failed, %d skipped",
-		r.Target, updated, failed, skipped)
+	updated, failed, skipped, pending := r.Counts()
+	out := fmt.Sprintf("campaign to v%d: %d updated, %d failed, %d skipped, %d pending",
+		r.Target, updated, failed, skipped, pending)
 	if r.Aborted {
 		out += " (ABORTED by canary gate)"
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -56,6 +57,21 @@ func updaters(devs []*fakeDevice) []Updater {
 	return out
 }
 
+// checkCounts asserts the report's outcome tallies and the bucket
+// invariant: every device lands in exactly one of the four states, so
+// the counts always sum to the fleet size.
+func checkCounts(t *testing.T, report *Report, updated, failed, skipped, pending int) {
+	t.Helper()
+	u, f, s, p := report.Counts()
+	if u != updated || f != failed || s != skipped || p != pending {
+		t.Fatalf("counts = %d/%d/%d/%d, want %d/%d/%d/%d\n%s",
+			u, f, s, p, updated, failed, skipped, pending, report.Render())
+	}
+	if u+f+s+p != len(report.Results) {
+		t.Fatalf("counts %d+%d+%d+%d != %d devices", u, f, s, p, len(report.Results))
+	}
+}
+
 func TestCampaignAllSucceed(t *testing.T) {
 	devs := makeFleet(10, 1, 2)
 	c, err := New(2, Policy{CanaryFraction: 0.2, MaxRetries: 1}, updaters(devs))
@@ -66,10 +82,7 @@ func TestCampaignAllSucceed(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	updated, failed, skipped := report.Counts()
-	if updated != 10 || failed != 0 || skipped != 0 {
-		t.Fatalf("counts = %d/%d/%d", updated, failed, skipped)
-	}
+	checkCounts(t, report, 10, 0, 0, 0)
 	for _, d := range devs {
 		if d.Version() != 2 {
 			t.Fatalf("device %#x on v%d", d.id, d.Version())
@@ -93,10 +106,7 @@ func TestCanaryGateAbortsCampaign(t *testing.T) {
 	if !report.Aborted {
 		t.Fatal("report not marked aborted")
 	}
-	updated, failed, skipped := report.Counts()
-	if failed != 2 || skipped != 8 || updated != 0 {
-		t.Fatalf("counts = %d/%d/%d, want 0/2/8", updated, failed, skipped)
-	}
+	checkCounts(t, report, 0, 2, 8, 0)
 	// The general population must never have been touched.
 	for _, d := range devs[2:] {
 		if d.attempts.Load() != 0 {
@@ -116,10 +126,7 @@ func TestCanaryGateTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v (20%% failure is under the 25%% gate)", err)
 	}
-	updated, failed, skipped := report.Counts()
-	if updated != 9 || failed != 1 || skipped != 0 {
-		t.Fatalf("counts = %d/%d/%d, want 9/1/0", updated, failed, skipped)
-	}
+	checkCounts(t, report, 9, 1, 0, 0)
 }
 
 func TestRetriesRecoverTransientFailures(t *testing.T) {
@@ -133,10 +140,7 @@ func TestRetriesRecoverTransientFailures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	updated, failed, _ := report.Counts()
-	if updated != 4 || failed != 0 {
-		t.Fatalf("counts = %d updated %d failed", updated, failed)
-	}
+	checkCounts(t, report, 4, 0, 0, 0)
 	for _, res := range report.Results {
 		if res.DeviceID == devs[2].id && res.Attempts != 3 {
 			t.Fatalf("flaky device attempts = %d, want 3", res.Attempts)
@@ -154,10 +158,7 @@ func TestAlreadyCurrentDevicesSkipAttempts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	updated, _, _ := report.Counts()
-	if updated != 3 {
-		t.Fatalf("updated = %d, want 3", updated)
-	}
+	checkCounts(t, report, 3, 0, 0, 0)
 	for _, d := range devs {
 		if d.attempts.Load() != 0 {
 			t.Fatal("already-current device was attempted")
@@ -206,9 +207,7 @@ func TestParallelWaves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if updated, _, _ := report.Counts(); updated != 64 {
-		t.Fatalf("updated = %d, want 64", updated)
-	}
+	checkCounts(t, report, 64, 0, 0, 0)
 }
 
 func TestReportRender(t *testing.T) {
@@ -222,7 +221,7 @@ func TestReportRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := report.Render()
-	for _, want := range []string{"campaign to v2", "2 updated", "updated"} {
+	for _, want := range []string{"campaign to v2", "2 updated", "0 pending", "updated"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Render missing %q:\n%s", want, out)
 		}
@@ -269,10 +268,7 @@ func TestRunContextPreCanceled(t *testing.T) {
 	if !report.Aborted {
 		t.Fatal("report not marked aborted")
 	}
-	updated, failed, skipped := report.Counts()
-	if updated != 0 || failed != 0 || skipped != 6 {
-		t.Fatalf("counts = %d/%d/%d, want 0/0/6", updated, failed, skipped)
-	}
+	checkCounts(t, report, 0, 0, 6, 0)
 	for _, d := range devs {
 		if d.attempts.Load() != 0 {
 			t.Fatalf("device %#x attempted under a canceled context", d.id)
@@ -298,10 +294,7 @@ func TestRunContextCanceledBetweenWaves(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("error = %v, want context.Canceled", err)
 	}
-	updated, failed, skipped := report.Counts()
-	if updated != 1 || failed != 0 || skipped != 4 {
-		t.Fatalf("counts = %d/%d/%d, want 1/0/4\n%s", updated, failed, skipped, report.Render())
-	}
+	checkCounts(t, report, 1, 0, 4, 0)
 	for _, d := range devs[1:] {
 		if d.attempts.Load() != 0 {
 			t.Fatalf("device %#x attempted after cancellation", d.id)
@@ -349,11 +342,37 @@ func TestRetryJitterInjectableRand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if updated, _, _ := rep.Counts(); updated != 1 {
-		t.Fatalf("updated = %d, want 1", updated)
-	}
+	checkCounts(t, rep, 1, 0, 0, 0)
 	// Three attempts means two retry waits, each drawing exactly once.
 	if got := calls.Load(); got != 2 {
 		t.Fatalf("Policy.Rand consulted %d times, want 2", got)
 	}
+}
+
+// TestInjectedRandSerializedAcrossWaveGoroutines drives jittered
+// retries across a parallel wave with an injected *rand.Rand closure —
+// a source with no internal locking. The campaign must serialize the
+// draws; under -race this test fails if wave goroutines reach the
+// source concurrently.
+func TestInjectedRandSerializedAcrossWaveGoroutines(t *testing.T) {
+	devs := makeFleet(16, 1, 2)
+	for _, d := range devs {
+		d.failures.Store(2) // every device retries twice, drawing jitter
+	}
+	rng := rand.New(rand.NewSource(7))
+	c, err := New(2, Policy{
+		Parallelism:  8,
+		MaxRetries:   3,
+		RetryBackoff: time.Nanosecond,
+		RetryJitter:  1,
+		Rand:         rng.Float64,
+	}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, report, 16, 0, 0, 0)
 }

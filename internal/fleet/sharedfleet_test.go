@@ -65,8 +65,8 @@ func TestCampaignSharedServerComputesOneDiff(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if updated, failed, skipped := report.Counts(); updated != n || failed != 0 || skipped != 0 {
-		t.Fatalf("counts = %d/%d/%d\n%s", updated, failed, skipped, report.Render())
+	if updated, failed, skipped, pending := report.Counts(); updated != n || failed != 0 || skipped != 0 || pending != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d\n%s", updated, failed, skipped, pending, report.Render())
 	}
 	for _, d := range devs {
 		if d.Version() != 2 {
@@ -118,7 +118,7 @@ func benchCampaign(b *testing.B, cached bool) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if updated, _, _ := report.Counts(); updated != n {
+		if updated, _, _, _ := report.Counts(); updated != n {
 			b.Fatalf("updated = %d, want %d", updated, n)
 		}
 		st := update.Stats()

@@ -1,0 +1,87 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRunSmallFleet(t *testing.T) {
+	res, err := Run(Config{Devices: 4, FirmwareKiB: 16, Parallelism: 2, Seed: "loadgen-test"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Updated != 4 || res.Failed != 0 || res.Skipped != 0 || res.Pending != 0 {
+		t.Fatalf("counts = %d/%d/%d/%d, want 4/0/0/0 (errors: %v)",
+			res.Updated, res.Failed, res.Skipped, res.Pending, res.Errors)
+	}
+	if res.Updated+res.Failed+res.Skipped+res.Pending != res.Devices {
+		t.Fatal("count buckets do not cover the fleet")
+	}
+	// One version pair across the whole fleet: the shared server must
+	// compute exactly one diff.
+	if res.DiffComputations != 1 {
+		t.Fatalf("diff computations = %d, want 1", res.DiffComputations)
+	}
+	if res.WallSeconds <= 0 || res.FirmwareMBps <= 0 {
+		t.Fatalf("throughput not measured: wall=%f mbps=%f", res.WallSeconds, res.FirmwareMBps)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("unexpected device errors: %v", res.Errors)
+	}
+	// The result must round-trip as JSON — it is BENCH_5.json input.
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Updated != res.Updated {
+		t.Fatal("JSON round-trip lost fields")
+	}
+}
+
+func TestRunEncryptedFleet(t *testing.T) {
+	res, err := Run(Config{Devices: 2, FirmwareKiB: 16, Encrypted: true, Seed: "loadgen-enc"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Updated != 2 {
+		t.Fatalf("updated = %d, want 2 (errors: %v)", res.Updated, res.Errors)
+	}
+	if !res.Encrypted {
+		t.Fatal("result does not record encryption")
+	}
+}
+
+// BenchmarkPullCampaign is the campaign-level throughput benchmark:
+// per iteration an 8-device fleet concurrently pulls a differential
+// update over the in-memory transport, through the full device stack.
+// The MB/s metric is installed firmware per wall second.
+func BenchmarkPullCampaign(b *testing.B) {
+	var mbps, wall float64
+	n := 0
+	for b.Loop() {
+		b.StopTimer()
+		f, err := Build(Config{Devices: 8, FirmwareKiB: 32, Parallelism: 8, Seed: "loadgen-bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := f.Campaign()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Updated != 8 {
+			b.Fatalf("updated = %d, want 8 (errors: %v)", res.Updated, res.Errors)
+		}
+		mbps += res.FirmwareMBps
+		wall += res.WallSeconds
+		n++
+	}
+	if n > 0 {
+		b.ReportMetric(mbps/float64(n), "MB/s")
+		b.ReportMetric(wall/float64(n)*1000, "ms/campaign")
+	}
+}

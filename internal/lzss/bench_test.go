@@ -1,0 +1,75 @@
+package lzss
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchPayload builds firmware-like compressible content: long runs and
+// repeated idioms (what bsdiff output looks like) mixed with literals.
+func benchPayload(size int) []byte {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]byte, 0, size)
+	idiom := []byte{0x70, 0xB5, 0x00, 0x20, 0x04, 0x46}
+	for len(out) < size {
+		switch rng.Intn(4) {
+		case 0: // zero run (dominant in bsdiff diff blocks)
+			n := 16 + rng.Intn(256)
+			for range n {
+				out = append(out, 0)
+			}
+		case 1: // repeated idiom
+			for range 4 + rng.Intn(16) {
+				out = append(out, idiom...)
+			}
+		default: // literals
+			n := 4 + rng.Intn(32)
+			for range n {
+				out = append(out, byte(rng.Intn(256)))
+			}
+		}
+	}
+	return out[:size]
+}
+
+// BenchmarkLZSSDecode measures the streaming decoder over firmware-like
+// input fed in radio-sized chunks — the device reception hot path.
+func BenchmarkLZSSDecode(b *testing.B) {
+	src := benchPayload(256 * 1024)
+	enc := Encode(src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		d := NewDecoder()
+		for off := 0; off < len(enc); off += 1024 {
+			end := min(off+1024, len(enc))
+			if err := d.Feed(enc[off:end], func([]byte) error { return nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLZSSDecodeZeroRun measures the best case for match batching:
+// one long zero run, decoded almost entirely from maximum-length window
+// copies.
+func BenchmarkLZSSDecodeZeroRun(b *testing.B) {
+	src := make([]byte, 256*1024)
+	enc := Encode(src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		d := NewDecoder()
+		if err := d.Feed(enc, func([]byte) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

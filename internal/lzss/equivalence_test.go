@@ -1,0 +1,183 @@
+package lzss
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randomSource builds inputs spanning the interesting regimes: pure
+// noise (all literals), low-entropy bytes (short matches), zero runs
+// (maximum-length distance-1 matches), and duplicated blocks (far
+// matches near the window boundary).
+func randomSource(rng *rand.Rand, size int) []byte {
+	out := make([]byte, 0, size)
+	for len(out) < size {
+		switch rng.Intn(4) {
+		case 0:
+			n := 1 + rng.Intn(64)
+			for range n {
+				out = append(out, byte(rng.Intn(256)))
+			}
+		case 1:
+			n := 1 + rng.Intn(64)
+			for range n {
+				out = append(out, byte(rng.Intn(4)))
+			}
+		case 2:
+			n := 1 + rng.Intn(300)
+			for range n {
+				out = append(out, 0)
+			}
+		default:
+			if len(out) > 0 {
+				back := 1 + rng.Intn(min(len(out), windowSize+64))
+				n := 1 + rng.Intn(min(back+200, 400))
+				start := len(out) - back
+				for k := 0; k < n; k++ {
+					out = append(out, out[start+k])
+				}
+			}
+		}
+	}
+	return out[:size]
+}
+
+// TestBatchedMatchesReference feeds the same stream to the batched
+// decoder and the byte-at-a-time reference through identical random
+// chunkings, comparing output bytes and — at every chunk boundary —
+// the serialized checkpoints. This is the proof that the throughput
+// rework changed no observable state.
+func TestBatchedMatchesReference(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		src := randomSource(rng, 512+rng.Intn(20000))
+		enc := Encode(src)
+
+		fast := NewDecoder()
+		ref := NewReferenceDecoder()
+		var fastOut, refOut []byte
+		for off := 0; off < len(enc); {
+			n := 1 + rng.Intn(257)
+			end := min(off+n, len(enc))
+			if err := fast.Feed(enc[off:end], func(p []byte) error {
+				fastOut = append(fastOut, p...)
+				return nil
+			}); err != nil {
+				t.Fatalf("seed=%d off=%d: batched feed: %v", seed, off, err)
+			}
+			if err := ref.Feed(enc[off:end], func(p []byte) error {
+				refOut = append(refOut, p...)
+				return nil
+			}); err != nil {
+				t.Fatalf("seed=%d off=%d: reference feed: %v", seed, off, err)
+			}
+			if !bytes.Equal(fast.Checkpoint(), ref.Checkpoint()) {
+				t.Fatalf("seed=%d: checkpoints diverge after %d input bytes", seed, end)
+			}
+			off = end
+		}
+		if err := fast.Close(); err != nil {
+			t.Fatalf("seed=%d: batched close: %v", seed, err)
+		}
+		if err := ref.Close(); err != nil {
+			t.Fatalf("seed=%d: reference close: %v", seed, err)
+		}
+		if !bytes.Equal(fastOut, src) || !bytes.Equal(refOut, src) {
+			t.Fatalf("seed=%d: decoded output mismatch", seed)
+		}
+	}
+}
+
+// TestBatchedRestoreCrossCompatible restores a reference checkpoint
+// into a batched decoder (and vice versa) at random split points: the
+// formats must be interchangeable, since devices in the field may have
+// journaled checkpoints from either implementation generation.
+func TestBatchedRestoreCrossCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	src := randomSource(rng, 16000)
+	enc := Encode(src)
+	for trial := 0; trial < 200; trial++ {
+		split := rng.Intn(len(enc) + 1)
+
+		// Reference decodes the prefix, batched resumes the suffix.
+		ref := NewReferenceDecoder()
+		var out []byte
+		sink := func(p []byte) error { out = append(out, p...); return nil }
+		if err := ref.Feed(enc[:split], sink); err != nil {
+			t.Fatalf("split=%d: reference prefix: %v", split, err)
+		}
+		fast := NewDecoder()
+		if err := fast.Restore(ref.Checkpoint()); err != nil {
+			t.Fatalf("split=%d: restore into batched: %v", split, err)
+		}
+		if err := fast.Feed(enc[split:], sink); err != nil {
+			t.Fatalf("split=%d: batched suffix: %v", split, err)
+		}
+		if err := fast.Close(); err != nil {
+			t.Fatalf("split=%d: close: %v", split, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("split=%d: spliced output mismatch", split)
+		}
+
+		// And the other direction.
+		out = out[:0]
+		fast2 := NewDecoder()
+		if err := fast2.Feed(enc[:split], sink); err != nil {
+			t.Fatalf("split=%d: batched prefix: %v", split, err)
+		}
+		ref2 := NewReferenceDecoder()
+		if err := ref2.Restore(fast2.Checkpoint()); err != nil {
+			t.Fatalf("split=%d: restore into reference: %v", split, err)
+		}
+		if err := ref2.Feed(enc[split:], sink); err != nil {
+			t.Fatalf("split=%d: reference suffix: %v", split, err)
+		}
+		if err := ref2.Close(); err != nil {
+			t.Fatalf("split=%d: close: %v", split, err)
+		}
+		if !bytes.Equal(out, src) {
+			t.Fatalf("split=%d: spliced output mismatch (reference resume)", split)
+		}
+	}
+}
+
+// FuzzBatchedMatchesReference drives both decoders over arbitrary
+// corpus-mutated source bytes with a derived chunking, requiring
+// identical outputs, errors, and checkpoints.
+func FuzzBatchedMatchesReference(f *testing.F) {
+	f.Add([]byte("hello hello hello hello"), uint16(7))
+	f.Add(make([]byte, 4096), uint16(64))
+	f.Add([]byte{0}, uint16(1))
+	f.Fuzz(func(t *testing.T, src []byte, chunkSeed uint16) {
+		enc := Encode(src)
+		chunk := int(chunkSeed)%192 + 1
+		fast := NewDecoder()
+		ref := NewReferenceDecoder()
+		var fastOut, refOut []byte
+		for off := 0; off < len(enc); off += chunk {
+			end := min(off+chunk, len(enc))
+			errFast := fast.Feed(enc[off:end], func(p []byte) error {
+				fastOut = append(fastOut, p...)
+				return nil
+			})
+			errRef := ref.Feed(enc[off:end], func(p []byte) error {
+				refOut = append(refOut, p...)
+				return nil
+			})
+			if (errFast == nil) != (errRef == nil) {
+				t.Fatalf("error divergence: batched=%v reference=%v", errFast, errRef)
+			}
+			if errFast != nil {
+				return
+			}
+			if !bytes.Equal(fast.Checkpoint(), ref.Checkpoint()) {
+				t.Fatalf("checkpoint divergence after %d bytes", end)
+			}
+		}
+		if !bytes.Equal(fastOut, refOut) || !bytes.Equal(fastOut, src) {
+			t.Fatal("output divergence")
+		}
+	})
+}

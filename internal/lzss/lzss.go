@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // Compression format parameters. Stolikj et al. (the paper's source
@@ -169,6 +170,12 @@ type Decoder struct {
 
 	window [windowSize]byte
 	wpos   int
+
+	// scratch is the reusable output buffer handed to emit callbacks. It
+	// is pure working memory — never part of a checkpoint — so reusing
+	// it across Feed calls removes the per-call allocation without
+	// touching the serialized state format.
+	scratch []byte
 }
 
 // NewDecoder returns a decoder ready to receive the stream header.
@@ -188,11 +195,30 @@ func (d *Decoder) DecodedLength() int {
 // Done reports whether the full declared output has been produced.
 func (d *Decoder) Done() bool { return d.state == stateDone }
 
+// emitFlushThreshold bounds the decoded bytes accumulated between emit
+// calls, capping the retained scratch buffer even for one-shot Feeds of
+// highly compressed streams.
+const emitFlushThreshold = 32 * 1024
+
 // Feed consumes chunk, invoking emit zero or more times with decoded
 // bytes. The slice passed to emit is only valid for the duration of the
 // call. Feeding data after Done returns ErrTrailing.
-func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
-	out := make([]byte, 0, 2*len(chunk))
+//
+// The hot path is batched: literal runs are copied with copy() straight
+// from the input chunk, and window matches are replayed in dist-sized
+// copy() chunks (a single fill for the distance-1 runs that dominate
+// bsdiff zero blocks) instead of pushing one byte per state-machine
+// step. Every state transition mirrors the retained ReferenceDecoder
+// exactly, so checkpoints taken at any input split point serialize to
+// identical bytes.
+func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) (err error) {
+	if cap(d.scratch) == 0 {
+		// One right-sized allocation instead of append-doubling toward
+		// the flush threshold.
+		d.scratch = make([]byte, 0, min(emitFlushThreshold, 2*len(chunk)+1024))
+	}
+	out := d.scratch[:0]
+	defer func() { d.scratch = out[:0] }()
 	flush := func() error {
 		if len(out) == 0 {
 			return nil
@@ -201,18 +227,13 @@ func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
 		out = out[:0]
 		return err
 	}
-	push := func(b byte) {
-		out = append(out, b)
-		d.window[d.wpos] = b
-		d.wpos = (d.wpos + 1) % windowSize
-		d.emitted++
-	}
 
-	for _, b := range chunk {
+	for i := 0; i < len(chunk); {
 		switch d.state {
 		case stateHeader:
-			d.header[d.headerN] = b
-			d.headerN++
+			n := copy(d.header[d.headerN:], chunk[i:])
+			d.headerN += n
+			i += n
 			if d.headerN == headerSize {
 				if [4]byte(d.header[:4]) != magic {
 					return fmt.Errorf("%w: magic %q", ErrBadHeader, d.header[:4])
@@ -225,34 +246,71 @@ func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
 				}
 			}
 		case stateFlags:
-			d.flags = b
+			d.flags = chunk[i]
+			i++
 			d.flagsLeft = 8
 			d.state = stateToken
 			d.pendingN = 0
 			d.isLiteral = d.flags&1 == 1
 		case stateToken:
+			if len(out) >= emitFlushThreshold {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
 			if d.isLiteral {
-				push(b)
+				// Batch the run of consecutive literal flag bits: all their
+				// bytes come straight from the input, one copy() for the run.
+				run := bits.TrailingZeros8(^d.flags)
+				run = min(run, d.flagsLeft, len(chunk)-i, d.total-d.emitted)
+				out = append(out, chunk[i:i+run]...)
+				d.writeWindow(chunk[i : i+run])
+				d.emitted += run
+				i += run
+				if d.emitted == d.total {
+					// The final literal completes the stream before its flag
+					// bit is retired — same as the per-byte machine.
+					d.flags >>= uint(run - 1)
+					d.flagsLeft -= run - 1
+					d.state = stateDone
+					if err := flush(); err != nil {
+						return err
+					}
+					continue
+				}
+				d.flags >>= uint(run)
+				d.flagsLeft -= run
+				if d.flagsLeft == 0 {
+					d.state = stateFlags
+				} else {
+					d.isLiteral = d.flags&1 == 1
+				}
+				continue
+			}
+			// Match token: two bytes, possibly split across Feed calls. The
+			// pending buffer always holds the token bytes afterwards — the
+			// checkpoint format serializes its contents.
+			if d.pendingN == 0 && len(chunk)-i >= 2 {
+				d.pending[0], d.pending[1] = chunk[i], chunk[i+1]
+				i += 2
 			} else {
-				d.pending[d.pendingN] = b
+				d.pending[d.pendingN] = chunk[i]
 				d.pendingN++
+				i++
 				if d.pendingN < 2 {
 					continue
 				}
-				dist := (int(d.pending[0])<<2 | int(d.pending[1])>>6) + 1
-				length := int(d.pending[1]&0x3F) + minMatch
-				if dist > d.emitted {
-					return fmt.Errorf("%w: match distance %d exceeds output %d", ErrCorrupt, dist, d.emitted)
-				}
-				if d.emitted+length > d.total {
-					return fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
-				}
-				start := (d.wpos - dist + windowSize*2) % windowSize
-				for k := range length {
-					push(d.window[(start+k)%windowSize])
-				}
 				d.pendingN = 0
 			}
+			dist := (int(d.pending[0])<<2 | int(d.pending[1])>>6) + 1
+			length := int(d.pending[1]&0x3F) + minMatch
+			if dist > d.emitted {
+				return fmt.Errorf("%w: match distance %d exceeds output %d", ErrCorrupt, dist, d.emitted)
+			}
+			if d.emitted+length > d.total {
+				return fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+			}
+			out = d.copyMatch(out, dist, length)
 			if d.emitted == d.total {
 				d.state = stateDone
 				if err := flush(); err != nil {
@@ -272,6 +330,57 @@ func (d *Decoder) Feed(chunk []byte, emit func([]byte) error) error {
 		}
 	}
 	return flush()
+}
+
+// writeWindow appends p (len(p) < windowSize) to the ring, wrapping at
+// most once.
+func (d *Decoder) writeWindow(p []byte) {
+	for len(p) > 0 {
+		n := copy(d.window[d.wpos:], p)
+		d.wpos += n
+		if d.wpos == windowSize {
+			d.wpos = 0
+		}
+		p = p[n:]
+	}
+}
+
+// copyMatch replays a back-reference of length bytes at distance dist
+// through the window ring and appends the produced bytes to out.
+// Overlapping matches (dist < length) are handled by bounding each
+// copy() to dist bytes, so every chunk reads only already-produced
+// positions; the dominant dist == 1 case (bsdiff zero runs) degenerates
+// to a fill of a single byte.
+func (d *Decoder) copyMatch(out []byte, dist, length int) []byte {
+	if dist == 1 {
+		b := d.window[(d.wpos-1+windowSize)%windowSize]
+		start := len(out)
+		out = append(out, make([]byte, length)...)
+		fill := out[start:]
+		for i := range fill {
+			fill[i] = b
+		}
+		d.writeWindow(fill)
+		d.emitted += length
+		return out
+	}
+	src := (d.wpos - dist + windowSize*2) % windowSize
+	for remaining := length; remaining > 0; {
+		n := min(remaining, dist, windowSize-src, windowSize-d.wpos)
+		copy(d.window[d.wpos:d.wpos+n], d.window[src:src+n])
+		out = append(out, d.window[d.wpos:d.wpos+n]...)
+		d.wpos += n
+		if d.wpos == windowSize {
+			d.wpos = 0
+		}
+		src += n
+		if src == windowSize {
+			src = 0
+		}
+		remaining -= n
+	}
+	d.emitted += length
+	return out
 }
 
 // Checkpoint serialization. The decoder's complete state is small and

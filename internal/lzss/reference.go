@@ -1,0 +1,124 @@
+package lzss
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ReferenceDecoder is the original byte-at-a-time streaming decoder,
+// retained verbatim as a correctness oracle: the batched Decoder must
+// produce the same output bytes AND the same serialized checkpoints at
+// every input split point. The equivalence tests and the decode
+// benchmarks pit the two against each other; nothing on the device hot
+// path uses this type.
+//
+// It shares the Decoder struct (and therefore the exact checkpoint
+// layout) but drives it one input byte at a time through the original
+// state machine.
+type ReferenceDecoder struct {
+	d Decoder
+}
+
+// NewReferenceDecoder returns a reference decoder ready for the header.
+func NewReferenceDecoder() *ReferenceDecoder {
+	return &ReferenceDecoder{d: Decoder{state: stateHeader}}
+}
+
+// Done reports whether the full declared output has been produced.
+func (r *ReferenceDecoder) Done() bool { return r.d.Done() }
+
+// Checkpoint serializes the decoder state with the production layout.
+func (r *ReferenceDecoder) Checkpoint() []byte { return r.d.Checkpoint() }
+
+// Restore overwrites the state from a Checkpoint snapshot.
+func (r *ReferenceDecoder) Restore(blob []byte) error { return r.d.Restore(blob) }
+
+// Close checks that the stream is complete.
+func (r *ReferenceDecoder) Close() error { return r.d.Close() }
+
+// Feed is the original per-byte implementation: every input byte runs
+// the full state machine and every output byte is emitted through a
+// single push helper.
+func (r *ReferenceDecoder) Feed(chunk []byte, emit func([]byte) error) error {
+	d := &r.d
+	out := make([]byte, 0, 2*len(chunk))
+	flush := func() error {
+		if len(out) == 0 {
+			return nil
+		}
+		err := emit(out)
+		out = out[:0]
+		return err
+	}
+	push := func(b byte) {
+		out = append(out, b)
+		d.window[d.wpos] = b
+		d.wpos = (d.wpos + 1) % windowSize
+		d.emitted++
+	}
+
+	for _, b := range chunk {
+		switch d.state {
+		case stateHeader:
+			d.header[d.headerN] = b
+			d.headerN++
+			if d.headerN == headerSize {
+				if [4]byte(d.header[:4]) != magic {
+					return fmt.Errorf("%w: magic %q", ErrBadHeader, d.header[:4])
+				}
+				d.total = int(binary.BigEndian.Uint32(d.header[4:]))
+				if d.total == 0 {
+					d.state = stateDone
+				} else {
+					d.state = stateFlags
+				}
+			}
+		case stateFlags:
+			d.flags = b
+			d.flagsLeft = 8
+			d.state = stateToken
+			d.pendingN = 0
+			d.isLiteral = d.flags&1 == 1
+		case stateToken:
+			if d.isLiteral {
+				push(b)
+			} else {
+				d.pending[d.pendingN] = b
+				d.pendingN++
+				if d.pendingN < 2 {
+					continue
+				}
+				dist := (int(d.pending[0])<<2 | int(d.pending[1])>>6) + 1
+				length := int(d.pending[1]&0x3F) + minMatch
+				if dist > d.emitted {
+					return fmt.Errorf("%w: match distance %d exceeds output %d", ErrCorrupt, dist, d.emitted)
+				}
+				if d.emitted+length > d.total {
+					return fmt.Errorf("%w: match overruns declared length", ErrCorrupt)
+				}
+				start := (d.wpos - dist + windowSize*2) % windowSize
+				for k := range length {
+					push(d.window[(start+k)%windowSize])
+				}
+				d.pendingN = 0
+			}
+			if d.emitted == d.total {
+				d.state = stateDone
+				if err := flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			d.flags >>= 1
+			d.flagsLeft--
+			if d.flagsLeft == 0 {
+				d.state = stateFlags
+			} else {
+				d.isLiteral = d.flags&1 == 1
+			}
+		case stateDone:
+			return ErrTrailing
+		}
+	}
+	return flush()
+}

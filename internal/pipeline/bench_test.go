@@ -20,6 +20,35 @@ func benchImage(size int) []byte {
 	return out
 }
 
+// BenchmarkPipelineWrite measures steady-state Write calls in
+// radio-chunk sizes on differential pipelines — the per-chunk cost a
+// device pays during reception, where allocations are the enemy.
+func BenchmarkPipelineWrite(b *testing.B) {
+	old := benchImage(256 * 1024)
+	new := bytes.Clone(old)
+	copy(new[10000:], []byte("benchmark-patch-region"))
+	for i := 0; i < len(new); i += 4096 {
+		new[i] ^= 0x5A
+	}
+	payload := lzss.Encode(bsdiff.Diff(old, new))
+	const chunk = 64 // one 802.15.4 Block2 payload
+	b.SetBytes(int64(len(new)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for range b.N {
+		p := NewDifferential(bytes.NewReader(old), io.Discard, 4096)
+		for off := 0; off < len(payload); off += chunk {
+			end := min(off+chunk, len(payload))
+			if _, err := p.Write(payload[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := p.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFullPipeline64kB(b *testing.B) {
 	img := benchImage(64 * 1024)
 	b.SetBytes(int64(len(img)))

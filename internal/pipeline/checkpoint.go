@@ -29,8 +29,10 @@ type Checkpoint struct {
 // BytesIn reports the payload (wire) bytes consumed at snapshot time.
 func (c *Checkpoint) BytesIn() int { return c.bytesIn }
 
-// BytesOut reports the firmware bytes durably written at snapshot time.
-func (c *Checkpoint) BytesOut() int { return c.bytesOut }
+// DurableBytes reports the firmware bytes durably written at snapshot
+// time. Checkpoints are taken after a Sync, so this is the complete
+// output position — the offset resume hands to slot.ResumeReceive.
+func (c *Checkpoint) DurableBytes() int { return c.bytesOut }
 
 // Differential reports whether the snapshot came from a differential
 // pipeline.
@@ -125,7 +127,7 @@ func (p *Pipeline) Sync() error {
 }
 
 // Checkpoint Syncs the pipeline and returns a snapshot of its position.
-// After the call BytesOut counts every byte the sink has accepted, so
+// After the call DurableBytes counts every byte the sink has accepted, so
 // the snapshot and the sink's content are mutually consistent — the
 // invariant the reception journal depends on.
 func (p *Pipeline) Checkpoint() (*Checkpoint, error) {
@@ -153,7 +155,7 @@ func (p *Pipeline) Checkpoint() (*Checkpoint, error) {
 // was taken with (same kind, same decryption setting, and for
 // differential pipelines an old-image reader over the same base image)
 // and must not have consumed any data yet. The sink must already hold
-// the BytesOut() firmware bytes the snapshot accounts for.
+// the DurableBytes() firmware bytes the snapshot accounts for.
 func (p *Pipeline) Restore(c *Checkpoint) error {
 	if p.closed || p.bytesIn > 0 || p.n > 0 {
 		return errors.New("pipeline: Restore after data")

@@ -25,9 +25,9 @@ func splitResume(t *testing.T, build func(sink *bytes.Buffer) *Pipeline, wire []
 	if err != nil {
 		t.Fatalf("split=%d: checkpoint: %v", split, err)
 	}
-	// Checkpoint syncs: the first sink must hold exactly BytesOut bytes.
-	if sink1.Len() != cp.BytesOut() {
-		t.Fatalf("split=%d: sink has %d bytes, checkpoint says %d", split, sink1.Len(), cp.BytesOut())
+	// Checkpoint syncs: the first sink must hold exactly DurableBytes bytes.
+	if sink1.Len() != cp.DurableBytes() {
+		t.Fatalf("split=%d: sink has %d bytes, checkpoint says %d", split, sink1.Len(), cp.DurableBytes())
 	}
 	if cp.BytesIn() != split {
 		t.Fatalf("split=%d: checkpoint BytesIn = %d", split, cp.BytesIn())

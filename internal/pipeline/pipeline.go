@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"upkit/internal/bsdiff"
 	"upkit/internal/lzss"
@@ -39,6 +40,30 @@ const DefaultBufferSize = 4096
 
 // ErrClosed is returned by writes after Close.
 var ErrClosed = errors.New("pipeline: closed")
+
+// bufPool recycles sector buffers across pipelines: a fleet campaign
+// builds one pipeline per device per update, and without pooling each
+// construction pays a fresh sector-sized allocation.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getBuf returns a pooled buffer of exactly size bytes, allocating only
+// when the pool has none large enough.
+func getBuf(size int) []byte {
+	b := bufPool.Get().(*[]byte)
+	if cap(*b) >= size {
+		return (*b)[:size]
+	}
+	bufPool.Put(b)
+	return make([]byte, size)
+}
+
+// putBuf returns a buffer to the pool.
+func putBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	bufPool.Put(&b)
+}
 
 // Pipeline transforms incoming update payload bytes and writes the
 // resulting firmware image to a sink. It implements io.Writer for the
@@ -79,12 +104,13 @@ func (p *Pipeline) SetTelemetry(reg *telemetry.Registry) {
 }
 
 // NewFull builds the full-image pipeline: buffer → writer.
-// bufSize <= 0 selects DefaultBufferSize.
+// bufSize <= 0 selects DefaultBufferSize. The sector buffer comes from
+// a shared pool; Close returns it.
 func NewFull(sink io.Writer, bufSize int) *Pipeline {
 	if bufSize <= 0 {
 		bufSize = DefaultBufferSize
 	}
-	return &Pipeline{buf: make([]byte, bufSize), sink: sink}
+	return &Pipeline{buf: getBuf(bufSize), sink: sink}
 }
 
 // NewDifferential builds the differential pipeline: decompression →
@@ -120,9 +146,18 @@ func (p *Pipeline) IsEncrypted() bool { return p.crypt != nil }
 // BytesIn reports payload bytes consumed so far.
 func (p *Pipeline) BytesIn() int { return p.bytesIn }
 
-// BytesOut reports firmware bytes delivered to the sink so far
-// (buffered bytes are not yet counted).
-func (p *Pipeline) BytesOut() int { return p.bytesOut }
+// DurableBytes reports firmware bytes delivered to the sink so far —
+// the count that is safe against power loss once the sink is flash.
+// This is the number the reception journal checkpoints and the number
+// resume positions the slot writer at (always after a Sync, so the
+// buffer is empty and DurableBytes is the full output position).
+func (p *Pipeline) DurableBytes() int { return p.bytesOut }
+
+// BufferedBytes reports firmware bytes held in the sector buffer that
+// have not reached the sink yet (at most one buffer). Progress
+// telemetry wanting "bytes produced" should report DurableBytes() +
+// BufferedBytes(); resume must never trust the buffered part.
+func (p *Pipeline) BufferedBytes() int { return p.n }
 
 // Write feeds payload bytes into the pipeline.
 func (p *Pipeline) Write(data []byte) (int, error) {
@@ -159,8 +194,20 @@ func (p *Pipeline) afterDecrypt(data []byte) error {
 }
 
 // toBuffer is the buffer stage: accumulate and emit in buffer-sized
-// chunks.
+// chunks. When the buffer is empty and the input spans whole sectors,
+// those sectors bypass the copy entirely and go to the sink in a
+// single Write — flash.Program takes the multi-sector span in one
+// call, one lock acquisition instead of one per sector.
 func (p *Pipeline) toBuffer(data []byte) error {
+	if p.n == 0 && len(data) >= len(p.buf) {
+		whole := len(data) / len(p.buf) * len(p.buf)
+		if _, err := p.sink.Write(data[:whole]); err != nil {
+			return fmt.Errorf("pipeline: writer stage: %w", err)
+		}
+		p.bytesOut += whole
+		p.telOut.Add(uint64(whole))
+		data = data[whole:]
+	}
 	for len(data) > 0 {
 		n := copy(p.buf[p.n:], data)
 		p.n += n
@@ -189,12 +236,17 @@ func (p *Pipeline) flush() error {
 }
 
 // Close flushes the buffer and verifies that any compressed/patch
-// streams terminated cleanly. The pipeline must not be used afterwards.
+// streams terminated cleanly. The pipeline must not be used afterwards;
+// its sector buffer returns to the pool.
 func (p *Pipeline) Close() error {
 	if p.closed {
 		return ErrClosed
 	}
 	p.closed = true
+	defer func() {
+		putBuf(p.buf)
+		p.buf = nil
+	}()
 	if p.dec != nil {
 		if err := p.dec.Close(); err != nil {
 			return fmt.Errorf("pipeline: %w", err)

@@ -50,8 +50,8 @@ func TestFullPipelinePassesThrough(t *testing.T) {
 		if !bytes.Equal(sink.Bytes(), fw) {
 			t.Fatalf("chunk=%d: output mismatch", chunk)
 		}
-		if p.BytesIn() != len(fw) || p.BytesOut() != len(fw) {
-			t.Fatalf("chunk=%d: counters in=%d out=%d, want %d", chunk, p.BytesIn(), p.BytesOut(), len(fw))
+		if p.BytesIn() != len(fw) || p.DurableBytes() != len(fw) {
+			t.Fatalf("chunk=%d: counters in=%d out=%d, want %d", chunk, p.BytesIn(), p.DurableBytes(), len(fw))
 		}
 	}
 }
@@ -70,6 +70,71 @@ func TestBufferStageBatchesWrites(t *testing.T) {
 		if sink.writes[i] != want[i] {
 			t.Fatalf("writes = %v, want %v", sink.writes, want)
 		}
+	}
+}
+
+// TestDurableVsBufferedBytes pins the progress-reporting contract:
+// DurableBytes counts only sink-accepted bytes, BufferedBytes the
+// sector-buffer residue, and their sum is every byte produced — the
+// count progress telemetry must report so it never under-states by up
+// to a sector.
+func TestDurableVsBufferedBytes(t *testing.T) {
+	var sink countingSink
+	p := NewFull(&sink, 4096)
+	if _, err := p.Write(make([]byte, 5000)); err != nil {
+		t.Fatal(err)
+	}
+	if p.DurableBytes() != 4096 || p.BufferedBytes() != 5000-4096 {
+		t.Fatalf("durable=%d buffered=%d, want 4096/%d", p.DurableBytes(), p.BufferedBytes(), 5000-4096)
+	}
+	if p.DurableBytes()+p.BufferedBytes() != 5000 {
+		t.Fatalf("durable+buffered = %d, want 5000", p.DurableBytes()+p.BufferedBytes())
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if p.DurableBytes() != 5000 || p.BufferedBytes() != 0 {
+		t.Fatalf("after Sync: durable=%d buffered=%d, want 5000/0", p.DurableBytes(), p.BufferedBytes())
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFullSectorFastPath verifies that sector-aligned input bypasses
+// the copy: whole buffer-multiples reach the sink as one Write call.
+func TestFullSectorFastPath(t *testing.T) {
+	fw := make([]byte, 3*4096+100)
+	for i := range fw {
+		fw[i] = byte(i)
+	}
+	var sink countingSink
+	p := NewFull(&sink, 4096)
+	feedChunked(t, p, fw, len(fw)) // single Write spanning 3 sectors
+	want := []int{3 * 4096, 100}
+	if len(sink.writes) != len(want) || sink.writes[0] != want[0] || sink.writes[1] != want[1] {
+		t.Fatalf("writes = %v, want %v", sink.writes, want)
+	}
+	if !bytes.Equal(sink.Bytes(), fw) {
+		t.Fatal("output mismatch through fast path")
+	}
+	// A partially filled buffer must disable the bypass so ordering holds.
+	var sink2 countingSink
+	p2 := NewFull(&sink2, 4096)
+	if _, err := p2.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Write(make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink2.Len() != 10+8192 {
+		t.Fatalf("mixed-path output = %d bytes, want %d", sink2.Len(), 10+8192)
+	}
+	if sink2.writes[0] != 4096 {
+		t.Fatalf("first flush = %d, want full sector", sink2.writes[0])
 	}
 }
 
@@ -106,8 +171,8 @@ func TestDifferentialPipelineRebuildsImage(t *testing.T) {
 		if p.BytesIn() != len(payload) {
 			t.Fatalf("chunk=%d: BytesIn = %d, want %d", chunk, p.BytesIn(), len(payload))
 		}
-		if p.BytesOut() != len(new) {
-			t.Fatalf("chunk=%d: BytesOut = %d, want %d", chunk, p.BytesOut(), len(new))
+		if p.DurableBytes() != len(new) {
+			t.Fatalf("chunk=%d: DurableBytes = %d, want %d", chunk, p.DurableBytes(), len(new))
 		}
 	}
 }

@@ -50,6 +50,11 @@ type Options struct {
 	AppID    uint32
 	// Seed differentiates deterministic key/nonce streams per testbed.
 	Seed string
+	// PayloadSeed, when non-empty, derives the payload-encryption key
+	// and IV stream from this seed instead of Seed. Beds sharing one
+	// update server must agree on it: the server holds a single payload
+	// key, so per-bed Seed-derived keys would overwrite each other.
+	PayloadSeed string
 	// SharedVendor and SharedUpdate, when set, reuse existing servers
 	// instead of creating per-bed ones: many beds against one update
 	// server model a fleet hitting the same Internet-facing endpoint
@@ -140,11 +145,15 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 
 	var payloadKey []byte
 	if opts.Encrypted {
+		payloadSeed := opts.PayloadSeed
+		if payloadSeed == "" {
+			payloadSeed = opts.Seed
+		}
 		payloadKey = make([]byte, 16)
-		if _, err := io.ReadFull(security.NewDeterministicReader(opts.Seed+"-payload-key"), payloadKey); err != nil {
+		if _, err := io.ReadFull(security.NewDeterministicReader(payloadSeed+"-payload-key"), payloadKey); err != nil {
 			return nil, err
 		}
-		if err := update.SetPayloadEncryption(payloadKey, security.NewDeterministicReader(opts.Seed+"-iv")); err != nil {
+		if err := update.SetPayloadEncryption(payloadKey, security.NewDeterministicReader(payloadSeed+"-iv")); err != nil {
 			return nil, err
 		}
 	}
