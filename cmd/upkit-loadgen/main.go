@@ -1,25 +1,36 @@
 // Command upkit-loadgen runs the load harness: N simulated devices
 // concurrently pulling a differential update from one shared update
-// server over the in-memory transport, through the full UpKit stack
+// server. Two stacks are available: the full UpKit device stack
 // (CoAP blockwise, signature verification, LZSS + bspatch, flash,
-// reboot). It prints the campaign result as JSON.
+// reboot) and a lightweight synthetic stack for campaign-engine scale
+// runs at 100k–1M devices. It prints the campaign result as JSON.
 //
 // Usage:
 //
 //	upkit-loadgen                          # 16 devices, 32 KiB images
 //	upkit-loadgen -n 64 -p 16 -fw 128      # bigger fleet and images
+//	upkit-loadgen -n 100000 -stack sim     # engine-scale synthetic run
+//	upkit-loadgen -stages 0.01,0.1,1 -gate 0.05    # staged rollout
+//	upkit-loadgen -breaker 0.2 -checkpoint cp.json # resumable breaker run
 //	upkit-loadgen -o result.json           # write JSON to a file
 //
-// The process exits non-zero when any device fails to update, so CI
-// can gate on it directly.
+// The process exits non-zero when the campaign aborts or any device
+// unexpectedly fails, so CI can gate on it directly. With -fail > 0
+// (sim stack) the injected failures are expected and do not fail the
+// run on their own.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"strconv"
+	"strings"
 
+	"upkit/internal/fleet"
 	"upkit/internal/loadgen"
 )
 
@@ -33,33 +44,127 @@ func main() {
 func run() error {
 	cfg := loadgen.Config{}
 	flag.IntVar(&cfg.Devices, "n", 16, "number of simulated devices")
-	flag.IntVar(&cfg.FirmwareKiB, "fw", 32, "firmware image size in KiB")
-	flag.IntVar(&cfg.EditBytes, "edit", 1000, "size of the localized v1→v2 change in bytes")
-	flag.IntVar(&cfg.Parallelism, "p", 8, "concurrent device updates")
-	flag.BoolVar(&cfg.Encrypted, "encrypted", false, "enable end-to-end payload encryption")
+	flag.IntVar(&cfg.FirmwareKiB, "fw", 32, "firmware image size in KiB (full stack)")
+	flag.IntVar(&cfg.EditBytes, "edit", 1000, "size of the localized v1→v2 change in bytes (full stack)")
+	flag.IntVar(&cfg.Parallelism, "p", 8, "concurrent device updates (campaign worker count)")
+	flag.IntVar(&cfg.Shards, "shards", 0, "campaign scheduling lanes (0 = max(8, 2×parallelism))")
+	flag.StringVar(&cfg.Stack, "stack", loadgen.StackFull, "device stack: full or sim")
+	flag.Float64Var(&cfg.FailRate, "fail", 0, "fraction of sim devices that fail every attempt")
+	flag.DurationVar(&cfg.SimLatency, "sim-latency", 0, "simulated per-attempt service time (sim stack)")
+	stages := flag.String("stages", "", "comma-separated cumulative rollout fractions, e.g. 0.01,0.1,1")
+	flag.Float64Var(&cfg.MaxFailureRate, "gate", 0, "max stage failure rate before aborting the rollout")
+	flag.Float64Var(&cfg.BreakerFailureRate, "breaker", 0, "mid-wave circuit-breaker failure rate (0 disables)")
+	flag.IntVar(&cfg.BreakerMinSample, "breaker-min", 0, "breaker minimum completed-device sample (0 = default)")
+	flag.IntVar(&cfg.MaxRetries, "retries", 0, "extra attempts per device after a failure (0 = 1, negative = none)")
+	flag.BoolVar(&cfg.Encrypted, "encrypted", false, "enable end-to-end payload encryption (full stack)")
 	flag.StringVar(&cfg.Seed, "seed", "loadgen", "deterministic seed")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: resumed from if present, written on abort")
 	out := flag.String("o", "-", "output path for the JSON result (- for stdout)")
 	flag.Parse()
 
-	res, err := loadgen.Run(cfg)
+	var err error
+	if cfg.Stages, err = parseStages(*stages); err != nil {
+		return err
+	}
+
+	f, err := loadgen.Build(cfg)
 	if err != nil {
 		return err
 	}
+	cp, err := loadCheckpoint(*checkpoint)
+	if err != nil {
+		return err
+	}
+	res, runErr := f.CampaignFrom(cp)
+	if res == nil {
+		return runErr
+	}
+	if err := writeResult(res, *out); err != nil {
+		return err
+	}
+	if runErr != nil {
+		if *checkpoint != "" && res.Checkpoint != nil {
+			blob, err := res.Checkpoint.Marshal()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*checkpoint, blob, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "upkit-loadgen: resume state written to", *checkpoint)
+		}
+		return runErr
+	}
+	if *checkpoint != "" {
+		// A completed run invalidates any previous resume state.
+		if err := os.Remove(*checkpoint); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+	}
+	// Injected sim failures — and terminal failures carried over from a
+	// resumed checkpoint — are the workload, not a harness defect; any
+	// other shortfall fails the run.
+	expectedFailures := 0
+	if cfg.FailRate > 0 {
+		expectedFailures = res.Failed
+	} else if cp != nil {
+		expectedFailures = min(cp.Failed, res.Failed)
+	}
+	if res.Updated+expectedFailures != res.Devices {
+		return fmt.Errorf("%d of %d devices failed to update: %v",
+			res.Devices-res.Updated, res.Devices, res.Errors)
+	}
+	return nil
+}
+
+// parseStages decodes "-stages 0.01,0.1,1" into cumulative fractions.
+func parseStages(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	stages := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -stages value %q: %w", p, err)
+		}
+		stages = append(stages, v)
+	}
+	return stages, nil
+}
+
+// loadCheckpoint reads resume state from path; a missing or empty path
+// starts fresh.
+func loadCheckpoint(path string) (*fleet.Checkpoint, error) {
+	if path == "" {
+		return nil, nil
+	}
+	blob, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	cp, err := fleet.ParseCheckpoint(blob)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "upkit-loadgen: resuming from %s (stage %d, %d updated, %d failed)\n",
+		path, cp.Stage, cp.Updated, cp.Failed)
+	return cp, nil
+}
+
+func writeResult(res *loadgen.Result, out string) error {
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
 	}
 	blob = append(blob, '\n')
-	if *out == "-" {
-		if _, err := os.Stdout.Write(blob); err != nil {
-			return err
-		}
-	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if out == "-" {
+		_, err := os.Stdout.Write(blob)
 		return err
 	}
-	if res.Updated != res.Devices {
-		return fmt.Errorf("%d of %d devices failed to update: %v",
-			res.Devices-res.Updated, res.Devices, res.Errors)
-	}
-	return nil
+	return os.WriteFile(out, blob, 0o644)
 }

@@ -35,3 +35,54 @@ func TestRunWritesResultFile(t *testing.T) {
 		t.Fatalf("devices/updated = %d/%d, want 3/3", res.Devices, res.Updated)
 	}
 }
+
+func TestRunSimStackAtScale(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "result.json")
+	resetFlags("-n", "10000", "-p", "16", "-shards", "64", "-stack", "sim", "-o", out)
+	if err := run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Updated       int `json:"updated"`
+		MaxGoroutines int `json:"max_goroutines"`
+	}
+	if err := json.Unmarshal(blob, &res); err != nil {
+		t.Fatalf("result is not JSON: %v", err)
+	}
+	if res.Updated != 10000 {
+		t.Fatalf("updated = %d, want 10000", res.Updated)
+	}
+	if res.MaxGoroutines == 0 || res.MaxGoroutines > 200 {
+		t.Fatalf("max goroutines = %d, want small and measured", res.MaxGoroutines)
+	}
+}
+
+// TestRunBreakerCheckpointCycle drives the operator flow end to end:
+// first run aborts on the breaker and writes resume state; the second
+// run (failures fixed) resumes it and deletes the file on completion.
+func TestRunBreakerCheckpointCycle(t *testing.T) {
+	dir := t.TempDir()
+	cp := filepath.Join(dir, "cp.json")
+	resetFlags("-n", "1000", "-p", "4", "-stack", "sim", "-fail", "1",
+		"-retries", "-1", "-breaker", "0.5", "-breaker-min", "20",
+		"-checkpoint", cp, "-o", filepath.Join(dir, "r1.json"))
+	if err := run(); err == nil {
+		t.Fatal("breaker run returned nil error")
+	}
+	if _, err := os.Stat(cp); err != nil {
+		t.Fatalf("no resume state written: %v", err)
+	}
+
+	resetFlags("-n", "1000", "-p", "4", "-stack", "sim",
+		"-checkpoint", cp, "-o", filepath.Join(dir, "r2.json"))
+	if err := run(); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if _, err := os.Stat(cp); !os.IsNotExist(err) {
+		t.Fatalf("completed run left resume state behind (err=%v)", err)
+	}
+}

@@ -4,9 +4,10 @@
 //
 // The fleet mixes the paper's three hardware platforms, both slot
 // configurations, differential and full updates, and one device with a
-// degraded radio. The campaign updates a canary wave first; only when
-// the canaries pass does the rollout reach the rest of the fleet, with
-// per-device retries absorbing the lossy link.
+// degraded radio. The campaign rolls out in stages — a canary wave,
+// then a broader wave, then the rest — promoting between stages only
+// while the failure gate holds, with a circuit breaker armed mid-wave
+// and per-device retries absorbing the lossy link.
 //
 // Run with: go run ./examples/fleet
 package main
@@ -51,8 +52,12 @@ func main() {
 			upkit.DeploymentOptions{MCU: &nrf, Mode: upkit.BootAB, Differential: true, DeviceID: 0x1001}, 0},
 		{"sensor-02 (nRF52840, static)",
 			upkit.DeploymentOptions{MCU: &nrf, Mode: upkit.BootStatic, DeviceID: 0x1002}, 0},
+		// 88 KiB is the largest sector-aligned slot A that still fits the
+		// CC2650's 128 KiB internal flash next to the bootloader, swap
+		// scratch, and the two reception-journal sectors; slot B spills
+		// to the external SPI NOR.
 		{"valve-07  (CC2650, ext flash)",
-			upkit.DeploymentOptions{MCU: &cc2650, Mode: upkit.BootStatic, SlotBytes: 96 * 1024, DeviceID: 0x1003}, 0},
+			upkit.DeploymentOptions{MCU: &cc2650, Mode: upkit.BootStatic, SlotBytes: 88 * 1024, DeviceID: 0x1003}, 0},
 		{"meter-12  (CC2538, diff)",
 			upkit.DeploymentOptions{MCU: &cc2538, Mode: upkit.BootStatic, SlotBytes: 96 * 1024, Differential: true, DeviceID: 0x1004}, 0},
 		{"meter-13  (CC2538, lossy radio)",
@@ -81,10 +86,11 @@ func main() {
 		updaters[i] = nodes[i]
 	}
 
-	fmt.Printf("campaign: v1 -> v2 across %d devices (canary first, retries on)\n\n", len(nodes))
+	fmt.Printf("campaign: v1 -> v2 across %d devices (staged 20%% -> 60%% -> 100%%, retries on)\n\n", len(nodes))
 	campaign, err := upkit.NewCampaign(2, upkit.CampaignPolicy{
-		CanaryFraction:       0.2,
+		Stages:               []float64{0.2, 0.6, 1},
 		MaxCanaryFailureRate: 0,
+		BreakerFailureRate:   0.5,
 		MaxRetries:           2,
 		Parallelism:          2,
 	}, updaters)

@@ -1,0 +1,146 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+)
+
+// Checkpoint is a campaign's serializable progress: which stage is in
+// flight, the completed prefix of every shard lane, and the cumulative
+// outcome counters. It is sized O(shards), independent of fleet size.
+//
+// The scheduler guarantees the cursors are exact: each shard lane has
+// at most one device in flight and its cursor advances only after that
+// device reaches a terminal state, so a checkpoint taken after an
+// interrupted run never skips a device and never re-updates a completed
+// one. Devices the interrupted run marked StatusSkipped are *not*
+// recorded as done — a resume re-schedules them.
+type Checkpoint struct {
+	// Target, Devices, Shards and Bounds identify the campaign shape;
+	// Restore rejects a checkpoint whose shape disagrees with the
+	// campaign it is applied to.
+	Target  uint16 `json:"target"`
+	Devices int    `json:"devices"`
+	Shards  int    `json:"shards"`
+	Bounds  []int  `json:"stage_bounds"`
+	// Stage is the index of the stage in progress; len(Bounds) when the
+	// campaign completed.
+	Stage int `json:"stage"`
+	// Cursors is the completed-device prefix of each shard lane within
+	// the in-progress stage; absent when no stage is mid-flight.
+	Cursors []int `json:"cursors,omitempty"`
+	// Updated and Failed are cumulative terminal outcomes across the
+	// whole campaign so far (skipped devices are re-scheduled, not
+	// counted).
+	Updated int `json:"updated"`
+	Failed  int `json:"failed"`
+	// StageDone and StageFailed are the in-progress stage's tallies,
+	// seeding the stage-boundary gate on resume.
+	StageDone   int `json:"stage_done"`
+	StageFailed int `json:"stage_failed"`
+	// Complete marks a campaign that ran to the end; resuming it is a
+	// no-op that reports the recorded counters.
+	Complete bool `json:"complete"`
+}
+
+// Marshal renders the checkpoint as JSON.
+func (cp *Checkpoint) Marshal() ([]byte, error) {
+	return json.MarshalIndent(cp, "", "  ")
+}
+
+// ParseCheckpoint decodes a checkpoint produced by Marshal.
+func ParseCheckpoint(blob []byte) (*Checkpoint, error) {
+	cp := &Checkpoint{}
+	if err := json.Unmarshal(blob, cp); err != nil {
+		return nil, fmt.Errorf("fleet: parse checkpoint: %w", err)
+	}
+	return cp, nil
+}
+
+func (cp *Checkpoint) clone() *Checkpoint {
+	out := *cp
+	out.Bounds = slices.Clone(cp.Bounds)
+	out.Cursors = slices.Clone(cp.Cursors)
+	return &out
+}
+
+// Checkpoint snapshots the campaign state after the most recent
+// RunContext. It returns nil before any run. The snapshot is a deep
+// copy: callers may serialize or mutate it freely.
+func (c *Campaign) Checkpoint() *Checkpoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		return nil
+	}
+	return c.last.clone()
+}
+
+// Restore arms the campaign to resume from cp: completed stages and
+// shard-cursor prefixes are not re-run, and cp's outcome counters seed
+// the next report so it still covers every device. The checkpoint must
+// come from a campaign with the same target, fleet size, shard count
+// and stage boundaries.
+func (c *Campaign) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("fleet: nil checkpoint")
+	}
+	if cp.Target != c.target {
+		return fmt.Errorf("fleet: checkpoint targets v%d, campaign targets v%d", cp.Target, c.target)
+	}
+	if cp.Devices != len(c.devices) {
+		return fmt.Errorf("fleet: checkpoint covers %d devices, campaign has %d", cp.Devices, len(c.devices))
+	}
+	if cp.Shards != c.shards {
+		return fmt.Errorf("fleet: checkpoint has %d shards, campaign has %d", cp.Shards, c.shards)
+	}
+	if !slices.Equal(cp.Bounds, c.bounds) {
+		return fmt.Errorf("fleet: checkpoint stage bounds %v differ from campaign bounds %v", cp.Bounds, c.bounds)
+	}
+	if cp.Stage < 0 || cp.Stage > len(c.bounds) {
+		return fmt.Errorf("fleet: checkpoint stage %d out of range", cp.Stage)
+	}
+	if cp.Complete || cp.Stage == len(c.bounds) {
+		cp = cp.clone()
+		cp.Stage = len(c.bounds)
+		cp.Cursors = nil
+		cp.Complete = true
+		c.mu.Lock()
+		c.resume = cp
+		c.mu.Unlock()
+		return nil
+	}
+	if cp.Cursors != nil && len(cp.Cursors) != c.shards {
+		return fmt.Errorf("fleet: checkpoint has %d cursors, campaign has %d shards", len(cp.Cursors), c.shards)
+	}
+	c.mu.Lock()
+	c.resume = cp.clone()
+	c.mu.Unlock()
+	return nil
+}
+
+// saveState records the post-run checkpoint.
+func (c *Campaign) saveState(stage int, st *stageState, agg *aggregator, complete bool) {
+	cp := &Checkpoint{
+		Target:   c.target,
+		Devices:  len(c.devices),
+		Shards:   c.shards,
+		Bounds:   slices.Clone(c.bounds),
+		Stage:    stage,
+		Updated:  int(agg.updated.Load()),
+		Failed:   int(agg.failed.Load()),
+		Complete: complete,
+	}
+	if st != nil {
+		cp.Cursors = make([]int, len(st.lanes))
+		for s := range st.lanes {
+			cp.Cursors[s] = st.lanes[s].next
+		}
+		cp.StageDone = int(st.done.Load())
+		cp.StageFailed = int(st.failed.Load())
+	}
+	c.mu.Lock()
+	c.last = cp
+	c.mu.Unlock()
+}

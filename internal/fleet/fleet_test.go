@@ -67,8 +67,8 @@ func checkCounts(t *testing.T, report *Report, updated, failed, skipped, pending
 		t.Fatalf("counts = %d/%d/%d/%d, want %d/%d/%d/%d\n%s",
 			u, f, s, p, updated, failed, skipped, pending, report.Render())
 	}
-	if u+f+s+p != len(report.Results) {
-		t.Fatalf("counts %d+%d+%d+%d != %d devices", u, f, s, p, len(report.Results))
+	if u+f+s+p != report.Devices {
+		t.Fatalf("counts %d+%d+%d+%d != %d devices", u, f, s, p, report.Devices)
 	}
 }
 

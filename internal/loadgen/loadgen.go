@@ -1,17 +1,26 @@
-// Package loadgen is the repo's load harness: it drives N fully
-// simulated devices through a concurrent differential pull campaign
-// against one shared update server, entirely over the in-memory
-// transport. Every device runs the real stack — CoAP blockwise
-// transfer, signature verification, LZSS decode, bspatch, flash
-// programming, reboot — so campaign throughput measures the code the
-// paper's Table IV and Fig. 8 evaluate, not a mock.
+// Package loadgen is the repo's load harness: it drives N simulated
+// devices through a concurrent differential pull campaign against one
+// shared update server. Two device stacks are available:
 //
-// The harness backs both the upkit-loadgen command and
-// BenchmarkPullCampaign; its JSON result feeds BENCH_5.json.
+//   - StackFull (default): every device runs the real stack — CoAP
+//     blockwise transfer, signature verification, LZSS decode, bspatch,
+//     flash programming, reboot — over the in-memory transport, so
+//     campaign throughput measures the code the paper's Table IV and
+//     Fig. 8 evaluate, not a mock.
+//   - StackSim: a lightweight synthetic device (no crypto, no
+//     transport, no flash) that exists to scale the *campaign engine*
+//     itself to 100k–1M devices and measure scheduler throughput,
+//     goroutine discipline, and report memory.
+//
+// The harness backs both the upkit-loadgen command and the campaign
+// benchmarks; its JSON result feeds the BENCH_*.json trajectory.
 package loadgen
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"upkit/internal/fleet"
@@ -22,20 +31,57 @@ import (
 	"upkit/internal/vendorserver"
 )
 
+// Device stack selectors for Config.Stack.
+const (
+	// StackFull runs the complete per-device UpKit stack.
+	StackFull = "full"
+	// StackSim runs lightweight synthetic devices for engine-scale runs.
+	StackSim = "sim"
+)
+
 // Config sizes a load run.
 type Config struct {
 	// Devices is the fleet size; default 16.
 	Devices int
 	// FirmwareKiB is the image size per device; default 32 (the paper's
-	// application-scale image).
+	// application-scale image). Ignored by StackSim.
 	FirmwareKiB int
 	// EditBytes is the size of the localized v1→v2 change, selecting
 	// the differential payload size; default 1000 (Fig. 8b's
-	// application-change workload).
+	// application-change workload). Ignored by StackSim.
 	EditBytes int
-	// Parallelism bounds concurrent device updates; default 8.
+	// Parallelism bounds concurrent device updates; default 8. This is
+	// the campaign's exact worker count — fleet size never adds
+	// goroutines.
 	Parallelism int
-	// Encrypted turns on end-to-end payload encryption.
+	// Shards is the number of campaign scheduling lanes; 0 keeps the
+	// fleet default (max(8, 2×Parallelism)).
+	Shards int
+	// Stack selects the device implementation: StackFull (default) or
+	// StackSim.
+	Stack string
+	// FailRate, for StackSim, is the fraction of devices that fail
+	// every update attempt (spread deterministically across the fleet).
+	FailRate float64
+	// SimLatency, for StackSim, is the simulated per-attempt service
+	// time; 0 completes attempts immediately.
+	SimLatency time.Duration
+	// Stages lists cumulative rollout fractions (see
+	// fleet.Policy.Stages); empty runs one full-fleet wave.
+	Stages []float64
+	// MaxFailureRate gates stage promotion between Stages.
+	MaxFailureRate float64
+	// BreakerFailureRate arms the mid-wave circuit breaker (see
+	// fleet.Policy.BreakerFailureRate); 0 disables it.
+	BreakerFailureRate float64
+	// BreakerMinSample is the breaker's minimum completed-device sample.
+	BreakerMinSample int
+	// MaxRetries is extra attempts per device after a failure; 0 means
+	// 1 (the harness default), negative means none.
+	MaxRetries int
+	// MaxErrors bounds Result.Errors; 0 means 16, negative disables.
+	MaxErrors int
+	// Encrypted turns on end-to-end payload encryption (StackFull).
 	Encrypted bool
 	// Seed differentiates deterministic key/nonce streams; default
 	// "loadgen".
@@ -55,6 +101,17 @@ func (c *Config) applyDefaults() {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 8
 	}
+	if c.Stack == "" {
+		c.Stack = StackFull
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 1
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.MaxErrors == 0 {
+		c.MaxErrors = 16
+	}
 	if c.Seed == "" {
 		c.Seed = "loadgen"
 	}
@@ -62,32 +119,62 @@ func (c *Config) applyDefaults() {
 
 // Result is one campaign's outcome, shaped for JSON output.
 type Result struct {
-	Devices     int  `json:"devices"`
-	Parallelism int  `json:"parallelism"`
-	Encrypted   bool `json:"encrypted"`
+	Devices     int    `json:"devices"`
+	Parallelism int    `json:"parallelism"`
+	Shards      int    `json:"shards"`
+	Stack       string `json:"stack"`
+	Encrypted   bool   `json:"encrypted"`
 
 	Updated int `json:"updated"`
 	Failed  int `json:"failed"`
 	Skipped int `json:"skipped"`
 	Pending int `json:"pending"`
 
+	// Aborted marks a campaign halted by a stage gate, the circuit
+	// breaker, or cancellation; AbortReason says which. The counts
+	// above still cover the whole fleet.
+	Aborted     bool   `json:"aborted"`
+	AbortReason string `json:"abort_reason,omitempty"`
+
 	FirmwareBytes int `json:"firmware_bytes_per_device"`
 
 	// WallSeconds is the end-to-end campaign duration (fleet setup
 	// excluded).
-	WallSeconds      float64 `json:"wall_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// DevicesPerSecond is terminally-completed devices (updated+failed)
+	// per wall second — the campaign-engine throughput figure.
 	DevicesPerSecond float64 `json:"devices_per_second"`
 	// FirmwareMBps is installed firmware bytes per wall second across
-	// the fleet — the campaign-level throughput figure.
+	// the fleet — the full-stack throughput figure (0 for StackSim).
 	FirmwareMBps float64 `json:"firmware_mbps"`
 
-	// Patch-cache behaviour on the shared server: a healthy campaign
-	// over one version pair computes exactly one diff.
+	// MaxGoroutines is the peak goroutine count sampled during the
+	// campaign: with the sharded worker-pool scheduler it stays at
+	// Parallelism + O(shards) regardless of fleet size.
+	MaxGoroutines int `json:"max_goroutines"`
+	// PeakRSSBytes is the process's high-water resident set (VmHWM)
+	// after the campaign, 0 where unavailable. One-shot runs (the
+	// upkit-loadgen command) make this the campaign's memory figure.
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+	// HeapAllocBytes is Go heap in use at campaign end.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+
+	// Patch-cache behaviour on the shared server: a healthy full-stack
+	// campaign over one version pair computes exactly one diff.
 	DiffComputations uint64 `json:"diff_computations"`
 	DiffCacheHits    uint64 `json:"diff_cache_hits"`
 	DiffCacheWaits   uint64 `json:"diff_cache_waits"`
 
-	Errors []string `json:"errors,omitempty"`
+	// Errors samples the first MaxErrors device errors;
+	// ErrorsTruncated counts failures beyond the sample, keeping the
+	// result O(1) in fleet size even when every device fails.
+	Errors          []string `json:"errors,omitempty"`
+	ErrorsTruncated int      `json:"errors_truncated,omitempty"`
+
+	// Checkpoint carries the campaign's resume state when the run
+	// aborted; feed it back via Fleet.CampaignFrom (or the
+	// upkit-loadgen -checkpoint flag) to continue where it stopped.
+	Checkpoint *fleet.Checkpoint `json:"checkpoint,omitempty"`
 }
 
 // Fleet is a built, not-yet-campaigned load fleet. Each fleet is
@@ -114,83 +201,183 @@ func (u *bedUpdater) TryUpdate() (uint16, error) {
 	return res.Version, nil
 }
 
-// Build wires cfg.Devices simulated devices against one shared vendor
-// and update server, all on v1 with a differential v2 published.
+// Build wires cfg.Devices simulated devices all on v1 with a
+// differential v2 published. Full-stack beds share one vendor and one
+// update server and are built in parallel across CPUs; v2 is published
+// only after every bed is provisioned — publishing it mid-build let
+// later beds factory-provision at v2 and turned most of the campaign
+// into a no-op (the bug that inflated earlier BENCH numbers).
 func Build(cfg Config) (*Fleet, error) {
 	cfg.applyDefaults()
+	switch cfg.Stack {
+	case StackSim:
+		return buildSim(cfg)
+	case StackFull:
+		// built below
+	default:
+		return nil, fmt.Errorf("loadgen: unknown stack %q", cfg.Stack)
+	}
 	suite, err := security.SuiteByName("tinycrypt", nil)
 	if err != nil {
 		return nil, err
 	}
 	vendor := vendorserver.New(suite, security.MustGenerateKey(cfg.Seed+"-vendor"))
 	update := updateserver.New(suite, security.MustGenerateKey(cfg.Seed+"-server"))
+	vendor.SetTelemetry(update.Telemetry())
 
 	v1 := testbed.MakeFirmware(cfg.Seed+"-v1", cfg.FirmwareKiB*1024)
 	v2 := testbed.DeriveAppChange(v1, cfg.EditBytes)
 
 	f := &Fleet{cfg: cfg, update: update, updaters: make([]fleet.Updater, cfg.Devices)}
-	for i := range f.updaters {
-		id := uint32(0xB000 + i)
-		bed, err := testbed.New(testbed.Options{
-			Approach:     platform.Pull,
-			Differential: true,
-			Encrypted:    cfg.Encrypted,
-			PayloadSeed:  cfg.Seed,
-			DeviceID:     id,
-			Seed:         fmt.Sprintf("%s-%d", cfg.Seed, i),
-			SharedVendor: vendor,
-			SharedUpdate: update,
-		}, v1)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: device %d: %w", i, err)
-		}
-		if i == 0 {
-			if err := bed.PublishVersion(2, v2); err != nil {
-				return nil, fmt.Errorf("loadgen: publish v2: %w", err)
+	workers := min(max(runtime.GOMAXPROCS(0), 1), cfg.Devices)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < cfg.Devices; i += workers {
+				id := uint32(0xB000 + i)
+				bed, err := testbed.New(testbed.Options{
+					Approach:     platform.Pull,
+					Differential: true,
+					Encrypted:    cfg.Encrypted,
+					PayloadSeed:  cfg.Seed,
+					DeviceID:     id,
+					Seed:         fmt.Sprintf("%s-%d", cfg.Seed, i),
+					SharedVendor: vendor,
+					SharedUpdate: update,
+				}, v1)
+				if err != nil {
+					errs[w] = fmt.Errorf("loadgen: device %d: %w", i, err)
+					return
+				}
+				f.updaters[i] = &bedUpdater{bed: bed, id: id}
 			}
-		}
-		f.updaters[i] = &bedUpdater{bed: bed, id: id}
+		}(w)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if err := f.updaters[0].(*bedUpdater).bed.PublishVersion(2, v2); err != nil {
+		return nil, fmt.Errorf("loadgen: publish v2: %w", err)
 	}
 	return f, nil
 }
 
+// policy translates the harness config into a campaign policy.
+func (f *Fleet) policy(maxG *goroutinePeak) fleet.Policy {
+	return fleet.Policy{
+		Parallelism:          f.cfg.Parallelism,
+		Shards:               f.cfg.Shards,
+		Stages:               f.cfg.Stages,
+		MaxCanaryFailureRate: f.cfg.MaxFailureRate,
+		BreakerFailureRate:   f.cfg.BreakerFailureRate,
+		BreakerMinSample:     f.cfg.BreakerMinSample,
+		MaxRetries:           f.cfg.MaxRetries,
+		MaxErrors:            f.cfg.MaxErrors,
+		// The report's bounded samples carry everything the harness
+		// needs; per-device records would be O(fleet).
+		MaxResults: -1,
+		OnResult:   maxG.sample,
+	}
+}
+
 // Campaign rolls the fleet to v2 and reports throughput. A device
 // failure is recorded in the result, not returned as an error — the
-// caller decides whether a partial campaign is fatal.
+// caller decides whether a partial campaign is fatal. When the
+// campaign aborts (stage gate, circuit breaker, cancellation) the
+// partial Result is returned *alongside* the error, with Aborted set
+// and a resume Checkpoint attached, so operators see exactly what the
+// gate saw instead of losing the whole report.
 func (f *Fleet) Campaign() (*Result, error) {
-	c, err := fleet.New(2, fleet.Policy{Parallelism: f.cfg.Parallelism, MaxRetries: 1}, f.updaters)
+	return f.CampaignFrom(nil)
+}
+
+// CampaignFrom is Campaign resuming from a previously returned
+// checkpoint; nil starts fresh.
+func (f *Fleet) CampaignFrom(cp *fleet.Checkpoint) (*Result, error) {
+	maxG := &goroutinePeak{}
+	c, err := fleet.New(2, f.policy(maxG), f.updaters)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	report, err := c.Run()
-	wall := time.Since(start)
-	if err != nil {
-		return nil, fmt.Errorf("loadgen: campaign: %w", err)
+	if cp != nil {
+		if err := c.Restore(cp); err != nil {
+			return nil, err
+		}
 	}
+	start := time.Now()
+	report, runErr := c.Run()
+	wall := time.Since(start)
 
 	res := &Result{
-		Devices:       f.cfg.Devices,
-		Parallelism:   f.cfg.Parallelism,
-		Encrypted:     f.cfg.Encrypted,
-		FirmwareBytes: f.cfg.FirmwareKiB * 1024,
-		WallSeconds:   wall.Seconds(),
+		Devices:     f.cfg.Devices,
+		Parallelism: f.cfg.Parallelism,
+		Shards:      f.cfg.Shards,
+		Stack:       f.cfg.Stack,
+		Encrypted:   f.cfg.Encrypted,
+		WallSeconds: wall.Seconds(),
+	}
+	if f.cfg.Stack == StackFull {
+		res.FirmwareBytes = f.cfg.FirmwareKiB * 1024
 	}
 	res.Updated, res.Failed, res.Skipped, res.Pending = report.Counts()
 	if wall > 0 {
-		res.DevicesPerSecond = float64(res.Updated) / wall.Seconds()
+		res.DevicesPerSecond = float64(res.Updated+res.Failed) / wall.Seconds()
 		res.FirmwareMBps = float64(res.Updated*res.FirmwareBytes) / 1e6 / wall.Seconds()
 	}
-	st := f.update.Stats()
-	res.DiffComputations = st.Computations
-	res.DiffCacheHits = st.Hits
-	res.DiffCacheWaits = st.Waits
-	for _, r := range report.Results {
-		if r.Err != nil {
-			res.Errors = append(res.Errors, fmt.Sprintf("device %#x: %v", r.DeviceID, r.Err))
-		}
+	res.MaxGoroutines = maxG.peak()
+	res.PeakRSSBytes = peakRSSBytes()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	res.HeapAllocBytes = mem.HeapAlloc
+	if f.update != nil {
+		st := f.update.Stats()
+		res.DiffComputations = st.Computations
+		res.DiffCacheHits = st.Hits
+		res.DiffCacheWaits = st.Waits
+	}
+	for _, e := range report.Errors {
+		res.Errors = append(res.Errors, fmt.Sprintf("device %#x: %v", e.DeviceID, e.Err))
+	}
+	res.ErrorsTruncated = report.ErrorsTruncated
+	if runErr != nil {
+		res.Aborted = true
+		res.AbortReason = report.AbortReason
+		res.Checkpoint = c.Checkpoint()
+		return res, fmt.Errorf("loadgen: campaign: %w", runErr)
 	}
 	return res, nil
+}
+
+// goroutinePeak samples the process goroutine count as campaign
+// results stream by, recording the high-water mark.
+type goroutinePeak struct {
+	mu   sync.Mutex
+	seen int
+	max  int
+}
+
+func (g *goroutinePeak) sample(fleet.Result) {
+	g.mu.Lock()
+	g.seen++
+	// Every completion early on (to catch the pool spinning up), then
+	// every 64th so megafleet runs don't spend their time counting
+	// goroutines.
+	if g.seen <= 64 || g.seen%64 == 0 {
+		if n := runtime.NumGoroutine(); n > g.max {
+			g.max = n
+		}
+	}
+	g.mu.Unlock()
+}
+
+func (g *goroutinePeak) peak() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
 }
 
 // Run builds a fleet and campaigns it — the one-call entry point the

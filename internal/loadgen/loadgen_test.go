@@ -22,6 +22,13 @@ func TestRunSmallFleet(t *testing.T) {
 	if res.DiffComputations != 1 {
 		t.Fatalf("diff computations = %d, want 1", res.DiffComputations)
 	}
+	// Every device beyond the first must have actually pulled the patch
+	// (cache hit, or a wait piggybacking on the in-flight computation):
+	// devices used to be factory-provisioned at v2 and the campaign was
+	// a no-op for them.
+	if got := res.DiffCacheHits + res.DiffCacheWaits; got < uint64(res.Devices-1) {
+		t.Fatalf("diff cache hits+waits = %d, want >= %d (every device pulls)", got, res.Devices-1)
+	}
 	if res.WallSeconds <= 0 || res.FirmwareMBps <= 0 {
 		t.Fatalf("throughput not measured: wall=%f mbps=%f", res.WallSeconds, res.FirmwareMBps)
 	}
@@ -52,6 +59,23 @@ func TestRunEncryptedFleet(t *testing.T) {
 	}
 	if !res.Encrypted {
 		t.Fatal("result does not record encryption")
+	}
+}
+
+// TestBuildProvisionsEveryDeviceOnV1 pins the provisioning bugfix:
+// v2 must not be published until every bed is built, otherwise
+// PrepareUpdate serves v2 to later beds' factory provisioning and the
+// campaign is a no-op for all devices but the first (which is exactly
+// what inflated the original BENCH_5 campaign numbers).
+func TestBuildProvisionsEveryDeviceOnV1(t *testing.T) {
+	f, err := Build(Config{Devices: 6, FirmwareKiB: 16, Seed: "loadgen-prov"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range f.updaters {
+		if v := u.Version(); v != 1 {
+			t.Fatalf("device %d factory-provisioned at v%d, want v1", i, v)
+		}
 	}
 }
 

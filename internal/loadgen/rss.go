@@ -1,0 +1,37 @@
+package loadgen
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// peakRSSBytes reads the process's high-water resident set size
+// (VmHWM) from /proc/self/status. It returns 0 on platforms without
+// procfs — the field is a best-effort scale metric, not a correctness
+// input.
+func peakRSSBytes() int64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line) // "VmHWM:  123456 kB"
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}

@@ -1,0 +1,197 @@
+package loadgen
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"upkit/internal/fleet"
+)
+
+// TestSimCampaign100kBoundedGoroutines is the engine-scale acceptance
+// test: a 100k-device campaign must complete with the goroutine count
+// bounded by Parallelism + O(shards), not by fleet size, and with a
+// report that is O(1) in fleet size (bounded error sample, counters
+// only).
+func TestSimCampaign100kBoundedGoroutines(t *testing.T) {
+	const (
+		n           = 100_000
+		parallelism = 16
+		shards      = 64
+	)
+	base := runtime.NumGoroutine()
+	f, err := Build(Config{Devices: n, Stack: StackSim, Parallelism: parallelism, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Campaign()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if res.Updated != n {
+		t.Fatalf("updated = %d, want %d", res.Updated, n)
+	}
+	limit := base + parallelism + shards + 10
+	if res.MaxGoroutines == 0 || res.MaxGoroutines > limit {
+		t.Fatalf("goroutines peaked at %d, want in (0, %d] (base %d + parallelism %d + O(shards))",
+			res.MaxGoroutines, limit, base, parallelism)
+	}
+	if res.DevicesPerSecond <= 0 {
+		t.Fatalf("devices/sec not measured: %f", res.DevicesPerSecond)
+	}
+	if len(res.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", res.Errors)
+	}
+}
+
+// TestSimCampaignErrorsBounded: a campaign where every device fails
+// must keep the result's error list at the sample bound, not O(fleet).
+func TestSimCampaignErrorsBounded(t *testing.T) {
+	const n = 5000
+	f, err := Build(Config{Devices: n, Stack: StackSim, FailRate: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Campaign()
+	if err != nil {
+		t.Fatalf("campaign: %v (device failures are results, not errors)", err)
+	}
+	if res.Failed != n || res.Updated != 0 {
+		t.Fatalf("failed = %d, want %d", res.Failed, n)
+	}
+	if len(res.Errors) != 16 {
+		t.Fatalf("error sample = %d entries, want 16", len(res.Errors))
+	}
+	if res.ErrorsTruncated != n-16 {
+		t.Fatalf("errors truncated = %d, want %d", res.ErrorsTruncated, n-16)
+	}
+}
+
+// TestSimCampaignBreakerReturnsPartialResult: an aborted campaign must
+// surface the partial result (counts, abort reason, checkpoint)
+// alongside the error — not discard the report the gate acted on.
+func TestSimCampaignBreakerReturnsPartialResult(t *testing.T) {
+	const n = 2000
+	f, err := Build(Config{
+		Devices:            n,
+		Stack:              StackSim,
+		FailRate:           1,
+		Parallelism:        4,
+		BreakerFailureRate: 0.5,
+		BreakerMinSample:   25,
+		MaxRetries:         -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Campaign()
+	if err == nil {
+		t.Fatal("aborted campaign returned nil error")
+	}
+	if res == nil {
+		t.Fatal("aborted campaign discarded the partial result")
+	}
+	if !res.Aborted || !strings.Contains(res.AbortReason, "breaker") {
+		t.Fatalf("aborted/reason = %v/%q, want breaker abort", res.Aborted, res.AbortReason)
+	}
+	if res.Failed < 25 || res.Failed+res.Skipped != n {
+		t.Fatalf("failed/skipped = %d/%d, want early halt covering the fleet", res.Failed, res.Skipped)
+	}
+	if res.Checkpoint == nil || res.Checkpoint.Complete {
+		t.Fatalf("checkpoint = %+v, want resumable state", res.Checkpoint)
+	}
+}
+
+// TestSimCampaignCheckpointResume drives the operator flow: a breaker
+// abort yields a checkpoint; after the bad release is pulled (devices
+// succeed now) the campaign resumes where it stopped.
+func TestSimCampaignCheckpointResume(t *testing.T) {
+	const n = 1000
+	cfg := Config{
+		Devices:            n,
+		Stack:              StackSim,
+		FailRate:           1,
+		Parallelism:        4,
+		Shards:             8,
+		BreakerFailureRate: 0.5,
+		BreakerMinSample:   20,
+		MaxRetries:         -1,
+	}
+	f, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Campaign()
+	if err == nil || res == nil || res.Checkpoint == nil {
+		t.Fatalf("first run: res=%v err=%v, want abort with checkpoint", res, err)
+	}
+
+	// The checkpoint round-trips through its JSON form.
+	blob, err := res.Checkpoint.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := fleet.ParseCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := cfg
+	cfg2.FailRate = 0
+	f2, err := Build(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := f2.CampaignFrom(cp)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if res2.Updated+res2.Failed != n || res2.Skipped != 0 {
+		t.Fatalf("resumed counts = %d/%d/%d, want updated+failed == %d",
+			res2.Updated, res2.Failed, res2.Skipped, n)
+	}
+	if res2.Failed != cp.Failed {
+		t.Fatalf("resumed failed = %d, want checkpoint's %d (terminal outcomes preserved)",
+			res2.Failed, cp.Failed)
+	}
+}
+
+// benchmarkSimCampaign measures campaign-engine throughput in
+// devices/sec at a given fleet size.
+func benchmarkSimCampaign(b *testing.B, n int) {
+	var dps float64
+	var peakG, runs int
+	for b.Loop() {
+		b.StopTimer()
+		f, err := Build(Config{Devices: n, Stack: StackSim, Parallelism: 16, Shards: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		res, err := f.Campaign()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Updated != n {
+			b.Fatalf("updated = %d, want %d", res.Updated, n)
+		}
+		dps += res.DevicesPerSecond
+		peakG = max(peakG, res.MaxGoroutines)
+		runs++
+	}
+	if runs > 0 {
+		b.ReportMetric(dps/float64(runs), "devices/s")
+		b.ReportMetric(float64(peakG), "peak-goroutines")
+	}
+}
+
+func BenchmarkCampaignSim10k(b *testing.B)  { benchmarkSimCampaign(b, 10_000) }
+func BenchmarkCampaignSim100k(b *testing.B) { benchmarkSimCampaign(b, 100_000) }
+
+// BenchmarkCampaignSim1M is the megafleet mode; skipped under -short.
+func BenchmarkCampaignSim1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-device campaign skipped in -short mode")
+	}
+	benchmarkSimCampaign(b, 1_000_000)
+}

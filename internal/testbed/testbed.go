@@ -59,7 +59,10 @@ type Options struct {
 	// instead of creating per-bed ones: many beds against one update
 	// server model a fleet hitting the same Internet-facing endpoint
 	// (and exercising its patch cache). The suite named by SuiteName
-	// must match the one the shared servers sign with.
+	// must match the one the shared servers sign with. Shared servers
+	// are safe to build beds against from multiple goroutines; wire a
+	// shared vendor's telemetry yourself (once, beforehand), since the
+	// bed no longer mutates servers it does not own.
 	SharedVendor *vendorserver.Server
 	SharedUpdate *updateserver.Server
 	// Telemetry overrides the metrics registry the whole bed reports
@@ -141,7 +144,13 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 	if reg == nil {
 		reg = update.Telemetry()
 	}
-	vendor.SetTelemetry(reg)
+	// A bed-local vendor is wired into the bed's registry here. A shared
+	// vendor is the sharer's to wire (once, before building beds):
+	// SetTelemetry is a plain field write, and fleet builders create
+	// beds from many goroutines in parallel.
+	if opts.SharedVendor == nil {
+		vendor.SetTelemetry(reg)
+	}
 
 	var payloadKey []byte
 	if opts.Encrypted {

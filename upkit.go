@@ -343,24 +343,41 @@ const (
 // Fleet campaigns.
 
 type (
-	// Campaign rolls a release across a fleet in waves with a canary
-	// gate and per-device retries.
+	// Campaign rolls a release across a fleet in staged waves with
+	// failure gates, a mid-wave circuit breaker, and per-device retries.
 	Campaign = fleet.Campaign
-	// CampaignPolicy tunes canarying, retries, and parallelism.
+	// CampaignPolicy tunes staging, gates, retries, and parallelism.
 	CampaignPolicy = fleet.Policy
-	// CampaignReport summarises a campaign run.
+	// CampaignReport summarises a campaign run with streaming counters
+	// and bounded per-device samples (O(1) in fleet size).
 	CampaignReport = fleet.Report
+	// CampaignStage summarises one rollout stage within a report.
+	CampaignStage = fleet.StageSummary
+	// CampaignCheckpoint is a campaign's serializable resume state;
+	// obtain it from Campaign.Checkpoint after an aborted run and feed
+	// it to Campaign.Restore to continue where the run stopped.
+	CampaignCheckpoint = fleet.Checkpoint
 	// FleetUpdater is one device's update entry point in a campaign.
 	FleetUpdater = fleet.Updater
 )
 
-// ErrCampaignAborted is returned (wrapped) when a campaign's canary
-// gate trips.
-var ErrCampaignAborted = fleet.ErrCampaignAborted
+// ErrCampaignAborted is returned (wrapped) when a campaign's stage
+// gate trips; ErrBreakerTripped — which wraps ErrCampaignAborted — when
+// the mid-wave circuit breaker halts the rollout.
+var (
+	ErrCampaignAborted = fleet.ErrCampaignAborted
+	ErrBreakerTripped  = fleet.ErrBreakerTripped
+)
 
 // NewCampaign creates a rollout of target across devices.
 func NewCampaign(target uint16, policy CampaignPolicy, devices []FleetUpdater) (*Campaign, error) {
 	return fleet.New(target, policy, devices)
+}
+
+// ParseCampaignCheckpoint decodes resume state produced by
+// CampaignCheckpoint.Marshal.
+func ParseCampaignCheckpoint(blob []byte) (*CampaignCheckpoint, error) {
+	return fleet.ParseCheckpoint(blob)
 }
 
 // SUIT interoperation (§VIII future work).
