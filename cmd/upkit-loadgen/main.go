@@ -14,6 +14,19 @@
 //	upkit-loadgen -breaker 0.2 -checkpoint cp.json # resumable breaker run
 //	upkit-loadgen -o result.json           # write JSON to a file
 //
+// With -api the harness does not touch the fleet directly: it drives
+// the campaign control plane over HTTP exactly like an operator —
+// create, poll live progress, pause mid-campaign, restart the whole
+// server, resume from the persisted checkpoint — and verifies the
+// exactly-once re-dispatch through the per-device history endpoint:
+//
+//	upkit-loadgen -api -stack sim -n 10000 -stages 0.01,0.1,1
+//	upkit-loadgen -api -api-url http://host:8080 -stack sim -n 1000
+//
+// (-api-url targets an external upkit-server started with -campaigns;
+// the pause/resume cycle then runs without the server restart, which
+// only the self-hosted mode can perform.)
+//
 // The process exits non-zero when the campaign aborts or any device
 // unexpectedly fails, so CI can gate on it directly. With -fail > 0
 // (sim stack) the injected failures are expected and do not fail the
@@ -60,11 +73,23 @@ func run() error {
 	flag.StringVar(&cfg.Seed, "seed", "loadgen", "deterministic seed")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resumed from if present, written on abort")
 	out := flag.String("o", "-", "output path for the JSON result (- for stdout)")
+	api := flag.Bool("api", false, "drive the campaign over the HTTP control plane instead of in-process")
+	apiURL := flag.String("api-url", "", "external control-plane base URL for -api; empty self-hosts one (with a mid-campaign restart)")
+	pauseAt := flag.Float64("pause-at", 0.25, "completed-device fraction at which -api pauses (and restarts) the campaign; 0 disables")
+	stateDir := flag.String("state", "", "self-hosted control plane's persistence directory for -api; empty uses a temp dir")
 	flag.Parse()
 
 	var err error
 	if cfg.Stages, err = parseStages(*stages); err != nil {
 		return err
+	}
+	if *api {
+		return runAPI(loadgen.APIConfig{
+			Config:   cfg,
+			URL:      *apiURL,
+			StateDir: *stateDir,
+			PauseAt:  *pauseAt,
+		}, *out)
 	}
 
 	f, err := loadgen.Build(cfg)
@@ -113,6 +138,41 @@ func run() error {
 	if res.Updated+expectedFailures != res.Devices {
 		return fmt.Errorf("%d of %d devices failed to update: %v",
 			res.Devices-res.Updated, res.Devices, res.Errors)
+	}
+	return nil
+}
+
+// runAPI is the -api path: campaign over HTTP, report as JSON. The
+// report is written even when the run fails, so CI archives what the
+// API saw either way.
+func runAPI(cfg loadgen.APIConfig, out string) error {
+	rep, runErr := loadgen.RunAPI(cfg)
+	if rep != nil {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		blob = append(blob, '\n')
+		if out == "-" {
+			if _, err := os.Stdout.Write(blob); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	if runErr != nil {
+		return runErr
+	}
+	// Same acceptance rule as the direct path: injected sim failures
+	// are workload, anything else failing is a harness defect.
+	expectedFailures := 0
+	if cfg.FailRate > 0 {
+		expectedFailures = rep.Failed
+	}
+	if rep.Updated+expectedFailures != rep.Devices || rep.Pending != 0 {
+		return fmt.Errorf("%d of %d devices failed to update via the API",
+			rep.Devices-rep.Updated, rep.Devices)
 	}
 	return nil
 }

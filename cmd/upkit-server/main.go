@@ -11,6 +11,12 @@
 //
 // A matching device simulation (cmd/upkit-device) can then pull updates
 // from it over a real UDP socket.
+//
+// With -campaigns (or -campaigns-state <dir>) the HTTP API also serves
+// the campaign control plane: POST /api/v1/campaigns creates a staged
+// rollout from a device census and policy, GET polls its live
+// progress, and pause/resume/abort manage it — see internal/
+// controlplane and the README's "Operating a rollout" section.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"time"
 
 	"upkit/internal/coap"
+	"upkit/internal/controlplane"
 	"upkit/internal/manifest"
 	"upkit/internal/security"
 	"upkit/internal/updateserver"
@@ -56,9 +63,18 @@ func run() error {
 	seed := flag.String("seed", "", "derive the server key from a seed (simulation only)")
 	suiteName := flag.String("suite", "tinycrypt", "crypto suite")
 	stateDir := flag.String("state", "", "directory for the durable release store; empty keeps releases in memory only")
+	campaigns := flag.Bool("campaigns", false, "serve the campaign control plane under /api/v1/campaigns (requires -http)")
+	campaignDir := flag.String("campaigns-state", "", "persistence directory for campaigns; empty keeps them in memory only")
 	var images imageList
 	flag.Var(&images, "image", "vendor-signed image file (.upk); repeatable")
 	flag.Parse()
+
+	if *campaignDir != "" {
+		*campaigns = true
+	}
+	if *campaigns && *httpAddr == "" {
+		return fmt.Errorf("-campaigns needs -http: the control plane is an HTTP surface")
+	}
 
 	suite, err := security.SuiteByName(*suiteName, nil)
 	if err != nil {
@@ -96,6 +112,22 @@ func run() error {
 		}
 		fmt.Println(")")
 		serverOpts = append(serverOpts, updateserver.WithStore(store))
+	}
+
+	if *campaigns {
+		mgr, err := controlplane.NewManager(controlplane.Config{Dir: *campaignDir})
+		if err != nil {
+			return err
+		}
+		// Close aborts in-flight runs and persists their checkpoints, so
+		// a drained shutdown leaves every campaign resumable.
+		defer mgr.Close()
+		serverOpts = append(serverOpts, updateserver.WithRoutes(mgr.Register))
+		if *campaignDir != "" {
+			fmt.Printf("campaign control plane on /api/v1/campaigns (state in %s)\n", *campaignDir)
+		} else {
+			fmt.Println("campaign control plane on /api/v1/campaigns (memory only)")
+		}
 	}
 
 	server := updateserver.New(suite, key, serverOpts...)

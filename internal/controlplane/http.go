@@ -1,0 +1,115 @@
+package controlplane
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+
+	"upkit/internal/fleet"
+	"upkit/internal/httpapi"
+)
+
+// maxCreateBody bounds the campaign-definition JSON on POST
+// /api/v1/campaigns.
+const maxCreateBody = 1 << 20
+
+// Register mounts the control plane on a shared route table, so the
+// campaign API answers with the same error envelope, 405+Allow, and
+// 404 discipline as every other /api/v1 endpoint.
+func (m *Manager) Register(t *httpapi.Table) {
+	t.HandleFunc(http.MethodPost, "/api/v1/campaigns", m.handleCreate)
+	t.HandleFunc(http.MethodGet, "/api/v1/campaigns", m.handleList)
+	t.HandleFunc(http.MethodGet, "/api/v1/campaigns/{id}", m.handleGet)
+	t.HandleFunc(http.MethodPost, "/api/v1/campaigns/{id}/pause", m.handlePause)
+	t.HandleFunc(http.MethodPost, "/api/v1/campaigns/{id}/resume", m.handleResume)
+	t.HandleFunc(http.MethodPost, "/api/v1/campaigns/{id}/abort", m.handleAbort)
+	t.HandleFunc(http.MethodGet, "/api/v1/campaigns/{id}/devices/{device}", m.handleDeviceHistory)
+}
+
+// writeCampaignError maps control-plane errors onto the envelope.
+func writeCampaignError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		httpapi.WriteError(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
+	case errors.Is(err, ErrNotPausable), errors.Is(err, ErrNotResumable),
+		errors.Is(err, fleet.ErrAlreadyRunning):
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict, err.Error())
+	case errors.Is(err, ErrHistoryDisabled):
+		httpapi.WriteError(w, http.StatusConflict, "history_disabled", err.Error())
+	case errors.Is(err, ErrManagerClosed):
+		httpapi.WriteError(w, http.StatusServiceUnavailable, "shutting_down", err.Error())
+	default:
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
+	}
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if !httpapi.DecodeJSON(w, r, maxCreateBody, &req) {
+		return
+	}
+	st, err := m.Create(req)
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/campaigns/"+st.ID)
+	httpapi.WriteJSON(w, http.StatusCreated, st)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	httpapi.WriteJSON(w, http.StatusOK, m.List())
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handlePause(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Pause(r.PathValue("id"))
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleResume(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Resume(r.PathValue("id"))
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleAbort(w http.ResponseWriter, r *http.Request) {
+	st, err := m.Abort(r.PathValue("id"))
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleDeviceHistory(w http.ResponseWriter, r *http.Request) {
+	// Accept decimal or 0x-prefixed hex, matching how device IDs are
+	// printed elsewhere (reports use %#x).
+	dev, err := strconv.ParseUint(r.PathValue("device"), 0, 32)
+	if err != nil {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"bad device id: "+err.Error())
+		return
+	}
+	hist, err := m.DeviceHistory(r.PathValue("id"), uint32(dev))
+	if err != nil {
+		writeCampaignError(w, err)
+		return
+	}
+	httpapi.WriteJSON(w, http.StatusOK, hist)
+}

@@ -102,79 +102,85 @@ const (
 	DefaultBreakerMinSample = 20
 )
 
-// Policy tunes a campaign.
+// Policy tunes a campaign. The struct round-trips through JSON (the
+// wire form of the control plane's POST /api/v1/campaigns body):
+// durations are nanosecond integers, and the two function fields —
+// Rand and OnResult — are process-local wiring that is deliberately
+// excluded from the encoding.
 type Policy struct {
 	// CanaryFraction is the share of the fleet updated first
 	// (rounded up, at least one device). Zero disables canarying.
 	// Ignored when Stages is set.
-	CanaryFraction float64
+	CanaryFraction float64 `json:"canary_fraction,omitempty"`
 	// MaxCanaryFailureRate gates stage promotion: when a finished
 	// stage's failure rate exceeds it, the campaign aborts before the
 	// next stage starts (e.g. 0 = abort on any failure).
-	MaxCanaryFailureRate float64
+	MaxCanaryFailureRate float64 `json:"max_canary_failure_rate,omitempty"`
 	// Stages lists cumulative fleet fractions for a staged rollout,
 	// e.g. {0.01, 0.1, 1} updates 1% of the fleet, then up to 10%, then
 	// everyone, with the MaxCanaryFailureRate gate applied between
 	// stages. Fractions must be ascending in (0, 1]; a final 1 is
 	// implied. When empty, CanaryFraction derives a two-stage rollout
 	// (or a single full-fleet wave when that too is zero).
-	Stages []float64
+	Stages []float64 `json:"stages,omitempty"`
 	// BreakerFailureRate, when > 0, arms a mid-wave circuit breaker:
 	// once at least BreakerMinSample devices of the current stage have
 	// completed and the stage's failure rate exceeds this threshold,
 	// the campaign halts immediately — without waiting for the stage
 	// boundary gate. Remaining devices are skipped and the run's error
 	// wraps ErrBreakerTripped.
-	BreakerFailureRate float64
+	BreakerFailureRate float64 `json:"breaker_failure_rate,omitempty"`
 	// BreakerMinSample is the completed-device sample required before
 	// the breaker may trip; 0 means DefaultBreakerMinSample.
-	BreakerMinSample int
+	BreakerMinSample int `json:"breaker_min_sample,omitempty"`
 	// MaxRetries is the number of extra attempts per device after the
 	// first failure.
-	MaxRetries int
+	MaxRetries int `json:"max_retries,omitempty"`
 	// Parallelism bounds concurrent device updates; 0 means
 	// DefaultParallelism. This is the exact worker-goroutine count: the
 	// engine never holds more than Parallelism device updates in
 	// flight, regardless of fleet size.
-	Parallelism int
+	Parallelism int `json:"parallelism,omitempty"`
 	// Shards is the number of scheduling lanes devices are striped
 	// across; 0 derives max(8, 2×Parallelism). More shards than
 	// workers keeps the pool busy while long retry backoffs pin
 	// individual lanes. The shard count is part of the checkpoint
 	// format: a resumed campaign must use the same value.
-	Shards int
+	Shards int `json:"shards,omitempty"`
 	// RetryBackoff is the base wait before retry n, growing as
 	// RetryBackoff << (n-1) up to MaxRetryBackoff. Zero retries
 	// immediately. The wait is interrupted by context cancellation.
-	RetryBackoff time.Duration
+	// Encoded in JSON as nanoseconds.
+	RetryBackoff time.Duration `json:"retry_backoff_ns,omitempty"`
 	// MaxRetryBackoff caps the exponential growth; 0 means
 	// DefaultMaxRetryBackoff. The shift is clamped so large attempt
 	// counts saturate at the cap instead of overflowing to a negative
-	// (i.e. zero) wait.
-	MaxRetryBackoff time.Duration
+	// (i.e. zero) wait. Encoded in JSON as nanoseconds.
+	MaxRetryBackoff time.Duration `json:"max_retry_backoff_ns,omitempty"`
 	// RetryJitter widens each backoff by a uniform factor in
 	// [1, 1+RetryJitter), decorrelating retries across the fleet so a
 	// wave of failures does not hammer the server in lockstep.
-	RetryJitter float64
+	RetryJitter float64 `json:"retry_jitter,omitempty"`
 	// Rand supplies the jitter randomness in [0, 1); nil selects the
 	// global math/rand.Float64. Inject a deterministic source to make
 	// backoff schedules reproducible in tests. The source does not need
 	// to be safe for concurrent use: the campaign serializes calls to it
-	// even when Parallelism > 1.
-	Rand func() float64
+	// even when Parallelism > 1. Not serialized.
+	Rand func() float64 `json:"-"`
 	// MaxResults bounds the per-device Result records retained in the
 	// report: 0 means DefaultMaxResults, negative retains none. Outcome
 	// counters are always exact regardless.
-	MaxResults int
+	MaxResults int `json:"max_results,omitempty"`
 	// MaxErrors bounds the report's failed-device error sample: 0 means
 	// DefaultMaxErrors, negative retains none. Errors beyond the bound
 	// are counted in Report.ErrorsTruncated.
-	MaxErrors int
+	MaxErrors int `json:"max_errors,omitempty"`
 	// OnResult, when set, streams every device's terminal Result
 	// (including skips) as it is recorded. Calls are serialized in
 	// completion order. The callback runs on campaign worker
 	// goroutines and must not block or call back into the campaign.
-	OnResult func(Result)
+	// Not serialized.
+	OnResult func(Result) `json:"-"`
 }
 
 func (p Policy) parallelism() int {
@@ -237,6 +243,20 @@ var ErrCampaignAborted = errors.New("fleet: campaign aborted by failure gate")
 // errors.Is(err, ErrCampaignAborted) also holds.
 var ErrBreakerTripped = fmt.Errorf("%w: circuit breaker tripped", ErrCampaignAborted)
 
+// ErrCampaignPaused is the error RunContext returns after Pause halts
+// the run. Unlike an abort, a pause leaves unattempted devices pending
+// (not skipped): Checkpoint() captures an exact resume point and a
+// later Restore + RunContext re-dispatches exactly the devices that
+// never reached a terminal state.
+var ErrCampaignPaused = errors.New("fleet: campaign paused")
+
+// ErrNotRunning is returned by Pause when no RunContext is in flight.
+var ErrNotRunning = errors.New("fleet: campaign is not running")
+
+// ErrAlreadyRunning is returned by RunContext when another run of the
+// same campaign is still in flight.
+var ErrAlreadyRunning = errors.New("fleet: campaign run already in flight")
+
 // Result is one device's final state.
 type Result struct {
 	DeviceID uint32
@@ -279,6 +299,9 @@ type Report struct {
 	Skipped int
 	Pending int
 	Aborted bool
+	// Paused marks a run halted by Pause: unattempted devices stay
+	// Pending and the campaign's Checkpoint resumes them.
+	Paused bool
 	// AbortReason says what halted an aborted campaign (stage gate,
 	// circuit breaker, cancellation).
 	AbortReason string
@@ -322,6 +345,24 @@ type Campaign struct {
 	mu     sync.Mutex
 	resume *Checkpoint // state to resume from, set by Restore
 	last   *Checkpoint // state after the most recent run
+	cur    *liveRun    // in-flight run, nil between runs
+}
+
+// liveRun is the concurrency-safe view of an in-flight RunContext —
+// what Progress reads and Pause cancels. Everything here is either
+// immutable after creation or atomic, so observers never contend with
+// the worker pool.
+type liveRun struct {
+	agg     *aggregator
+	started time.Time
+	// baseDone is the completed-device count preloaded from a resume
+	// checkpoint; throughput and ETA are computed on this run's work
+	// only.
+	baseDone int64
+	stage    atomic.Int64
+	st       atomic.Pointer[stageState]
+	cancel   context.CancelFunc
+	paused   atomic.Bool
 }
 
 // SetTelemetry attaches a metrics registry. Waves, per-device outcomes
@@ -427,8 +468,29 @@ func (c *Campaign) Run() (*Report, error) {
 // yet started devices are marked StatusSkipped, and the returned error
 // wraps ctx.Err(). The report still covers every device, and
 // Checkpoint() afterwards captures where to resume.
+//
+// Pause (from another goroutine) halts the run the same way but leaves
+// unattempted devices pending instead of skipped; the error is then
+// ErrCampaignPaused. At most one RunContext may be in flight per
+// campaign; a second concurrent call fails with ErrAlreadyRunning.
 func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 	agg := newAggregator(c)
+	rctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	lr := &liveRun{agg: agg, started: time.Now(), cancel: cancelRun}
+	c.mu.Lock()
+	if c.cur != nil {
+		c.mu.Unlock()
+		return nil, ErrAlreadyRunning
+	}
+	c.cur = lr
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.cur = nil
+		c.mu.Unlock()
+	}()
+
 	report := &Report{Target: c.target, Devices: len(c.devices)}
 	defer func() {
 		agg.fill(report)
@@ -446,6 +508,7 @@ func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 		preDone, preFailed = cp.StageDone, cp.StageFailed
 		agg.updated.Store(int64(cp.Updated))
 		agg.failed.Store(int64(cp.Failed))
+		lr.baseDone = int64(cp.Updated + cp.Failed)
 	}
 
 	for si := startStage; si < len(c.bounds); si++ {
@@ -460,12 +523,21 @@ func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 				return report, err
 			}
 		}
+		lr.stage.Store(int64(si))
+		lr.st.Store(st)
 		c.met("upkit_campaign_waves_total", "Campaign waves started.",
 			telemetry.L("stage", strconv.Itoa(si))).Inc()
-		c.runStage(ctx, st, agg)
+		c.runStage(rctx, st, agg)
 
 		stageDone := int(st.done.Load())
 		stageFailed := int(st.failed.Load())
+		if lr.paused.Load() {
+			// A pause is not an abort: unattempted devices stay pending so
+			// the checkpoint re-dispatches exactly them and nothing else.
+			c.saveState(si, st, agg, false)
+			report.Paused = true
+			return report, ErrCampaignPaused
+		}
 		if err := ctx.Err(); err != nil {
 			c.skipRemaining(st, si, agg)
 			c.saveState(si, st, agg, false)
@@ -499,6 +571,113 @@ func (c *Campaign) RunContext(ctx context.Context) (*Report, error) {
 	}
 	c.saveState(len(c.bounds), nil, agg, true)
 	return report, nil
+}
+
+// Pause asks the in-flight RunContext to halt at the next safe point:
+// workers stop claiming devices, in-flight attempts finish (retry
+// backoffs are cut short), and RunContext returns ErrCampaignPaused
+// with unattempted devices left pending. Safe to call from any
+// goroutine; returns ErrNotRunning when no run is in flight. Note a
+// device paused mid-retry-backoff lands StatusFailed with its last
+// real error — the same terminal-attempt discipline cancellation uses.
+func (c *Campaign) Pause() error {
+	c.mu.Lock()
+	lr := c.cur
+	c.mu.Unlock()
+	if lr == nil {
+		return ErrNotRunning
+	}
+	lr.paused.Store(true)
+	lr.cancel()
+	return nil
+}
+
+// StageProgress is one stage's live tally within a Progress snapshot.
+type StageProgress struct {
+	// Devices is the stage's total size; Done counts terminal outcomes
+	// the current run recorded in it (a resumed stage's earlier work is
+	// in the campaign totals, not re-attributed to the stage).
+	Devices int `json:"devices"`
+	Done    int `json:"done"`
+	Updated int `json:"updated"`
+	Failed  int `json:"failed"`
+	Skipped int `json:"skipped"`
+}
+
+// Progress is a concurrency-safe snapshot of a campaign — live while a
+// run is in flight, final afterwards. All counters are exact; the
+// throughput and ETA figures cover only the current run's work (a
+// resumed campaign starts a fresh clock).
+type Progress struct {
+	Target  uint16 `json:"target"`
+	Devices int    `json:"devices"`
+	Updated int    `json:"updated"`
+	Failed  int    `json:"failed"`
+	Skipped int    `json:"skipped"`
+	Pending int    `json:"pending"`
+	// Running reports whether a RunContext is in flight; Paused whether
+	// the in-flight run has been asked to pause (or, between runs,
+	// nothing — a manager tracks lifecycle state above this).
+	Running bool `json:"running"`
+	Paused  bool `json:"paused"`
+	// Stage is the index of the stage in progress (or the next to run);
+	// Stages tallies every stage touched so far.
+	Stage  int             `json:"stage"`
+	Stages []StageProgress `json:"stages,omitempty"`
+	// BreakerTripped reports the current stage's circuit breaker.
+	BreakerTripped bool `json:"breaker_tripped,omitempty"`
+	// ElapsedSeconds is the current run's age; zero between runs.
+	ElapsedSeconds float64 `json:"elapsed_seconds,omitempty"`
+	// DevicesPerSecond is this run's terminal-outcome rate, and
+	// ETASeconds extrapolates it over the pending devices; both zero
+	// when idle or no device has completed yet.
+	DevicesPerSecond float64 `json:"devices_per_second,omitempty"`
+	ETASeconds       float64 `json:"eta_seconds,omitempty"`
+}
+
+// Progress snapshots the campaign without disturbing it: atomic
+// counter reads plus one short lock on the report aggregator. Before
+// any run it reports the armed resume checkpoint (if any); after a run
+// it reports the final state.
+func (c *Campaign) Progress() Progress {
+	p := Progress{Target: c.target, Devices: len(c.devices)}
+	c.mu.Lock()
+	lr := c.cur
+	last := c.last
+	resume := c.resume
+	c.mu.Unlock()
+
+	switch {
+	case lr != nil:
+		p.Running = true
+		p.Paused = lr.paused.Load()
+		p.Updated = int(lr.agg.updated.Load())
+		p.Failed = int(lr.agg.failed.Load())
+		p.Skipped = int(lr.agg.skipped.Load())
+		p.Stage = int(lr.stage.Load())
+		if st := lr.st.Load(); st != nil {
+			p.BreakerTripped = st.tripped.Load()
+		}
+		p.Stages = lr.agg.stageProgress()
+		elapsed := time.Since(lr.started).Seconds()
+		p.ElapsedSeconds = elapsed
+		if runDone := int64(p.Updated+p.Failed) - lr.baseDone; runDone > 0 && elapsed > 0 {
+			p.DevicesPerSecond = float64(runDone) / elapsed
+		}
+	case last != nil:
+		p.Updated = last.Updated
+		p.Failed = last.Failed
+		p.Stage = last.Stage
+	case resume != nil:
+		p.Updated = resume.Updated
+		p.Failed = resume.Failed
+		p.Stage = resume.Stage
+	}
+	p.Pending = max(0, p.Devices-p.Updated-p.Failed-p.Skipped)
+	if p.DevicesPerSecond > 0 {
+		p.ETASeconds = float64(p.Pending) / p.DevicesPerSecond
+	}
+	return p
 }
 
 // met resolves a counter on the campaign's registry (nil-safe).
@@ -836,6 +1015,32 @@ func (a *aggregator) record(res Result, stage int) {
 		sink(res)
 	}
 	a.mu.Unlock()
+}
+
+// stageProgress snapshots the per-stage tallies for Progress, sized
+// from the campaign's stage bounds.
+func (a *aggregator) stageProgress() []StageProgress {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []StageProgress
+	for si := range a.c.bounds {
+		ss, ok := a.stages[si]
+		if !ok {
+			continue
+		}
+		lo := 0
+		if si > 0 {
+			lo = a.c.bounds[si-1]
+		}
+		out = append(out, StageProgress{
+			Devices: a.c.bounds[si] - lo,
+			Done:    ss.Updated + ss.Failed + ss.Skipped,
+			Updated: ss.Updated,
+			Failed:  ss.Failed,
+			Skipped: ss.Skipped,
+		})
+	}
+	return out
 }
 
 // fill finalises the report from the aggregated state.

@@ -1,0 +1,283 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// gateDevice blocks each TryUpdate until released, so a test can hold
+// a campaign mid-flight deterministically.
+type gateDevice struct {
+	*fakeDevice
+	started chan struct{} // receives one token per attempt start
+	release chan struct{} // one token releases one attempt
+}
+
+func (d *gateDevice) TryUpdate() (uint16, error) {
+	d.started <- struct{}{}
+	<-d.release
+	return d.fakeDevice.TryUpdate()
+}
+
+func TestPauseLeavesUnattemptedPending(t *testing.T) {
+	const n = 10
+	devs := makeFleet(n, 1, 2)
+	started := make(chan struct{}, n)
+	release := make(chan struct{}, n)
+	ups := make([]Updater, n)
+	for i, d := range devs {
+		ups[i] = &gateDevice{fakeDevice: d, started: started, release: release}
+	}
+	c, err := New(2, Policy{Parallelism: 2, Shards: 4}, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var report *Report
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		report, runErr = c.RunContext(context.Background())
+	}()
+
+	// Let two devices start, pause, then release them to finish.
+	<-started
+	<-started
+	if err := c.Pause(); err != nil {
+		t.Fatalf("Pause: %v", err)
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	<-done
+
+	if !errors.Is(runErr, ErrCampaignPaused) {
+		t.Fatalf("run error = %v, want ErrCampaignPaused", runErr)
+	}
+	if errors.Is(runErr, ErrCampaignAborted) {
+		t.Fatal("a pause must not look like an abort")
+	}
+	if !report.Paused || report.Aborted {
+		t.Fatalf("report flags = paused %v aborted %v", report.Paused, report.Aborted)
+	}
+	if report.Updated != 2 || report.Skipped != 0 || report.Pending != n-2 {
+		t.Fatalf("report = %d updated, %d skipped, %d pending; want 2/0/%d",
+			report.Updated, report.Skipped, report.Pending, n-2)
+	}
+
+	// Resume: exactly the pending devices are dispatched, once each.
+	cp := c.Checkpoint()
+	if cp == nil || cp.Complete {
+		t.Fatalf("checkpoint = %+v, want incomplete resume state", cp)
+	}
+	for range n - 2 {
+		release <- struct{}{}
+	}
+	go func() {
+		for range started {
+		}
+	}()
+	c2, err := New(2, Policy{Parallelism: 2, Shards: 4}, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := c2.Run()
+	close(started)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if rep2.Updated != n || rep2.Pending != 0 {
+		t.Fatalf("resumed report = %d updated, %d pending; want %d/0", rep2.Updated, rep2.Pending, n)
+	}
+	total := 0
+	for _, d := range devs {
+		total += int(d.attempts.Load())
+	}
+	if total != n {
+		t.Fatalf("total attempts = %d, want %d (exactly-once re-dispatch)", total, n)
+	}
+}
+
+func TestPauseWithoutRun(t *testing.T) {
+	devs := makeFleet(4, 1, 2)
+	c, err := New(2, Policy{}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pause(); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("Pause on idle campaign = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestConcurrentRunRefused(t *testing.T) {
+	const n = 4
+	devs := makeFleet(n, 1, 2)
+	started := make(chan struct{}, n)
+	release := make(chan struct{}, n)
+	ups := make([]Updater, n)
+	for i, d := range devs {
+		ups[i] = &gateDevice{fakeDevice: d, started: started, release: release}
+	}
+	c, err := New(2, Policy{Parallelism: 1}, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c.RunContext(context.Background())
+	}()
+	<-started
+	if _, err := c.RunContext(context.Background()); !errors.Is(err, ErrAlreadyRunning) {
+		t.Fatalf("second run = %v, want ErrAlreadyRunning", err)
+	}
+	for range n {
+		release <- struct{}{}
+	}
+	go func() {
+		for range started {
+		}
+	}()
+	<-done
+	close(started)
+}
+
+func TestProgressLiveSnapshot(t *testing.T) {
+	const n = 8
+	devs := makeFleet(n, 1, 2)
+	started := make(chan struct{}, n)
+	release := make(chan struct{}, n)
+	ups := make([]Updater, n)
+	for i, d := range devs {
+		ups[i] = &gateDevice{fakeDevice: d, started: started, release: release}
+	}
+	c, err := New(2, Policy{Parallelism: 2, Shards: 2}, ups)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle, never run: everything pending.
+	p := c.Progress()
+	if p.Running || p.Pending != n || p.Updated != 0 {
+		t.Fatalf("idle progress = %+v", p)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.RunContext(context.Background())
+	}()
+	<-started
+	<-started
+	// Two devices in flight, none finished.
+	p = c.Progress()
+	if !p.Running {
+		t.Fatalf("progress not running: %+v", p)
+	}
+	release <- struct{}{}
+	release <- struct{}{}
+	// Wait until the two completions are visible.
+	deadline := time.After(5 * time.Second)
+	for c.Progress().Updated < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("progress never reached 2 updated: %+v", c.Progress())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	p = c.Progress()
+	if p.Updated < 2 || p.Pending > n-2 {
+		t.Fatalf("mid-run progress = %+v", p)
+	}
+	if p.ElapsedSeconds <= 0 || p.DevicesPerSecond <= 0 || p.ETASeconds <= 0 {
+		t.Fatalf("rate figures missing: %+v", p)
+	}
+	if len(p.Stages) == 0 || p.Stages[0].Updated < 2 {
+		t.Fatalf("stage progress = %+v", p.Stages)
+	}
+	for range n - 2 {
+		release <- struct{}{}
+	}
+	go func() {
+		for range started {
+		}
+	}()
+	wg.Wait()
+	close(started)
+
+	// Final snapshot after the run.
+	p = c.Progress()
+	if p.Running || p.Updated != n || p.Pending != 0 {
+		t.Fatalf("final progress = %+v", p)
+	}
+}
+
+func TestProgressCountsAtomically(t *testing.T) {
+	// Hammer Progress while a campaign runs under -race; counters must
+	// never exceed the fleet.
+	devs := makeFleet(500, 1, 2)
+	c, err := New(2, Policy{Parallelism: 8, Shards: 16}, updaters(devs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			p := c.Progress()
+			if got := p.Updated + p.Failed + p.Skipped; got > p.Devices {
+				panic("progress overflow")
+			}
+		}
+	}()
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+func TestPolicyJSONRoundTrip(t *testing.T) {
+	in := Policy{
+		CanaryFraction:       0.05,
+		MaxCanaryFailureRate: 0.1,
+		Stages:               []float64{0.01, 0.25, 1},
+		BreakerFailureRate:   0.2,
+		BreakerMinSample:     40,
+		MaxRetries:           3,
+		Parallelism:          16,
+		Shards:               64,
+		RetryBackoff:         50 * time.Millisecond,
+		MaxRetryBackoff:      2 * time.Second,
+		RetryJitter:          0.5,
+		MaxResults:           -1,
+		MaxErrors:            8,
+		// Function fields must not leak into (or break) the encoding.
+		Rand:     func() float64 { return 0 },
+		OnResult: func(Result) {},
+	}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var out Policy
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	in.Rand, in.OnResult = nil, nil
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip:\n in: %+v\nout: %+v", in, out)
+	}
+}

@@ -1,0 +1,302 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"upkit/internal/controlplane"
+	"upkit/internal/fleet"
+	"upkit/internal/httpapi"
+	"upkit/internal/simdev"
+)
+
+// APIConfig sizes an HTTP-driven campaign run: the harness never
+// touches the fleet directly, it drives the campaign control plane
+// exactly like an operator would — create, poll, pause, resume — and
+// (in self-hosted mode) restarts the whole server mid-campaign to
+// prove the persisted checkpoint carries it.
+type APIConfig struct {
+	Config
+	// URL points the harness at an external upkit-server; empty
+	// self-hosts a control plane in-process (the default, and the only
+	// mode that can exercise a full server restart).
+	URL string
+	// StateDir is the self-hosted control plane's persistence root;
+	// empty uses a temporary directory.
+	StateDir string
+	// PauseAt is the completed-device fraction at which the harness
+	// pauses the campaign (and, self-hosted, restarts the server).
+	// 0 disables the pause/resume cycle; default 0.25.
+	PauseAt float64
+	// Poll is the progress-poll interval; default 50ms.
+	Poll time.Duration
+	// HistorySample bounds how many devices get their per-device
+	// attempt history verified after the run; default 1000, negative
+	// disables.
+	HistorySample int
+}
+
+// APIReport is the JSON result of an API-driven run.
+type APIReport struct {
+	CampaignID string `json:"campaign_id"`
+	Devices    int    `json:"devices"`
+	Updated    int    `json:"updated"`
+	Failed     int    `json:"failed"`
+	Pending    int    `json:"pending"`
+
+	// Paused and Restarted record whether the pause/resume cycle (and
+	// the full server restart) actually happened mid-campaign.
+	Paused    bool `json:"paused"`
+	Restarted bool `json:"restarted"`
+	// PausedAtDone is how many devices were terminal when the pause
+	// checkpoint was taken.
+	PausedAtDone int `json:"paused_at_done,omitempty"`
+
+	// Polls counts progress GETs; StagesSeen is the deepest stage index
+	// observed live — together they attest the progress surface was
+	// actually exercised, not just the final state.
+	Polls      int `json:"polls"`
+	StagesSeen int `json:"stages_seen"`
+
+	// HistoryChecked is how many devices had their attempt history
+	// verified to hold exactly one terminal record (the exactly-once
+	// re-dispatch check); 0 when history was disabled or skipped.
+	HistoryChecked int `json:"history_checked"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+
+	// Final is the campaign's terminal status as the API reported it.
+	Final *controlplane.Status `json:"final"`
+}
+
+// selfHost is one process-lifetime of the self-hosted control plane:
+// a manager over StateDir behind a real TCP listener.
+type selfHost struct {
+	mgr *controlplane.Manager
+	srv *http.Server
+	ln  net.Listener
+}
+
+func startSelfHost(dir string) (*selfHost, string, error) {
+	mgr, err := controlplane.NewManager(controlplane.Config{Dir: dir})
+	if err != nil {
+		return nil, "", err
+	}
+	table := httpapi.NewTable()
+	mgr.Register(table)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		mgr.Close()
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: table}
+	go srv.Serve(ln)
+	return &selfHost{mgr: mgr, srv: srv, ln: ln}, "http://" + ln.Addr().String(), nil
+}
+
+func (h *selfHost) stop() {
+	h.srv.Close()
+	h.mgr.Close()
+}
+
+// RunAPI drives one staged campaign entirely through the campaign
+// HTTP API. Self-hosted runs additionally kill and restart the server
+// at the pause point, resuming from the persisted checkpoint.
+func RunAPI(cfg APIConfig) (*APIReport, error) {
+	cfg.applyDefaults()
+	if cfg.Stack != StackSim {
+		return nil, fmt.Errorf("loadgen: -api drives the control plane's census registry, which serves the sim stack only (got %q)", cfg.Stack)
+	}
+	if cfg.PauseAt == 0 {
+		cfg.PauseAt = 0.25
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 50 * time.Millisecond
+	}
+	if cfg.HistorySample == 0 {
+		cfg.HistorySample = 1000
+	}
+
+	var host *selfHost
+	base := cfg.URL
+	if base == "" {
+		dir := cfg.StateDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "upkit-campaigns-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		var err error
+		host, base, err = startSelfHost(dir)
+		if err != nil {
+			return nil, err
+		}
+		defer func() {
+			if host != nil {
+				host.stop()
+			}
+		}()
+		cfg.StateDir = dir
+	}
+	client := &controlplane.Client{Base: base}
+
+	rep := &APIReport{Devices: cfg.Devices}
+	st, err := client.Create(controlplane.CreateRequest{
+		Name:   "loadgen api run",
+		Target: 2,
+		Census: controlplane.Census{
+			Source:       "sim",
+			Devices:      cfg.Devices,
+			FailRate:     cfg.FailRate,
+			SimLatencyNS: int64(cfg.SimLatency),
+		},
+		Policy: apiPolicy(cfg.Config),
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.CampaignID = st.ID
+	start := time.Now()
+
+	// Phase 1: watch live progress until the pause point.
+	if cfg.PauseAt > 0 {
+		target := int(float64(cfg.Devices) * cfg.PauseAt)
+		for {
+			st, err = client.Get(rep.CampaignID)
+			if err != nil {
+				return nil, err
+			}
+			rep.observe(st)
+			if st.State != controlplane.StateRunning ||
+				st.Progress.Updated+st.Progress.Failed >= target {
+				break
+			}
+			time.Sleep(cfg.Poll)
+		}
+		if st.State == controlplane.StateRunning {
+			st, err = client.Pause(rep.CampaignID)
+			if err != nil {
+				return nil, err
+			}
+			rep.observe(st)
+		}
+		if st.State == controlplane.StatePaused {
+			rep.Paused = true
+			rep.PausedAtDone = st.Progress.Updated + st.Progress.Failed
+
+			if host != nil {
+				// Full restart: tear the server down, bring a fresh one up
+				// over the same state directory, and keep going against it.
+				host.stop()
+				host, base, err = startSelfHost(cfg.StateDir)
+				if err != nil {
+					return nil, fmt.Errorf("loadgen: restart control plane: %w", err)
+				}
+				client = &controlplane.Client{Base: base}
+				rep.Restarted = true
+
+				st, err = client.Get(rep.CampaignID)
+				if err != nil {
+					return nil, err
+				}
+				if st.State != controlplane.StatePaused {
+					return nil, fmt.Errorf("loadgen: campaign %s came back %q after restart, want paused",
+						rep.CampaignID, st.State)
+				}
+				if got := st.Progress.Updated + st.Progress.Failed; got != rep.PausedAtDone {
+					return nil, fmt.Errorf("loadgen: restart lost progress: %d done, checkpoint had %d",
+						got, rep.PausedAtDone)
+				}
+			}
+			if _, err := client.Resume(rep.CampaignID); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Phase 2: watch the (possibly resumed) campaign to its end.
+	st, err = client.WaitTerminal(rep.CampaignID, cfg.Poll, func(s *controlplane.Status) {
+		rep.observe(s)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.observe(st)
+	rep.WallSeconds = time.Since(start).Seconds()
+	rep.Final = st
+	rep.Updated = st.Progress.Updated
+	rep.Failed = st.Progress.Failed
+	rep.Pending = st.Progress.Pending
+
+	if st.State != controlplane.StateCompleted {
+		return rep, fmt.Errorf("loadgen: campaign %s ended %s (%s)", st.ID, st.State, st.AbortReason)
+	}
+	if err := rep.checkHistory(client, cfg); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// observe folds one progress snapshot into the report's poll counters.
+func (r *APIReport) observe(st *controlplane.Status) {
+	r.Polls++
+	if st.Progress.Stage > r.StagesSeen {
+		r.StagesSeen = st.Progress.Stage
+	}
+}
+
+// checkHistory samples per-device attempt histories and verifies the
+// exactly-once property: one terminal record per device, even across
+// the pause/restart/resume cycle.
+func (r *APIReport) checkHistory(client *controlplane.Client, cfg APIConfig) error {
+	if cfg.HistorySample < 0 {
+		return nil
+	}
+	sample := min(cfg.HistorySample, cfg.Devices)
+	// An evenly spaced sample covers every stage of the rollout.
+	step := max(cfg.Devices/max(sample, 1), 1)
+	for i := 0; i < cfg.Devices; i += step {
+		hist, err := client.DeviceHistory(r.CampaignID, uint32(simdev.IDBase+i))
+		if err != nil {
+			// Fleets past the server's history bound run without it.
+			if r.HistoryChecked == 0 {
+				return nil
+			}
+			return err
+		}
+		terminal := 0
+		for _, a := range hist {
+			if a.Status != "skipped" {
+				terminal++
+			}
+		}
+		if terminal != 1 {
+			return fmt.Errorf("loadgen: device %#x has %d terminal attempts, want exactly 1 (history %+v)",
+				simdev.IDBase+i, terminal, hist)
+		}
+		r.HistoryChecked++
+	}
+	return nil
+}
+
+// apiPolicy renders the harness config as a campaign policy, matching
+// the direct path's policy() so -api and direct runs are comparable
+// (minus the in-process hooks, which don't cross the wire).
+func apiPolicy(cfg Config) fleet.Policy {
+	return fleet.Policy{
+		Parallelism:          cfg.Parallelism,
+		Shards:               cfg.Shards,
+		Stages:               cfg.Stages,
+		MaxCanaryFailureRate: cfg.MaxFailureRate,
+		BreakerFailureRate:   cfg.BreakerFailureRate,
+		BreakerMinSample:     cfg.BreakerMinSample,
+		MaxRetries:           cfg.MaxRetries,
+		MaxErrors:            cfg.MaxErrors,
+	}
+}

@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunAPISelfHostRestart is the -api path end to end at test scale:
+// a staged sim campaign driven purely over HTTP, paused mid-run, the
+// control plane fully restarted, resumed from the persisted
+// checkpoint, and verified exactly-once through the history endpoint.
+func TestRunAPISelfHostRestart(t *testing.T) {
+	rep, err := RunAPI(APIConfig{
+		Config: Config{
+			Devices:    600,
+			Stack:      StackSim,
+			SimLatency: 2 * time.Millisecond,
+			Stages:     []float64{0.05, 0.5, 1},
+		},
+		StateDir: t.TempDir(),
+		PauseAt:  0.25,
+		Poll:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Paused || !rep.Restarted {
+		t.Fatalf("pause/restart cycle did not happen: %+v", rep)
+	}
+	if rep.Updated != rep.Devices || rep.Pending != 0 || rep.Failed != 0 {
+		t.Fatalf("final counts: %+v", rep)
+	}
+	if rep.PausedAtDone <= 0 || rep.PausedAtDone >= rep.Devices {
+		t.Fatalf("pause landed at %d of %d — not mid-campaign", rep.PausedAtDone, rep.Devices)
+	}
+	if rep.HistoryChecked == 0 {
+		t.Fatal("no device histories verified")
+	}
+	if rep.Polls < 3 {
+		t.Fatalf("live progress barely polled: %d", rep.Polls)
+	}
+	if rep.Final == nil || rep.Final.State != "completed" {
+		t.Fatalf("final status: %+v", rep.Final)
+	}
+}
+
+// TestRunAPIExternal drives an already-running control plane (no
+// restart — the harness doesn't own the server's lifecycle).
+func TestRunAPIExternal(t *testing.T) {
+	host, base, err := startSelfHost(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.stop()
+	rep, err := RunAPI(APIConfig{
+		Config: Config{
+			Devices:    300,
+			Stack:      StackSim,
+			SimLatency: time.Millisecond,
+		},
+		URL:     base,
+		PauseAt: 0.25,
+		Poll:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Restarted {
+		t.Fatal("external mode must not restart the server")
+	}
+	if rep.Updated != rep.Devices || rep.Pending != 0 {
+		t.Fatalf("final counts: %+v", rep)
+	}
+}
+
+// TestRunAPIRejectsFullStack pins the sim-only contract.
+func TestRunAPIRejectsFullStack(t *testing.T) {
+	if _, err := RunAPI(APIConfig{Config: Config{Devices: 4, Stack: StackFull}}); err == nil {
+		t.Fatal("full-stack -api run accepted")
+	}
+}

@@ -1,66 +1,14 @@
 package loadgen
 
 import (
-	"errors"
-	"time"
-
-	"upkit/internal/fleet"
+	"upkit/internal/simdev"
 )
 
-// errSimFailure is the deterministic failure every failing sim device
-// reports.
-var errSimFailure = errors.New("loadgen: simulated device failure")
-
-// simUpdater is a synthetic device: a few dozen bytes of state and no
-// real update work. It exists so the campaign engine — scheduling,
-// aggregation, breaker, checkpointing — can be exercised at 100k–1M
-// devices, far past what full testbed stacks fit in memory.
-type simUpdater struct {
-	id      uint32
-	version uint16
-	fail    bool
-	latency time.Duration
-}
-
-func (u *simUpdater) ID() uint32      { return u.id }
-func (u *simUpdater) Version() uint16 { return u.version }
-
-func (u *simUpdater) TryUpdate() (uint16, error) {
-	if u.latency > 0 {
-		time.Sleep(u.latency)
-	}
-	if u.fail {
-		return u.version, errSimFailure
-	}
-	u.version = 2
-	return 2, nil
-}
-
-// simFails spreads cfg.FailRate deterministically across device
-// indices (a Fibonacci-hash coin flip), so the failing population is
-// stable for a given fleet size — which is what lets a resumed
-// campaign be tested against the same fault pattern.
-func simFails(i int, rate float64) bool {
-	if rate <= 0 {
-		return false
-	}
-	if rate >= 1 {
-		return true
-	}
-	h := uint32(i) * 2654435761 // Knuth's multiplicative hash
-	return float64(h%1_000_000) < rate*1_000_000
-}
-
-// buildSim wires a synthetic fleet: every device on v1, no servers.
+// buildSim wires a synthetic fleet (see internal/simdev): every device
+// on v1, no servers.
 func buildSim(cfg Config) (*Fleet, error) {
-	f := &Fleet{cfg: cfg, updaters: make([]fleet.Updater, cfg.Devices)}
-	for i := range f.updaters {
-		f.updaters[i] = &simUpdater{
-			id:      uint32(0xB000 + i),
-			version: 1,
-			fail:    simFails(i, cfg.FailRate),
-			latency: cfg.SimLatency,
-		}
-	}
-	return f, nil
+	return &Fleet{
+		cfg:      cfg,
+		updaters: simdev.Build(cfg.Devices, cfg.FailRate, cfg.SimLatency),
+	}, nil
 }

@@ -7,11 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"mime"
 	"net/http"
 	"strconv"
 
+	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
 	"upkit/internal/telemetry"
 	"upkit/internal/vendorserver"
@@ -38,6 +37,13 @@ import (
 //	                                     than the stored latest
 //	GET  /api/v1/stats                 → patch-cache counters JSON
 //	GET  /api/v1/metrics               → Prometheus text exposition
+//
+// Every route is registered on one httpapi.Table, so the whole
+// /api/v1 surface shares the JSON error envelope
+// ({"error":{"code":...,"message":...}}), answers 405 with an Allow
+// header on wrong methods, and returns 413 for any oversized request
+// body. Additional route sets (the campaign control plane) mount onto
+// the same table via WithRoutes.
 //
 // Every request body is bounded with http.MaxBytesReader and every
 // body-carrying endpoint checks its Content-Type. The images endpoint
@@ -98,17 +104,22 @@ type publishedJSON struct {
 	Version uint16 `json:"version"`
 }
 
-// Handler returns the HTTP handler exposing the server's API. Every
+// Handler returns the HTTP handler exposing the server's API: one
+// httpapi.Table carrying the update/publish endpoints plus any route
+// sets mounted via WithRoutes (the campaign control plane). Every
 // request is counted in upkit_http_requests_total{path,code}.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/v1/version", s.handleHTTPVersion)
-	mux.HandleFunc("POST /api/v1/update", s.handleHTTPUpdate)
-	mux.HandleFunc("GET /api/v1/apps", s.handleHTTPApps)
-	mux.HandleFunc("POST /api/v1/images", s.handleHTTPPublish)
-	mux.HandleFunc("GET /api/v1/stats", s.handleHTTPStats)
-	mux.Handle("GET /api/v1/metrics", s.tel.Handler())
-	return s.countRequests(mux)
+	t := httpapi.NewTable()
+	t.HandleFunc(http.MethodGet, "/api/v1/version", s.handleHTTPVersion)
+	t.HandleFunc(http.MethodPost, "/api/v1/update", s.handleHTTPUpdate)
+	t.HandleFunc(http.MethodGet, "/api/v1/apps", s.handleHTTPApps)
+	t.HandleFunc(http.MethodPost, "/api/v1/images", s.handleHTTPPublish)
+	t.HandleFunc(http.MethodGet, "/api/v1/stats", s.handleHTTPStats)
+	t.Handle(http.MethodGet, "/api/v1/metrics", s.tel.Handler())
+	for _, mount := range s.mounts {
+		mount(t)
+	}
+	return s.countRequests(t)
 }
 
 // statusRecorder captures the status code a handler writes so the
@@ -156,51 +167,31 @@ func appFromQuery(r *http.Request) (uint32, error) {
 	return uint32(v), nil
 }
 
-// requireContentType enforces an exact media type on a body-carrying
-// request, answering 415 itself when the header is missing or
-// different.
-func requireContentType(w http.ResponseWriter, r *http.Request, want string) bool {
-	ct := r.Header.Get("Content-Type")
-	mt, _, err := mime.ParseMediaType(ct)
-	if err != nil || mt != want {
-		http.Error(w, fmt.Sprintf("Content-Type must be %s", want), http.StatusUnsupportedMediaType)
-		return false
-	}
-	return true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
 func (s *Server) handleHTTPVersion(w http.ResponseWriter, r *http.Request) {
 	appID, err := appFromQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
 	v, ok := s.Latest(appID)
 	if !ok {
-		http.Error(w, "unknown app", http.StatusNotFound)
+		httpapi.WriteError(w, http.StatusNotFound, "unknown_app", "unknown app")
 		return
 	}
-	writeJSON(w, http.StatusOK, versionJSON{Version: v})
+	httpapi.WriteJSON(w, http.StatusOK, versionJSON{Version: v})
 }
 
 func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 	appID, err := appFromQuery(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if !requireContentType(w, r, "application/json") {
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
 	var tok tokenJSON
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxTokenBody)).Decode(&tok); err != nil {
-		http.Error(w, "bad token body: "+err.Error(), http.StatusBadRequest)
+	// DecodeJSON classifies an oversized body as 413, a wrong media
+	// type as 415, and malformed JSON as 400 — the same discipline as
+	// every other body-carrying endpoint on the table.
+	if !httpapi.DecodeJSON(w, r, maxTokenBody, &tok) {
 		return
 	}
 	u, err := s.PrepareUpdate(appID, manifest.DeviceToken{
@@ -217,13 +208,13 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	case errors.Is(err, ErrUnknownApp):
-		http.Error(w, err.Error(), http.StatusNotFound)
+		httpapi.WriteError(w, http.StatusNotFound, "unknown_app", err.Error())
 		return
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, updateJSON{
+	httpapi.WriteJSON(w, http.StatusOK, updateJSON{
 		Version:      u.Manifest.Version,
 		Differential: u.Differential,
 		Encrypted:    u.Encrypted,
@@ -246,56 +237,51 @@ func (s *Server) handleHTTPApps(w http.ResponseWriter, _ *http.Request) {
 			Releases: len(list),
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	httpapi.WriteJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleHTTPPublish(w http.ResponseWriter, r *http.Request) {
-	if !requireContentType(w, r, "application/octet-stream") {
+	if !httpapi.RequireContentType(w, r, "application/octet-stream") {
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxImageBody))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
-			return
-		}
-		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+	body, ok := httpapi.ReadBody(w, r, maxImageBody)
+	if !ok {
 		return
 	}
 	if len(body) == 0 {
-		http.Error(w, "empty image body", http.StatusBadRequest)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "empty image body")
 		return
 	}
 	if len(body) < manifest.EncodedSize {
-		http.Error(w, "image smaller than a manifest", http.StatusBadRequest)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "image smaller than a manifest")
 		return
 	}
 	m, err := manifest.Unmarshal(body[:manifest.EncodedSize])
 	if err != nil {
-		http.Error(w, "bad manifest: "+err.Error(), http.StatusBadRequest)
+		httpapi.WriteError(w, http.StatusBadRequest, httpapi.CodeBadRequest, "bad manifest: "+err.Error())
 		return
 	}
 	fw := body[manifest.EncodedSize:]
 	if int(m.Size) != len(fw) {
-		http.Error(w, fmt.Sprintf("manifest says %d firmware bytes, body has %d", m.Size, len(fw)), http.StatusBadRequest)
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"manifest says %d firmware bytes, body has %d", m.Size, len(fw))
 		return
 	}
 	img := &vendorserver.Image{Manifest: *m, Firmware: fw}
 	switch err := s.Publish(img); {
 	case err == nil:
 	case errors.Is(err, ErrStaleVersion):
-		http.Error(w, err.Error(), http.StatusConflict)
+		httpapi.WriteError(w, http.StatusConflict, httpapi.CodeConflict, err.Error())
 		return
 	default:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		httpapi.WriteError(w, http.StatusInternalServerError, httpapi.CodeInternal, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusCreated, publishedJSON{AppID: m.AppID, Version: m.Version})
+	httpapi.WriteJSON(w, http.StatusCreated, publishedJSON{AppID: m.AppID, Version: m.Version})
 }
 
 func (s *Server) handleHTTPStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	httpapi.WriteJSON(w, http.StatusOK, s.Stats())
 }
 
 // HTTPClient fetches updates from a remote update server's HTTP API —

@@ -3,12 +3,14 @@ package updateserver
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
 	"upkit/internal/vendorserver"
 )
@@ -372,16 +374,104 @@ func TestHTTPUpdateRequiresJSONContentType(t *testing.T) {
 	}
 }
 
-func TestHTTPUpdateBodyBounded(t *testing.T) {
+// Oversized bodies answer 413 with the shared envelope on every
+// endpoint — the update endpoint used to say 400 while the images
+// endpoint said 413 for the same condition.
+func TestHTTPOversizedBodiesAnswer413(t *testing.T) {
 	s, ts := newHTTPServer(t)
 	s.publish(t, 0x2A, 1, []byte("v1"))
+
 	huge := `{"deviceId":1,"nonce":2,"pad":"` + strings.Repeat("A", maxTokenBody) + `"}`
 	resp, err := http.Post(ts.URL+"/api/v1/update?app=2a", "application/json", strings.NewReader(huge))
 	if err != nil {
 		t.Fatal(err)
 	}
+	env := decodeErrorEnvelope(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized token body: %d, want 413", resp.StatusCode)
+	}
+	if env.Error.Code != httpapi.CodeTooLarge {
+		t.Fatalf("code = %q, want %q", env.Error.Code, httpapi.CodeTooLarge)
+	}
+
+	resp, err = http.Post(ts.URL+"/api/v1/images", "application/octet-stream",
+		bytes.NewReader(make([]byte, maxImageBody+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env = decodeErrorEnvelope(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized image body: %d, want 413", resp.StatusCode)
+	}
+	if env.Error.Code != httpapi.CodeTooLarge {
+		t.Fatalf("code = %q, want %q", env.Error.Code, httpapi.CodeTooLarge)
+	}
+}
+
+// decodeErrorEnvelope asserts a response carries the shared JSON error
+// envelope and closes the body.
+func decodeErrorEnvelope(t *testing.T, resp *http.Response) httpapi.ErrorBody {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error Content-Type = %q, want application/json", ct)
+	}
+	var env httpapi.ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body is not the envelope: %v", err)
+	}
+	if env.Error.Code == "" || env.Error.Message == "" {
+		t.Fatalf("envelope incomplete: %+v", env)
+	}
+	return env
+}
+
+func TestHTTPWrongMethodAnswers405WithAllow(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/images", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeErrorEnvelope(t, resp)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("Allow = %q, want POST", allow)
+	}
+	if env.Error.Code != httpapi.CodeMethodNotAllowed {
+		t.Fatalf("code = %q", env.Error.Code)
+	}
+
+	// GET on the same path must keep working: stats is GET-only.
+	resp, err = http.Post(ts.URL+"/api/v1/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("oversized token body: %d, want 400", resp.StatusCode)
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST stats: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrorsUseEnvelope(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, err := http.Get(ts.URL + "/api/v1/version?app=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env := decodeErrorEnvelope(t, resp); env.Error.Code != "unknown_app" {
+		t.Fatalf("code = %q, want unknown_app", env.Error.Code)
+	}
+	resp, err = http.Get(ts.URL + "/api/v1/does-not-exist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env := decodeErrorEnvelope(t, resp); env.Error.Code != httpapi.CodeNotFound {
+		t.Fatalf("code = %q, want %q", env.Error.Code, httpapi.CodeNotFound)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"upkit/internal/announce"
+	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
 	"upkit/internal/security"
 	"upkit/internal/telemetry"
@@ -101,6 +102,10 @@ type Server struct {
 	// handles for the request hot path.
 	tel *telemetry.Registry
 	met serverMetrics
+
+	// mounts are extra route sets (e.g. the campaign control plane)
+	// registered onto the Handler's route table; see WithRoutes.
+	mounts []func(*httpapi.Table)
 }
 
 // serverMetrics are the update server's pre-resolved metric handles.
@@ -149,6 +154,18 @@ func WithShards(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
 			s.shards = n
+		}
+	}
+}
+
+// WithRoutes mounts an additional route set onto the server's HTTP
+// route table — the hook the campaign control plane uses to appear on
+// the same mux, same error envelope, same request counting as the
+// update API. The registrar runs once per Handler call.
+func WithRoutes(register func(*httpapi.Table)) Option {
+	return func(s *Server) {
+		if register != nil {
+			s.mounts = append(s.mounts, register)
 		}
 	}
 }

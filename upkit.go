@@ -44,11 +44,13 @@ import (
 	"upkit/internal/agent"
 	"upkit/internal/bootloader"
 	"upkit/internal/coap"
+	"upkit/internal/controlplane"
 	"upkit/internal/device"
 	"upkit/internal/events"
 	"upkit/internal/experiments"
 	"upkit/internal/flash"
 	"upkit/internal/fleet"
+	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
 	"upkit/internal/platform"
 	"upkit/internal/proxy"
@@ -354,22 +356,35 @@ type (
 	// CampaignStage summarises one rollout stage within a report.
 	CampaignStage = fleet.StageSummary
 	// CampaignCheckpoint is a campaign's serializable resume state;
-	// obtain it from Campaign.Checkpoint after an aborted run and feed
-	// it to Campaign.Restore to continue where the run stopped.
+	// obtain it from Campaign.Checkpoint after an aborted or paused run
+	// and feed it to Campaign.Restore to continue where the run stopped.
 	CampaignCheckpoint = fleet.Checkpoint
+	// CampaignProgress is a concurrency-safe snapshot of a campaign —
+	// live per-stage counts, throughput, and ETA while a run is in
+	// flight (Campaign.Progress).
+	CampaignProgress = fleet.Progress
+	// CampaignStageProgress is one stage's tally within a progress
+	// snapshot.
+	CampaignStageProgress = fleet.StageProgress
 	// FleetUpdater is one device's update entry point in a campaign.
 	FleetUpdater = fleet.Updater
 )
 
 // ErrCampaignAborted is returned (wrapped) when a campaign's stage
 // gate trips; ErrBreakerTripped — which wraps ErrCampaignAborted — when
-// the mid-wave circuit breaker halts the rollout.
+// the mid-wave circuit breaker halts the rollout. ErrCampaignPaused
+// marks a run halted by Campaign.Pause: unattempted devices stay
+// pending and the checkpoint re-dispatches exactly them.
 var (
 	ErrCampaignAborted = fleet.ErrCampaignAborted
 	ErrBreakerTripped  = fleet.ErrBreakerTripped
+	ErrCampaignPaused  = fleet.ErrCampaignPaused
 )
 
-// NewCampaign creates a rollout of target across devices.
+// NewCampaign creates a rollout of target across devices. RunContext
+// is the primary entry point (Run is a convenience wrapper); Pause,
+// Progress, and Checkpoint observe and manage the run from other
+// goroutines.
 func NewCampaign(target uint16, policy CampaignPolicy, devices []FleetUpdater) (*Campaign, error) {
 	return fleet.New(target, policy, devices)
 }
@@ -379,6 +394,49 @@ func NewCampaign(target uint16, policy CampaignPolicy, devices []FleetUpdater) (
 func ParseCampaignCheckpoint(blob []byte) (*CampaignCheckpoint, error) {
 	return fleet.ParseCheckpoint(blob)
 }
+
+// Campaign control plane: campaigns as HTTP resources
+// (/api/v1/campaigns) with live progress, pause/resume/abort, and
+// per-device attempt history.
+
+type (
+	// CampaignManager owns server-managed campaigns: creation,
+	// lifecycle transitions, persistence, and the census registry.
+	// Mount it on an update server with UpdateServerRoutes.
+	CampaignManager = controlplane.Manager
+	// CampaignManagerConfig sizes a manager (persistence directory,
+	// fleet and history bounds).
+	CampaignManagerConfig = controlplane.Config
+	// CampaignCensus names the device population a campaign rolls over.
+	CampaignCensus = controlplane.Census
+	// CampaignCreateRequest is the body of POST /api/v1/campaigns.
+	CampaignCreateRequest = controlplane.CreateRequest
+	// CampaignStatus is a campaign's externally visible state.
+	CampaignStatus = controlplane.Status
+	// CampaignClient drives the campaign API over HTTP.
+	CampaignClient = controlplane.Client
+	// DeviceAttempt is one recorded terminal device outcome in a
+	// campaign's per-device history.
+	DeviceAttempt = controlplane.Attempt
+)
+
+// NewCampaignManager opens a campaign control plane rooted at
+// cfg.Dir, reloading persisted campaigns; an empty Dir keeps
+// campaigns in memory only.
+func NewCampaignManager(cfg CampaignManagerConfig) (*CampaignManager, error) {
+	return controlplane.NewManager(cfg)
+}
+
+// UpdateServerRoutes mounts extra route registrations — typically a
+// CampaignManager's Register — on an update server's HTTP API.
+func UpdateServerRoutes(register func(*APIRouteTable)) updateserver.Option {
+	return updateserver.WithRoutes(register)
+}
+
+// APIRouteTable is the unified /api/v1 route table (shared JSON error
+// envelope, 405+Allow, enveloped 404) that all UpKit HTTP surfaces
+// register on.
+type APIRouteTable = httpapi.Table
 
 // SUIT interoperation (§VIII future work).
 
