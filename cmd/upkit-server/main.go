@@ -67,6 +67,7 @@ func run() error {
 	campaignDir := flag.String("campaigns-state", "", "persistence directory for campaigns; empty keeps them in memory only")
 	var images imageList
 	flag.Var(&images, "image", "vendor-signed image file (.upk); repeatable")
+	keysPath := flag.String("keys", "", "key bundle file (.ukb) served at /api/v1/keys and /upkit/keys")
 	flag.Parse()
 
 	if *campaignDir != "" {
@@ -131,6 +132,21 @@ func run() error {
 	}
 
 	server := updateserver.New(suite, key, serverOpts...)
+	if *keysPath != "" {
+		bundle, err := os.ReadFile(*keysPath)
+		if err != nil {
+			return err
+		}
+		// Validate the encoding up front; the server distributes the
+		// bundle opaquely and devices verify it against their root key.
+		kb, err := security.ParseKeyBundle(bundle)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *keysPath, err)
+		}
+		server.SetKeyBundle(bundle)
+		fmt.Printf("key bundle %s: %d record(s), revocation list: %v\n",
+			*keysPath, len(kb.Records), kb.Revocation != nil)
+	}
 	// A short-lived subscription around the publish loop echoes what
 	// watchers will see; it must be released afterwards or it would sit
 	// in the server's subscriber list for the whole process lifetime.

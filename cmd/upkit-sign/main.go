@@ -10,6 +10,12 @@
 //	upkit-sign provision -in app-v1.upk -server-key server.key \
 //	    -device 0xD0D0CAFE -out app-v1.factory.upk
 //	upkit-sign inspect -in app-v2.upk [-vendor-pub vendor.pub]
+//	upkit-sign rotate -root root.key -role server -id 2 \
+//	    -pub server2.pub -out server2.ukr
+//	upkit-sign revoke -root root.key -seq 1 -keys server:1 \
+//	    -out revocations.url
+//	upkit-sign bundle -records server2.ukr -revocation revocations.url \
+//	    -out keys.ukb
 //
 // An .upk file is the wire layout of an update image: the fixed-size
 // manifest followed by the firmware. The update server (upkit-server)
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"upkit/internal/manifest"
 	"upkit/internal/security"
@@ -39,7 +46,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: upkit-sign keygen|release|provision|export-suit|inspect-suit|inspect [flags]")
+		return fmt.Errorf("usage: upkit-sign keygen|release|provision|export-suit|inspect-suit|inspect|rotate|revoke|bundle [flags]")
 	}
 	switch args[0] {
 	case "keygen":
@@ -54,6 +61,12 @@ func run(args []string) error {
 		return inspectSUIT(args[1:])
 	case "inspect":
 		return inspect(args[1:])
+	case "rotate":
+		return rotate(args[1:])
+	case "revoke":
+		return revoke(args[1:])
+	case "bundle":
+		return bundle(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -367,5 +380,191 @@ func inspect(args []string) error {
 		}
 		fmt.Printf("  server sig   %v\n", m.VerifyServerSig(suite, pub))
 	}
+	return nil
+}
+
+// parseRole maps the CLI role name to the wire enum.
+func parseRole(s string) (security.KeyRole, error) {
+	switch s {
+	case "vendor":
+		return security.RoleVendor, nil
+	case "server":
+		return security.RoleServer, nil
+	default:
+		return 0, fmt.Errorf("bad role %q: want vendor or server", s)
+	}
+}
+
+// rotate emits a root-signed key record introducing a new vendor or
+// update-server verification key. Publish the record (in a bundle) and
+// devices start accepting manifests that name the new key ID; pair it
+// with a revoke of the old ID to complete the rotation.
+func rotate(args []string) error {
+	fs := flag.NewFlagSet("rotate", flag.ContinueOnError)
+	rootPath := fs.String("root", "", "vendor root private key file")
+	roleStr := fs.String("role", "", "key role: vendor or server")
+	id := fs.Uint("id", 0, "new key ID (non-zero)")
+	pubPath := fs.String("pub", "", "new verification public key file (.pub)")
+	notBefore := fs.Uint64("not-before", 0, "validity start, Unix seconds (0 = always)")
+	notAfter := fs.Uint64("not-after", 0, "validity end, Unix seconds (0 = no expiry)")
+	out := fs.String("out", "", "output signed key record (.ukr)")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rootPath == "" || *roleStr == "" || *id == 0 || *pubPath == "" || *out == "" {
+		return fmt.Errorf("rotate needs -root, -role, -id, -pub, and -out")
+	}
+	role, err := parseRole(*roleStr)
+	if err != nil {
+		return err
+	}
+	rootData, err := os.ReadFile(*rootPath)
+	if err != nil {
+		return err
+	}
+	root, err := security.DecodePrivateKey(rootData)
+	if err != nil {
+		return err
+	}
+	pubData, err := os.ReadFile(*pubPath)
+	if err != nil {
+		return err
+	}
+	pub, err := security.DecodePublicKey(pubData)
+	if err != nil {
+		return err
+	}
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	rec := &security.KeyRecord{
+		Role:      role,
+		KeyID:     uint32(*id),
+		NotBefore: *notBefore,
+		NotAfter:  *notAfter,
+		Key:       pub,
+	}
+	if err := rec.Sign(suite, root); err != nil {
+		return err
+	}
+	enc, err := rec.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %s key %d (not-before %d, not-after %d)\n",
+		*out, role, *id, *notBefore, *notAfter)
+	return nil
+}
+
+// revoke emits a root-signed revocation list. The -seq counter is the
+// list's own anti-rollback: devices ignore lists whose sequence is not
+// newer than the one they hold, so every new list must carry a higher
+// sequence AND the full set of revoked keys (revocation is cumulative).
+func revoke(args []string) error {
+	fs := flag.NewFlagSet("revoke", flag.ContinueOnError)
+	rootPath := fs.String("root", "", "vendor root private key file")
+	seq := fs.Uint("seq", 0, "revocation sequence number (must exceed the last published)")
+	list := fs.String("keys", "", "comma-separated role:id pairs, e.g. server:1,vendor:3")
+	out := fs.String("out", "", "output signed revocation list (.url)")
+	suiteName := fs.String("suite", "tinycrypt", "crypto suite")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rootPath == "" || *seq == 0 || *list == "" || *out == "" {
+		return fmt.Errorf("revoke needs -root, -seq, -keys, and -out")
+	}
+	rootData, err := os.ReadFile(*rootPath)
+	if err != nil {
+		return err
+	}
+	root, err := security.DecodePrivateKey(rootData)
+	if err != nil {
+		return err
+	}
+	suite, err := security.SuiteByName(*suiteName, nil)
+	if err != nil {
+		return err
+	}
+	rl := &security.RevocationList{Seq: uint32(*seq)}
+	for _, pair := range strings.Split(*list, ",") {
+		roleStr, idStr, ok := strings.Cut(strings.TrimSpace(pair), ":")
+		if !ok {
+			return fmt.Errorf("bad -keys entry %q: want role:id", pair)
+		}
+		role, err := parseRole(roleStr)
+		if err != nil {
+			return err
+		}
+		id, err := parseUint32(idStr)
+		if err != nil {
+			return fmt.Errorf("bad key ID in %q: %w", pair, err)
+		}
+		rl.Revoked = append(rl.Revoked, security.RevocationEntry{Role: role, KeyID: id})
+	}
+	if err := rl.Sign(suite, root); err != nil {
+		return err
+	}
+	enc, err := rl.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: revocation seq %d, %d key(s)\n", *out, *seq, len(rl.Revoked))
+	return nil
+}
+
+// bundle packs signed key records and an optional revocation list into
+// the single blob the update server distributes at /api/v1/keys (HTTP)
+// and /upkit/keys (CoAP).
+func bundle(args []string) error {
+	fs := flag.NewFlagSet("bundle", flag.ContinueOnError)
+	records := fs.String("records", "", "comma-separated signed key record files (.ukr)")
+	revocation := fs.String("revocation", "", "signed revocation list file (.url), optional")
+	out := fs.String("out", "", "output key bundle (.ukb)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *records == "" || *out == "" {
+		return fmt.Errorf("bundle needs -records and -out")
+	}
+	var kb security.KeyBundle
+	for _, path := range strings.Split(*records, ",") {
+		data, err := os.ReadFile(strings.TrimSpace(path))
+		if err != nil {
+			return err
+		}
+		rec, err := security.ParseKeyRecord(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		kb.Records = append(kb.Records, rec)
+	}
+	if *revocation != "" {
+		data, err := os.ReadFile(*revocation)
+		if err != nil {
+			return err
+		}
+		rl, err := security.ParseRevocationList(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *revocation, err)
+		}
+		kb.Revocation = rl
+	}
+	enc, err := kb.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d record(s), revocation %v\n",
+		*out, len(kb.Records), kb.Revocation != nil)
 	return nil
 }

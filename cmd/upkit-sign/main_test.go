@@ -146,3 +146,72 @@ func TestKeygenRandom(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRotationWorkflow drives the key-lifecycle subcommands end to end:
+// generate a root and two server keys, issue a signed record for key 2,
+// revoke key 1, pack both into a bundle, and verify a device-side
+// keystore that trusts only the root accepts the result.
+func TestRotationWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	steps := [][]string{
+		{"keygen", "-seed", "cli-root", "-out", "root"},
+		{"keygen", "-seed", "cli-server2", "-out", "server2"},
+		{"rotate", "-root", "root.key", "-role", "server", "-id", "2",
+			"-pub", "server2.pub", "-not-after", "4102444800", "-out", "server2.ukr"},
+		{"revoke", "-root", "root.key", "-seq", "1", "-keys", "server:1",
+			"-out", "revocations.url"},
+		{"bundle", "-records", "server2.ukr", "-revocation", "revocations.url",
+			"-out", "keys.ukb"},
+	}
+	for _, s := range steps {
+		if err := runIn(t, dir, s...); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+
+	// Round-trip the record file through the parser.
+	recData, err := os.ReadFile(filepath.Join(dir, "server2.ukr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := security.ParseKeyRecord(recData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Role != security.RoleServer || rec.KeyID != 2 || rec.NotAfter != 4102444800 {
+		t.Fatalf("record round-trip mismatch: %+v", rec)
+	}
+
+	// A keystore provisioned with only the root public key must accept
+	// the bundle: record signature valid, revocation applied.
+	root := security.MustGenerateKey("cli-root")
+	suite, err := security.SuiteByName("tinycrypt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := security.NewKeystore(suite, root.Public(), nil)
+	bundleData, err := os.ReadFile(filepath.Join(dir, "keys.ukb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := ks.ApplyBundle(bundleData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 {
+		t.Fatalf("bundle added %d records, want 1", added)
+	}
+	if !ks.IsRevoked(security.RoleServer, 1) {
+		t.Fatal("server key 1 not revoked after bundle")
+	}
+	if _, err := ks.VerificationKey(security.RoleServer, 2); err != nil {
+		t.Fatalf("server key 2 not usable: %v", err)
+	}
+
+	// A record signed by the wrong root must not load.
+	evil := security.MustGenerateKey("cli-evil")
+	eks := security.NewKeystore(suite, evil.Public(), nil)
+	if _, err := eks.ApplyBundle(bundleData); err == nil {
+		t.Fatal("bundle accepted under the wrong root")
+	}
+}

@@ -52,12 +52,12 @@ func main() {
 			upkit.DeploymentOptions{MCU: &nrf, Mode: upkit.BootAB, Differential: true, DeviceID: 0x1001}, 0},
 		{"sensor-02 (nRF52840, static)",
 			upkit.DeploymentOptions{MCU: &nrf, Mode: upkit.BootStatic, DeviceID: 0x1002}, 0},
-		// 88 KiB is the largest sector-aligned slot A that still fits the
+		// 84 KiB is the largest sector-aligned slot A that still fits the
 		// CC2650's 128 KiB internal flash next to the bootloader, swap
-		// scratch, and the two reception-journal sectors; slot B spills
-		// to the external SPI NOR.
+		// scratch, the two reception-journal sectors, and the two
+		// security-counter sectors; slot B spills to the external SPI NOR.
 		{"valve-07  (CC2650, ext flash)",
-			upkit.DeploymentOptions{MCU: &cc2650, Mode: upkit.BootStatic, SlotBytes: 88 * 1024, DeviceID: 0x1003}, 0},
+			upkit.DeploymentOptions{MCU: &cc2650, Mode: upkit.BootStatic, SlotBytes: 84 * 1024, DeviceID: 0x1003}, 0},
 		{"meter-12  (CC2538, diff)",
 			upkit.DeploymentOptions{MCU: &cc2538, Mode: upkit.BootStatic, SlotBytes: 96 * 1024, Differential: true, DeviceID: 0x1004}, 0},
 		{"meter-13  (CC2538, lossy radio)",

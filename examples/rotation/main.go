@@ -1,0 +1,93 @@
+// Rotation: the key-lifecycle walkthrough.
+//
+// A lifecycle deployment factory-provisions the device with a single
+// trust anchor — the vendor ROOT verification key — and introduces the
+// working vendor and update-server keys as root-signed key records.
+// This demo then plays the operator's worst week:
+//
+//  1. the update-server key leaks; it is rotated and revoked, and the
+//     device learns both facts over the (untrusted) update channel;
+//  2. updates keep flowing under the new key;
+//  3. the vendor signing key is rotated too, and the next release —
+//     signed by the new vendor key — still installs.
+//
+// The running image stays bootable throughout: revocation gates new
+// installs, never availability.
+//
+// Run with: go run ./examples/rotation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upkit"
+)
+
+func main() {
+	v1 := upkit.MakeFirmware("rotation-v1", 64*1024)
+	dep, err := upkit.NewDeployment(upkit.DeploymentOptions{
+		Seed:      "rotation",
+		Lifecycle: true, // root key + keystore + key distribution
+	}, v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device is running v%d; keystore holds %d root-signed key records\n",
+		dep.Device.RunningVersion(), len(dep.Keystore.Records()))
+
+	// Normal life: publish and install v2 under server key 1.
+	if err := dep.PublishVersion(2, upkit.MakeFirmware("rotation-v2", 64*1024)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.PullUpdate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed v%d under server key 1\n", dep.Device.RunningVersion())
+
+	// The update-server key leaks. Rotate to key 2 and revoke key 1:
+	// the server starts signing with the new key immediately, and the
+	// published key bundle now carries the new record plus a revocation
+	// list covering the old ID.
+	if _, err := dep.RotateServerKey(); err != nil {
+		log.Fatal(err)
+	}
+	added, err := dep.SyncKeys() // device pulls /upkit/keys over CoAP
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("key sync: %d new record(s); server key 1 revoked on device: %v\n",
+		added, dep.Keystore.IsRevoked(upkit.RoleServer, 1))
+
+	// Anything the attacker signs with the stolen key is now rejected
+	// at manifest verification (see the adversarial testbed tier for
+	// that play-by-play); legitimate updates continue under key 2.
+	if err := dep.PublishVersion(3, upkit.MakeFirmware("rotation-v3", 64*1024)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.PullUpdate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed v%d under server key 2\n", dep.Device.RunningVersion())
+
+	// Rotating the vendor key is the same dance: new root-signed record,
+	// revocation of the old ID, and releases built after the rotation
+	// carry the new vendor key ID in their manifests.
+	if _, err := dep.RotateVendorKey(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dep.SyncKeys(); err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.PublishVersion(4, upkit.MakeFirmware("rotation-v4", 64*1024)); err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.PullUpdate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("installed v%d under vendor key 2 (booted from slot %s)\n",
+		res.Version, res.Booted.Name)
+	fmt.Printf("device keystore: %d records, revocation seq %d\n",
+		len(dep.Keystore.Records()), dep.Keystore.RevocationSeq())
+}

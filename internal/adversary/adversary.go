@@ -1,0 +1,107 @@
+// Package adversary is the attacker toolbox for the adversarial testbed
+// tier: an on-path CoAP interceptor (malicious border router or proxy),
+// payload mutators, and a forge that crafts double-signed updates from a
+// stolen update-server key.
+//
+// Everything here plays the attacker in UpKit's threat model (§II): the
+// update channel — servers' Internet link, proxies, gateways, the radio
+// — is untrusted end to end. The defences under test are the double
+// signature, the per-request nonce, the key lifecycle, and the
+// anti-rollback counter; the attacks are the strongest moves available
+// without the vendor root key.
+package adversary
+
+import (
+	"bytes"
+
+	"upkit/internal/coap"
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+)
+
+// Interceptor is a malicious on-path hop. It forwards exchanges to the
+// inner Exchanger, letting the attacker observe or replace requests and
+// responses in flight — the position of a compromised border router in
+// the pull approach. Wrap a PullClient's Ex with it.
+type Interceptor struct {
+	Inner coap.Exchanger
+	// OnRequest may return a replacement request; nil keeps the
+	// original.
+	OnRequest func(req *coap.Message) *coap.Message
+	// OnResponse may return a replacement response; nil keeps the
+	// original. It sees the (possibly replaced) request for context.
+	OnResponse func(req, resp *coap.Message) *coap.Message
+}
+
+// Exchange implements coap.Exchanger.
+func (i *Interceptor) Exchange(req *coap.Message) (*coap.Message, error) {
+	if i.OnRequest != nil {
+		if alt := i.OnRequest(req); alt != nil {
+			req = alt
+		}
+	}
+	resp, err := i.Inner.Exchange(req)
+	if err != nil {
+		return nil, err
+	}
+	if i.OnResponse != nil {
+		if alt := i.OnResponse(req, resp); alt != nil {
+			resp = alt
+		}
+	}
+	return resp, nil
+}
+
+// FlipBitInBlock returns an OnResponse hook that flips one bit in the
+// payload of image block num — a proxy corrupting firmware mid-transfer.
+// Other resources and other blocks pass through untouched, so the
+// transfer proceeds normally until the mutated block reaches the
+// device's digest pipeline.
+func FlipBitInBlock(num uint32, bit int) func(req, resp *coap.Message) *coap.Message {
+	return func(req, resp *coap.Message) *coap.Message {
+		if req.Path() != coap.PathImage || len(resp.Payload) == 0 {
+			return nil
+		}
+		raw, has := resp.Option(coap.OptBlock2)
+		if !has {
+			return nil
+		}
+		b, err := coap.ParseBlock(raw)
+		if err != nil || b.Num != num {
+			return nil
+		}
+		resp.Payload = bytes.Clone(resp.Payload)
+		resp.Payload[(bit/8)%len(resp.Payload)] ^= 1 << (bit % 8)
+		return resp
+	}
+}
+
+// ForgeUpdate crafts a double-signed update from a captured vendor-
+// signed image using a stolen update-server key: the attacker fills the
+// token fields for the victim device and re-signs, byte-for-byte what
+// the legitimate server would produce. Both signatures verify — only
+// the key lifecycle (a revoked server key ID) or the manifest gates
+// (nonce, version, anti-rollback, expiry) can stop it, which is exactly
+// what the compromise scenarios assert.
+func ForgeUpdate(suite security.Suite, img *vendorserver.Image, stolen *security.PrivateKey, keyID uint32, tok manifest.DeviceToken) (*updateserver.Update, error) {
+	m := img.Manifest // copy; the captured image stays pristine
+	m.DeviceID = tok.DeviceID
+	m.Nonce = tok.Nonce
+	m.OldVersion = 0 // full image: the attacker has no differential base
+	m.PatchSize = 0
+	m.ServerKeyID = keyID
+	if err := m.SignServer(suite, stolen); err != nil {
+		return nil, err
+	}
+	enc, err := m.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &updateserver.Update{
+		Manifest:      m,
+		ManifestBytes: enc,
+		Payload:       bytes.Clone(img.Firmware),
+	}, nil
+}

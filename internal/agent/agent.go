@@ -135,6 +135,16 @@ type Config struct {
 	// and contributes the device's verification time to the update's
 	// phase span. Nil drops all samples.
 	Telemetry *telemetry.Registry
+	// SecVer, when set, is the device's persisted anti-rollback counter:
+	// manifests with a lower security version are rejected, and the
+	// counter is advanced — durably — before a staged image is marked
+	// complete, so the bootloader's re-check sees the new floor even if
+	// power is lost before the swap.
+	SecVer *slot.SecurityCounter
+	// TimeSource supplies Unix-seconds wall time for manifest expiry
+	// checks; nil (or a source returning 0) disables expiry enforcement
+	// — the behaviour of a device without a real-time clock.
+	TimeSource func() uint64
 }
 
 // measure charges fn's virtual time to phase when attribution is on.
@@ -154,11 +164,19 @@ func (a *Agent) setState(to State) {
 }
 
 // reject counts an early rejection (the paper's headline property: bad
-// manifests die before a single firmware byte is transferred).
-func (a *Agent) reject(kind string) {
+// manifests die before a single firmware byte is transferred). err
+// additionally feeds the cross-layer upkit_reject_total family, labelled
+// with the exact verification property that failed, so an operator can
+// tell a replay ("nonce") from a downgrade ("rollback") from a revoked
+// key at a glance.
+func (a *Agent) reject(kind string, err error) {
 	a.cfg.Telemetry.Counter("upkit_agent_rejections_total",
 		"Updates rejected by the agent, by verification stage.",
 		telemetry.L("kind", kind)).Inc()
+	a.cfg.Telemetry.Counter("upkit_reject_total",
+		"Update images rejected, by layer and verification reason.",
+		telemetry.L("layer", "agent"),
+		telemetry.L("reason", verifier.Reason(err))).Inc()
 }
 
 // spanKey identifies the in-flight update's phase span: the same
@@ -350,7 +368,7 @@ func (a *Agent) Receive(data []byte) (Status, error) {
 		}
 		if err := a.acceptManifest(); err != nil {
 			a.cfg.Events.Emit(events.KindManifestRejected, 0, err.Error())
-			a.reject("manifest")
+			a.reject("manifest", err)
 			a.clean()
 			return StatusNeedMore, err
 		}
@@ -382,7 +400,7 @@ func (a *Agent) Receive(data []byte) (Status, error) {
 		}
 		if err := a.finishFirmware(); err != nil {
 			a.cfg.Events.Emit(events.KindFirmwareRejected, a.m.Version, err.Error())
-			a.reject("firmware")
+			a.reject("firmware", err)
 			a.clean()
 			return StatusNeedMore, err
 		}
@@ -406,6 +424,12 @@ func (a *Agent) acceptManifest() error {
 		DeviceID:       a.cfg.DeviceID,
 		AppID:          a.cfg.AppID,
 		CurrentVersion: a.currentVersion(),
+	}
+	if a.cfg.SecVer != nil {
+		dev.SecurityVersion = a.cfg.SecVer.Value()
+	}
+	if a.cfg.TimeSource != nil {
+		dev.Now = a.cfg.TimeSource()
 	}
 	dst := verifier.SlotInfo{LinkBase: a.target.LinkBase, Capacity: a.target.Capacity()}
 	if err := a.timedVerify(m.Version, func() error {
@@ -502,6 +526,20 @@ func (a *Agent) finishFirmware() error {
 		return a.cfg.Verifier.VerifyFirmware(r, a.m)
 	}); err != nil {
 		return err
+	}
+	// Advance the anti-rollback counter BEFORE marking the slot
+	// complete: if power is lost between the two writes, the device
+	// re-downloads the same (equal) security version — fine — whereas
+	// the opposite order would leave a completed image the bootloader's
+	// re-check has no persisted floor for.
+	if a.cfg.SecVer != nil && a.m.SecurityVersion > a.cfg.SecVer.Value() {
+		if err := a.cfg.SecVer.Advance(a.m.SecurityVersion); err != nil {
+			return fmt.Errorf("agent: security counter: %w", err)
+		}
+		a.cfg.Events.Emit(events.KindSecVerAdvanced, a.m.Version,
+			fmt.Sprintf("sec v%d", a.m.SecurityVersion))
+		a.cfg.Telemetry.Counter("upkit_secver_advances_total",
+			"Anti-rollback security-counter advances.").Inc()
 	}
 	if err := a.target.MarkComplete(); err != nil {
 		return err

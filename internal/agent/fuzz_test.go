@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"upkit/internal/manifest"
 	"upkit/internal/slot"
 )
 
@@ -13,7 +14,7 @@ import (
 
 func FuzzReceive(f *testing.F) {
 	f.Add([]byte{}, uint8(16))
-	f.Add(make([]byte, 193), uint8(1))
+	f.Add(make([]byte, manifest.EncodedSize), uint8(1))
 	f.Add([]byte{0x55, 0x50, 0x4B, 0x54, 0x01}, uint8(7)) // UPKT magic prefix
 	f.Fuzz(func(t *testing.T, data []byte, chunkSel uint8) {
 		r := newRig(t, false)

@@ -133,11 +133,17 @@ func (a *Agent) resumeFromRecord(rec *slot.ReceptionRecord) (ResumeInfo, error) 
 		AppID:          a.cfg.AppID,
 		CurrentVersion: a.currentVersion(),
 	}
+	if a.cfg.SecVer != nil {
+		dev.SecurityVersion = a.cfg.SecVer.Value()
+	}
+	if a.cfg.TimeSource != nil {
+		dev.Now = a.cfg.TimeSource()
+	}
 	dst := verifier.SlotInfo{LinkBase: target.LinkBase, Capacity: target.Capacity()}
 	if err := a.timedVerify(m.Version, func() error {
 		return a.cfg.Verifier.VerifyManifestForAgent(m, rec.Token, dev, dst)
 	}); err != nil {
-		a.reject("resume")
+		a.reject("resume", err)
 		return ResumeInfo{}, err
 	}
 

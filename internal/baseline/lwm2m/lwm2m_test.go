@@ -8,6 +8,7 @@ import (
 
 	"upkit/internal/baseline/mcumgr"
 	"upkit/internal/flash"
+	"upkit/internal/manifest"
 	"upkit/internal/security"
 	"upkit/internal/slot"
 	"upkit/internal/updateserver"
@@ -148,7 +149,7 @@ func TestCompromisedGatewayDowngrades(t *testing.T) {
 func TestWireSize(t *testing.T) {
 	r := newRig(t)
 	img := r.publish(t, 2, make([]byte, 1000))
-	if got := WireSize(img); got != 1000+193 {
-		t.Fatalf("WireSize = %d, want 1193", got)
+	if got := WireSize(img); got != 1000+manifest.EncodedSize {
+		t.Fatalf("WireSize = %d, want %d", got, 1000+manifest.EncodedSize)
 	}
 }

@@ -106,6 +106,17 @@ type Config struct {
 	// Telemetry, when set, counts boot outcomes (ok, installed,
 	// rolled-back, failed). Nil drops all samples.
 	Telemetry *telemetry.Registry
+	// SecVer, when set, is the persisted anti-rollback counter. Staged
+	// (Complete, never-booted) images are re-checked against it at boot
+	// — the second half of the double verification now covers rollback
+	// too — and the counter is ratcheted forward after an image is
+	// confirmed. Images that have already booted (Confirmed) and the
+	// recovery image are exempt: the counter gates what may be
+	// installed, never what may keep running.
+	SecVer *slot.SecurityCounter
+	// TimeSource supplies Unix-seconds time for manifest-expiry checks
+	// on staged images; nil disables them.
+	TimeSource func() uint64
 }
 
 // Result describes a completed boot.
@@ -172,7 +183,16 @@ func (b *Bootloader) measure(phase string, fn func() error) error {
 
 // validate runs the full boot-side verification of the image in s,
 // assuming it will execute from execSlot.
-func (b *Bootloader) validate(s, execSlot *slot.Slot) (*manifest.Manifest, error) {
+//
+// Lifecycle strictness is keyed off the slot state: a Complete image was
+// staged by the agent but has never booted, so it gets the strict check
+// — anti-rollback counter, manifest expiry, and key revocation all
+// enforced. A Confirmed image has already been running; it is
+// grandfathered (VerifyConfirmedForBoot), because revoking a key or
+// advancing the counter must never brick a device that is otherwise
+// healthy. forceLenient additionally exempts the factory recovery image,
+// the availability last resort.
+func (b *Bootloader) validate(s, execSlot *slot.Slot, forceLenient bool) (*manifest.Manifest, error) {
 	st, err := s.State()
 	if err != nil {
 		return nil, err
@@ -184,19 +204,61 @@ func (b *Bootloader) validate(s, execSlot *slot.Slot) (*manifest.Manifest, error
 	if err != nil {
 		return nil, err
 	}
+	strict := st == slot.StateComplete && !forceLenient
 	dev := verifier.DeviceInfo{DeviceID: b.cfg.DeviceID, AppID: b.cfg.AppID, CurrentVersion: 0}
 	dst := verifier.SlotInfo{LinkBase: execSlot.LinkBase, Capacity: execSlot.Capacity()}
-	if err := b.cfg.Verifier.VerifyManifestForBoot(m, dev, dst); err != nil {
-		return nil, err
+	var verr error
+	if strict {
+		if b.cfg.SecVer != nil {
+			dev.SecurityVersion = b.cfg.SecVer.Value()
+		}
+		if b.cfg.TimeSource != nil {
+			dev.Now = b.cfg.TimeSource()
+		}
+		verr = b.cfg.Verifier.VerifyManifestForBoot(m, dev, dst)
+	} else {
+		verr = b.cfg.Verifier.VerifyConfirmedForBoot(m, dev, dst)
 	}
-	r, err := s.FirmwareReader()
-	if err != nil {
-		return nil, err
+	if verr == nil {
+		if r, rerr := s.FirmwareReader(); rerr != nil {
+			verr = rerr
+		} else {
+			verr = b.cfg.Verifier.VerifyFirmware(r, m)
+		}
 	}
-	if err := b.cfg.Verifier.VerifyFirmware(r, m); err != nil {
-		return nil, err
+	if verr != nil {
+		b.rejectImage(s, m, strict, verr)
+		return nil, verr
 	}
 	return m, nil
+}
+
+// rejectImage records a failed boot-time verification: every failure
+// feeds the cross-layer upkit_reject_total family, and a rejected staged
+// image (strict check) additionally emits KindStagedRejected — the
+// bootloader refused to promote it and the previous image keeps running.
+func (b *Bootloader) rejectImage(s *slot.Slot, m *manifest.Manifest, strict bool, err error) {
+	b.cfg.Telemetry.Counter("upkit_reject_total",
+		"Update images rejected, by layer and verification reason.",
+		telemetry.L("layer", "bootloader"),
+		telemetry.L("reason", verifier.Reason(err))).Inc()
+	if strict {
+		b.cfg.Events.Emit(events.KindStagedRejected, m.Version,
+			fmt.Sprintf("slot %s: %v", s.Name, err))
+	}
+}
+
+// ratchet advances the anti-rollback counter to cover a confirmed
+// image. The agent normally advances it before staging; this covers
+// images that arrived by other paths (factory provisioning, recovery).
+func (b *Bootloader) ratchet(m *manifest.Manifest) error {
+	if b.cfg.SecVer == nil || m == nil {
+		return nil
+	}
+	if err := b.cfg.SecVer.Advance(m.SecurityVersion); err != nil {
+		return fmt.Errorf("bootloader: security counter: %w", err)
+	}
+	return nil
 }
 
 // Boot verifies and loads an image according to the configured mode.
@@ -249,7 +311,7 @@ func (b *Bootloader) bootAB() (Result, error) {
 		var m *manifest.Manifest
 		err := b.measure(PhaseVerification, func() error {
 			var verr error
-			m, verr = b.validate(s, s)
+			m, verr = b.validate(s, s, false)
 			return verr
 		})
 		if err != nil {
@@ -265,6 +327,9 @@ func (b *Bootloader) bootAB() (Result, error) {
 		}
 		if st, _ := s.State(); st == slot.StateComplete {
 			if err := s.MarkConfirmed(); err != nil {
+				return Result{}, err
+			}
+			if err := b.ratchet(m); err != nil {
 				return Result{}, err
 			}
 		}
@@ -309,7 +374,7 @@ func (b *Bootloader) bootStatic() (Result, error) {
 		var stagedManifest *manifest.Manifest
 		stageErr := b.measure(PhaseVerification, func() error {
 			var verr error
-			stagedManifest, verr = b.validate(staging, boot)
+			stagedManifest, verr = b.validate(staging, boot, false)
 			return verr
 		})
 		if stageErr == nil && stagedManifest.Version > boot.Version() {
@@ -337,7 +402,7 @@ func (b *Bootloader) bootStatic() (Result, error) {
 	if !verifiedBySwap {
 		bootErr = b.measure(PhaseVerification, func() error {
 			var verr error
-			m, verr = b.validate(boot, boot)
+			m, verr = b.validate(boot, boot, false)
 			return verr
 		})
 	}
@@ -356,7 +421,7 @@ func (b *Bootloader) bootStatic() (Result, error) {
 		rolledBack = true
 		bootErr = b.measure(PhaseVerification, func() error {
 			var verr error
-			m, verr = b.validate(boot, boot)
+			m, verr = b.validate(boot, boot, false)
 			return verr
 		})
 	}
@@ -373,6 +438,9 @@ func (b *Bootloader) bootStatic() (Result, error) {
 		if err := boot.MarkConfirmed(); err != nil {
 			return Result{}, err
 		}
+		if err := b.ratchet(m); err != nil {
+			return Result{}, err
+		}
 	}
 	if err := b.jump(); err != nil {
 		return Result{}, err
@@ -387,8 +455,11 @@ func (b *Bootloader) recover(cause error) (*manifest.Manifest, error) {
 	if b.cfg.Recovery == nil {
 		return nil, cause
 	}
+	// The recovery image is exempt from lifecycle strictness (lenient
+	// validate): it may predate key rotations and counter advances, and
+	// it is the availability last resort.
 	recErr := b.measure(PhaseVerification, func() error {
-		_, verr := b.validate(b.cfg.Recovery, b.cfg.Boot)
+		_, verr := b.validate(b.cfg.Recovery, b.cfg.Boot, true)
 		return verr
 	})
 	if recErr != nil {
@@ -402,7 +473,7 @@ func (b *Bootloader) recover(cause error) (*manifest.Manifest, error) {
 	var m *manifest.Manifest
 	err := b.measure(PhaseVerification, func() error {
 		var verr error
-		m, verr = b.validate(b.cfg.Boot, b.cfg.Boot)
+		m, verr = b.validate(b.cfg.Boot, b.cfg.Boot, true)
 		return verr
 	})
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"upkit/internal/agent"
+	"upkit/internal/events"
 	"upkit/internal/manifest"
 	"upkit/internal/telemetry"
 	"upkit/internal/transport"
@@ -19,12 +20,15 @@ import (
 //
 //	GET  /upkit/version?app=<hex>      → 2-byte latest version
 //	POST /upkit/request?app=<hex>      body: device token (10 B)
-//	                                   → manifest (193 B)
+//	                                   → manifest (213 B)
 //	GET  /upkit/image?d=<hex>&n=<hex>  → payload, Block2 transfer
+//	GET  /upkit/keys                   → key bundle (root-signed records
+//	                                     + revocation list)
 const (
 	PathVersion = "/upkit/version"
 	PathRequest = "/upkit/request"
 	PathImage   = "/upkit/image"
+	PathKeys    = "/upkit/keys"
 )
 
 // DefaultBlockSize is the Block2 size used by the pull client; 64 bytes
@@ -76,6 +80,7 @@ type PullServer struct {
 	reqVersion *telemetry.Counter
 	reqRequest *telemetry.Counter
 	reqImage   *telemetry.Counter
+	reqKeys    *telemetry.Counter
 	reqOther   *telemetry.Counter
 	blocks     *telemetry.Counter
 }
@@ -92,6 +97,7 @@ func NewPullServer(updates *updateserver.Server) *PullServer {
 	s.reqVersion = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "version"))
 	s.reqRequest = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "request"))
 	s.reqImage = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "image"))
+	s.reqKeys = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "keys"))
 	s.reqOther = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "other"))
 	s.blocks = reg.Counter("upkit_coap_blocks_total", "Block2 payload blocks served.")
 	return s
@@ -109,6 +115,9 @@ func (s *PullServer) Handle(req *Message) *Message {
 	case req.Code == CodeGET && req.Path() == PathImage:
 		s.reqImage.Inc()
 		return s.handleImage(req)
+	case req.Code == CodeGET && req.Path() == PathKeys:
+		s.reqKeys.Inc()
+		return s.handleKeys()
 	default:
 		s.reqOther.Inc()
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
@@ -167,6 +176,17 @@ func (s *PullServer) handleRequest(req *Message) *Message {
 	s.sessions[key] = &session{manifest: u.ManifestBytes, payload: u.Payload}
 	s.mu.Unlock()
 	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: u.ManifestBytes}
+}
+
+// handleKeys serves the update server's published key bundle. A bundle
+// is a few hundred bytes at most (bounded record and revocation counts),
+// so it travels as a single response rather than a Block2 transfer.
+func (s *PullServer) handleKeys() *Message {
+	b := s.Updates.KeyBundle()
+	if len(b) == 0 {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: b}
 }
 
 func (s *PullServer) handleImage(req *Message) *Message {
@@ -239,8 +259,51 @@ type PullClient struct {
 	// testbed uses it to advance the simulated clock; real deployments
 	// can sleep.
 	Backoff func(attempt int)
+	// Keys, when set, receives key bundles fetched by SyncKeys — the
+	// device's keystore in lifecycle deployments.
+	Keys KeySink
+	// Events receives key-sync lifecycle events; nil drops them.
+	Events *events.Log
 
 	token []byte
+}
+
+// KeySink applies an encoded key bundle (root-signed key records plus a
+// revocation list); security.Keystore satisfies it.
+type KeySink interface {
+	ApplyBundle(b []byte) (int, error)
+}
+
+// SyncKeys fetches the server's key bundle and applies it to the
+// client's KeySink, returning the number of new key records learned.
+// A server without a published bundle (CodeNotFound) is a no-op: the
+// deployment simply does not use key lifecycle. Records with bad root
+// signatures and stale revocation lists are rejected by the keystore —
+// the update channel is untrusted, only the root signature counts.
+func (c *PullClient) SyncKeys() (int, error) {
+	if c.Keys == nil {
+		return 0, nil
+	}
+	req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
+	req.SetPath(PathKeys)
+	resp, err := c.exchange(req)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Code == CodeNotFound {
+		return 0, nil
+	}
+	if resp.Code != CodeContent {
+		return 0, fmt.Errorf("%w: %s", ErrServerRefused, resp.Code)
+	}
+	added, err := c.Keys.ApplyBundle(resp.Payload)
+	if err != nil {
+		return added, fmt.Errorf("coap: key bundle rejected: %w", err)
+	}
+	if added > 0 {
+		c.Events.Emit(events.KindKeysUpdated, 0, fmt.Sprintf("%d new key records", added))
+	}
+	return added, nil
 }
 
 // retryableTransport reports whether err is a transient transport

@@ -61,6 +61,15 @@ type Options struct {
 	Suite security.Suite
 	// Keys are the provisioned verification keys.
 	Keys verifier.Keys
+	// KeySource, when set, overrides Keys with a lifecycle-aware key
+	// resolver (typically a security.Keystore fed by key bundles): the
+	// verifier then honours key IDs, rotation, revocation, and validity
+	// windows.
+	KeySource verifier.KeySource
+	// TimeSource supplies Unix-seconds wall time for manifest-expiry
+	// checks; nil models a device without a real-time clock (expiry is
+	// not enforced).
+	TimeSource func() uint64
 	// DeviceID and AppID identify the device and its application.
 	DeviceID uint32
 	AppID    uint32
@@ -119,6 +128,8 @@ type Device struct {
 	journal    flash.Region
 	rjournal   flash.Region
 	recJournal *slot.ReceptionJournal
+	secRegion  flash.Region
+	secVer     *slot.SecurityCounter
 	running    *slot.Slot
 	reboots    int
 
@@ -130,12 +141,13 @@ type Device struct {
 
 // New builds a device per opts. The internal flash layout is
 //
-//	[bootloader][slot A][slot B*][scratch][swap journal][reception journal]
+//	[bootloader][slot A][slot B*][scratch][swap journal][reception journal][security counter]
 //
 // with slot B placed on external flash when the MCU has one and its
 // internal flash cannot hold both slots (the CC2650 case, §V). The
-// reception journal spans two sectors so the latest download
-// checkpoint always survives the journal ring's own sector erases.
+// reception journal and the anti-rollback security counter each span
+// two sectors so their latest record always survives their ring's own
+// sector erases.
 func New(opts Options) (*Device, error) {
 	if opts.Suite == nil {
 		return nil, errors.New("device: options need a crypto suite")
@@ -155,8 +167,9 @@ func New(opts Options) (*Device, error) {
 	}
 
 	sector := opts.MCU.Internal.SectorSize
-	// scratch + swap journal + 2-sector reception journal
-	overhead := opts.MCU.ReservedBootloader + 4*sector
+	// scratch + swap journal + 2-sector reception journal + 2-sector
+	// security counter
+	overhead := opts.MCU.ReservedBootloader + 6*sector
 	slotBytes := opts.SlotBytes
 	// Internal slots: A and B, plus the recovery slot when it cannot go
 	// to external flash.
@@ -215,6 +228,14 @@ func New(opts Options) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
+	secRegion, err := flash.NewRegion(internal, afterB+4*sector, 2*sector)
+	if err != nil {
+		return nil, err
+	}
+	secVer, err := slot.NewSecurityCounter(secRegion)
+	if err != nil {
+		return nil, err
+	}
 	var recovery *slot.Slot
 	if opts.WithRecovery {
 		var recRegion flash.Region
@@ -226,7 +247,7 @@ func New(opts Options) (*Device, error) {
 			}
 			recRegion, err = flash.NewRegion(external, recOffset, slotBytes)
 		} else {
-			recRegion, err = flash.NewRegion(internal, afterB+4*sector, slotBytes)
+			recRegion, err = flash.NewRegion(internal, afterB+6*sector, slotBytes)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("%w: recovery slot", ErrTooSmallFlash)
@@ -253,6 +274,7 @@ func New(opts Options) (*Device, error) {
 	phases := simclock.NewTimer(clock)
 	log := events.NewLog(clock, 0)
 	ver := verifier.New(opts.Suite, opts.Keys, clock)
+	ver.Source = opts.KeySource
 	bl, err := bootloader.New(bootloader.Config{
 		Mode:      opts.Mode,
 		Boot:      slotA,
@@ -262,13 +284,15 @@ func New(opts Options) (*Device, error) {
 		Journal:          journal,
 		ReceptionJournal: rjournal,
 		Verifier:         ver,
-		DeviceID:  opts.DeviceID,
-		AppID:     opts.AppID,
-		Clock:     clock,
-		JumpTime:  opts.JumpTime,
-		Phases:    phases,
-		Events:    log,
-		Telemetry: opts.Telemetry,
+		DeviceID:   opts.DeviceID,
+		AppID:      opts.AppID,
+		Clock:      clock,
+		JumpTime:   opts.JumpTime,
+		Phases:     phases,
+		Events:     log,
+		Telemetry:  opts.Telemetry,
+		SecVer:     secVer,
+		TimeSource: opts.TimeSource,
 	})
 	if err != nil {
 		return nil, err
@@ -292,6 +316,8 @@ func New(opts Options) (*Device, error) {
 		journal:    journal,
 		rjournal:   rjournal,
 		recJournal: recJournal,
+		secRegion:  secRegion,
+		secVer:     secVer,
 	}
 	if err := d.rebuildAgent(); err != nil {
 		return nil, err
@@ -321,6 +347,8 @@ func (d *Device) rebuildAgent() error {
 		CheckpointEvery:     d.opts.CheckpointEvery,
 		Events:              d.Events,
 		Telemetry:           d.opts.Telemetry,
+		SecVer:              d.secVer,
+		TimeSource:          d.opts.TimeSource,
 	})
 	if err != nil {
 		return err
@@ -336,6 +364,10 @@ func (d *Device) Running() *slot.Slot { return d.running }
 // ReceptionPending reports whether the reception journal holds a valid
 // download checkpoint (i.e. an interrupted transfer awaits resume).
 func (d *Device) ReceptionPending() bool { return slot.ReceptionPending(d.rjournal) }
+
+// SecurityVersion reports the persisted anti-rollback counter: the
+// highest manifest security version the device has accepted.
+func (d *Device) SecurityVersion() uint32 { return d.secVer.Value() }
 
 // RunningVersion reports the executing firmware version, or 0.
 func (d *Device) RunningVersion() uint16 {

@@ -51,6 +51,17 @@ const (
 	KindReceptionSuspended
 	// KindReceptionResumed: a journaled download was picked up again.
 	KindReceptionResumed
+	// KindSecVerAdvanced: the persisted anti-rollback counter moved
+	// forward (before the staged image was marked complete).
+	KindSecVerAdvanced
+	// KindStagedRejected: the bootloader refused a staged (Complete but
+	// never booted) image at its boot-time re-check — e.g. its signing
+	// key was revoked, or its security version regressed — and kept the
+	// previous image running.
+	KindStagedRejected
+	// KindKeysUpdated: the device applied a key bundle (new key records
+	// and/or a revocation list).
+	KindKeysUpdated
 )
 
 // String names the kind.
@@ -84,6 +95,12 @@ func (k Kind) String() string {
 		return "reception-suspended"
 	case KindReceptionResumed:
 		return "reception-resumed"
+	case KindSecVerAdvanced:
+		return "secver-advanced"
+	case KindStagedRejected:
+		return "staged-rejected"
+	case KindKeysUpdated:
+		return "keys-updated"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

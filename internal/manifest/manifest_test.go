@@ -11,24 +11,29 @@ import (
 
 func sampleManifest() *Manifest {
 	return &Manifest{
-		AppID:          0xA11CE5,
-		Version:        7,
-		Size:           102400,
-		FirmwareDigest: security.Digest{1, 2, 3, 4},
-		LinkOffset:     0x2_0000,
-		DeviceID:       0xDEADBEEF,
-		Nonce:          0xCAFE0001,
-		OldVersion:     6,
-		PatchSize:      2048,
+		AppID:           0xA11CE5,
+		Version:         7,
+		Size:            102400,
+		FirmwareDigest:  security.Digest{1, 2, 3, 4},
+		LinkOffset:      0x2_0000,
+		SecurityVersion: 3,
+		NotAfter:        1_900_000_000,
+		VendorKeyID:     2,
+		DeviceID:        0xDEADBEEF,
+		Nonce:           0xCAFE0001,
+		OldVersion:      6,
+		PatchSize:       2048,
+		ServerKeyID:     5,
 	}
 }
 
 func TestEncodedSizeIsStable(t *testing.T) {
-	// The wire format is a contract with deployed devices: 51-byte
-	// vendor part + 64-byte signature + 14-byte token part + 64-byte
-	// signature.
-	if EncodedSize != 193 {
-		t.Fatalf("EncodedSize = %d, want 193", EncodedSize)
+	// The wire format is a contract with deployed devices: 67-byte
+	// vendor part (v2 added security version, expiry, and vendor key
+	// ID) + 64-byte signature + 18-byte token part (v2 added the server
+	// key ID) + 64-byte signature.
+	if EncodedSize != 213 {
+		t.Fatalf("EncodedSize = %d, want 213", EncodedSize)
 	}
 }
 

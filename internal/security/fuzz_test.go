@@ -1,0 +1,138 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The lifecycle parsers consume bytes straight off the update channel
+// (the key bundle travels the same untrusted path as firmware), so each
+// one gets the same contract as the manifest decoder: never panic,
+// fail with a typed error, and re-encode accepted input canonically.
+
+func fuzzSuite(f *testing.F) Suite {
+	f.Helper()
+	s, err := SuiteByName("tinycrypt", nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return s
+}
+
+func FuzzParseSignature(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, SignatureSize))
+	f.Add(make([]byte, SignatureSize+1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sig, err := ParseSignature(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(sig[:], data) {
+			t.Fatal("parsed signature differs from input")
+		}
+	})
+}
+
+func FuzzParseKeyRecord(f *testing.F) {
+	suite := fuzzSuite(f)
+	root := MustGenerateKey("fuzz-root")
+	rec := &KeyRecord{
+		Role:     RoleServer,
+		KeyID:    2,
+		NotAfter: 4102444800,
+		Key:      MustGenerateKey("fuzz-k2").Public(),
+	}
+	if err := rec.Sign(suite, root); err != nil {
+		f.Fatal(err)
+	}
+	enc, err := rec.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(enc)
+	f.Add(enc[:len(enc)-1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseKeyRecord(data)
+		if err != nil {
+			return
+		}
+		reenc, err := r.MarshalBinary()
+		if err != nil {
+			t.Fatalf("parsed record failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatal("key record round-trip mismatch")
+		}
+	})
+}
+
+func FuzzParseRevocationList(f *testing.F) {
+	suite := fuzzSuite(f)
+	root := MustGenerateKey("fuzz-root")
+	rl := &RevocationList{
+		Seq: 7,
+		Revoked: []RevocationEntry{
+			{Role: RoleVendor, KeyID: 1},
+			{Role: RoleServer, KeyID: 3},
+		},
+	}
+	if err := rl.Sign(suite, root); err != nil {
+		f.Fatal(err)
+	}
+	enc, err := rl.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(enc)
+	f.Add(enc[:11]) // header only, entry count promising more than present
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseRevocationList(data)
+		if err != nil {
+			return
+		}
+		reenc, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatalf("parsed list failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatal("revocation list round-trip mismatch")
+		}
+	})
+}
+
+func FuzzParseKeyBundle(f *testing.F) {
+	suite := fuzzSuite(f)
+	root := MustGenerateKey("fuzz-root")
+	rec := &KeyRecord{Role: RoleVendor, KeyID: 1, Key: MustGenerateKey("fuzz-k1").Public()}
+	if err := rec.Sign(suite, root); err != nil {
+		f.Fatal(err)
+	}
+	rl := &RevocationList{Seq: 1, Revoked: []RevocationEntry{{Role: RoleServer, KeyID: 1}}}
+	if err := rl.Sign(suite, root); err != nil {
+		f.Fatal(err)
+	}
+	kb := &KeyBundle{Records: []*KeyRecord{rec}, Revocation: rl}
+	enc, err := kb.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte{})
+	f.Add(enc)
+	f.Add(enc[:11]) // header declaring records that never arrive
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ParseKeyBundle(data)
+		if err != nil {
+			return
+		}
+		reenc, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("parsed bundle failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatal("key bundle round-trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,548 @@
+// Key lifecycle: versioned key records, revocation lists, and the
+// device-side keystore that honours them.
+//
+// The paper's double-signature design assumes static vendor and update
+// server keys. ASSURED-style threat models make the keys themselves part
+// of the attack surface: an update-server key can leak, a vendor key can
+// be scheduled out of service. This file adds the minimum machinery for
+// an explicit key lifecycle:
+//
+//   - KeyRecord: a versioned (role, key ID) → public-key binding with a
+//     validity window, signed by the vendor ROOT key. The root key is
+//     provisioned at the factory and is the only key that cannot be
+//     rotated online; everything else derives its authority from it.
+//   - RevocationList: a monotonically-sequenced list of (role, key ID)
+//     pairs withdrawn from service, also root-signed. The sequence
+//     number is the list's own anti-rollback counter: a device never
+//     accepts a list older than one it has already applied.
+//   - KeyBundle: the wire container (records + optional revocation list)
+//     distributed to devices over the ordinary update channel.
+//   - Keystore: the device-resident table mapping (role, key ID) to a
+//     verification key plus its lifecycle state.
+//
+// All encodings are fixed-width big-endian, like the manifest: a
+// constrained device parses them with no dynamic allocation beyond the
+// record count, and every malformed input maps to a typed error — never
+// a panic.
+package security
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// KeyRole says which signature a key verifies.
+type KeyRole uint8
+
+const (
+	// RoleVendor keys verify the vendor part of a manifest and key
+	// records themselves.
+	RoleVendor KeyRole = 1
+	// RoleServer keys verify the update server's per-request signature.
+	RoleServer KeyRole = 2
+)
+
+// String names the role for error messages and telemetry labels.
+func (r KeyRole) String() string {
+	switch r {
+	case RoleVendor:
+		return "vendor"
+	case RoleServer:
+		return "server"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+func (r KeyRole) valid() bool { return r == RoleVendor || r == RoleServer }
+
+// Wire magics for the lifecycle encodings.
+const (
+	// KeyRecordMagic identifies a signed key record ("UPKR").
+	KeyRecordMagic uint32 = 0x55504B52
+	// RevocationMagic identifies a signed revocation list ("UPRL").
+	RevocationMagic uint32 = 0x5550524C
+	// BundleMagic identifies a key bundle ("UPKB").
+	BundleMagic uint32 = 0x55504B42
+)
+
+// LifecycleFormatVersion is the layout revision of all three encodings.
+const LifecycleFormatVersion uint8 = 1
+
+// Wire sizes.
+const (
+	// keyRecordBodySize is the root-signed region of a key record:
+	// magic(4) ver(1) role(1) keyID(4) notBefore(8) notAfter(8) pub(64).
+	keyRecordBodySize = 4 + 1 + 1 + 4 + 8 + 8 + PublicKeySize // 90
+	// KeyRecordEncodedSize is the exact size of an encoded key record.
+	KeyRecordEncodedSize = keyRecordBodySize + SignatureSize // 154
+
+	// revocationHeaderSize is magic(4) ver(1) seq(4) count(2).
+	revocationHeaderSize = 4 + 1 + 4 + 2 // 11
+	// revocationEntrySize is role(1) keyID(4).
+	revocationEntrySize = 1 + 4
+
+	// bundleHeaderSize is magic(4) ver(1) recordCount(2) rlLen(4).
+	bundleHeaderSize = 4 + 1 + 2 + 4 // 11
+
+	// MaxRevocationEntries bounds a revocation list so a malformed count
+	// cannot drive a large allocation on a constrained device.
+	MaxRevocationEntries = 1024
+	// MaxBundleRecords bounds the records in one bundle likewise.
+	MaxBundleRecords = 256
+)
+
+// Lifecycle errors. Parse errors wrap ErrBadRecordEncoding; state errors
+// have their own sentinels so the verifier can name the exact reason an
+// image was rejected.
+var (
+	ErrBadRecordEncoding = errors.New("security: malformed key-lifecycle encoding")
+	ErrRecordSig         = errors.New("security: key-lifecycle record signature invalid")
+	ErrUnknownKey        = errors.New("security: unknown key ID")
+	ErrKeyRevoked        = errors.New("security: key revoked")
+	ErrKeyExpired        = errors.New("security: key outside validity window")
+	ErrStaleRevocation   = errors.New("security: revocation list sequence not newer")
+)
+
+// KeyRecord binds a public key to a (role, key ID) pair for a validity
+// window. Records are signed by the vendor root key; a device accepts a
+// record into its keystore only after verifying that signature.
+type KeyRecord struct {
+	// Role says which signature the key verifies.
+	Role KeyRole
+	// KeyID distinguishes successive keys for one role. IDs are chosen
+	// by the vendor and carried in the manifest so the device knows
+	// which key to verify with.
+	KeyID uint32
+	// NotBefore and NotAfter bound the validity window in Unix seconds.
+	// Zero NotAfter means no expiry; zero NotBefore means valid from the
+	// beginning of time.
+	NotBefore uint64
+	NotAfter  uint64
+	// Key is the verification key itself.
+	Key *PublicKey
+	// Sig is the root key's signature over the record body.
+	Sig Signature
+}
+
+// signingBytes returns the root-signed region.
+func (r *KeyRecord) signingBytes() []byte {
+	buf := make([]byte, keyRecordBodySize)
+	binary.BigEndian.PutUint32(buf[0:4], KeyRecordMagic)
+	buf[4] = LifecycleFormatVersion
+	buf[5] = byte(r.Role)
+	binary.BigEndian.PutUint32(buf[6:10], r.KeyID)
+	binary.BigEndian.PutUint64(buf[10:18], r.NotBefore)
+	binary.BigEndian.PutUint64(buf[18:26], r.NotAfter)
+	copy(buf[26:26+PublicKeySize], r.Key.Bytes())
+	return buf
+}
+
+// Sign computes and installs the root signature.
+func (r *KeyRecord) Sign(suite Suite, root *PrivateKey) error {
+	if r.Key == nil {
+		return fmt.Errorf("security: sign key record: nil public key")
+	}
+	if !r.Role.valid() {
+		return fmt.Errorf("security: sign key record: invalid role %d", r.Role)
+	}
+	sig, err := suite.Sign(root, suite.Digest(r.signingBytes()))
+	if err != nil {
+		return fmt.Errorf("security: sign key record: %w", err)
+	}
+	r.Sig = sig
+	return nil
+}
+
+// Verify checks the root signature over the record.
+func (r *KeyRecord) Verify(suite Suite, root *PublicKey) bool {
+	if r.Key == nil || !r.Role.valid() {
+		return false
+	}
+	return suite.Verify(root, suite.Digest(r.signingBytes()), r.Sig)
+}
+
+// MarshalBinary encodes the record in its fixed wire layout.
+func (r *KeyRecord) MarshalBinary() ([]byte, error) {
+	if r.Key == nil {
+		return nil, fmt.Errorf("security: encode key record: nil public key")
+	}
+	buf := make([]byte, KeyRecordEncodedSize)
+	copy(buf, r.signingBytes())
+	copy(buf[keyRecordBodySize:], r.Sig[:])
+	return buf, nil
+}
+
+// ParseKeyRecord decodes a key record. It validates the framing and that
+// the embedded public key is on-curve, but does NOT check the root
+// signature — that is the keystore's job, with the provisioned root key.
+func ParseKeyRecord(data []byte) (*KeyRecord, error) {
+	if len(data) != KeyRecordEncodedSize {
+		return nil, fmt.Errorf("%w: key record is %d bytes, want %d", ErrBadRecordEncoding, len(data), KeyRecordEncodedSize)
+	}
+	if got := binary.BigEndian.Uint32(data[0:4]); got != KeyRecordMagic {
+		return nil, fmt.Errorf("%w: key record magic 0x%08X", ErrBadRecordEncoding, got)
+	}
+	if data[4] != LifecycleFormatVersion {
+		return nil, fmt.Errorf("%w: key record format %d", ErrBadRecordEncoding, data[4])
+	}
+	var r KeyRecord
+	r.Role = KeyRole(data[5])
+	if !r.Role.valid() {
+		return nil, fmt.Errorf("%w: key record role %d", ErrBadRecordEncoding, data[5])
+	}
+	r.KeyID = binary.BigEndian.Uint32(data[6:10])
+	r.NotBefore = binary.BigEndian.Uint64(data[10:18])
+	r.NotAfter = binary.BigEndian.Uint64(data[18:26])
+	if r.NotAfter != 0 && r.NotAfter < r.NotBefore {
+		return nil, fmt.Errorf("%w: key record validity window inverted", ErrBadRecordEncoding)
+	}
+	key, err := ParsePublicKey(data[26 : 26+PublicKeySize])
+	if err != nil {
+		return nil, fmt.Errorf("%w: key record public key: %v", ErrBadRecordEncoding, err)
+	}
+	r.Key = key
+	copy(r.Sig[:], data[keyRecordBodySize:])
+	return &r, nil
+}
+
+// RevocationEntry names one withdrawn key.
+type RevocationEntry struct {
+	Role  KeyRole
+	KeyID uint32
+}
+
+// RevocationList withdraws keys from service. Seq is the list's own
+// monotonic anti-rollback counter: devices reject a list whose Seq does
+// not advance past the one they have already applied, so an attacker
+// cannot "un-revoke" a key by replaying an older list.
+type RevocationList struct {
+	Seq     uint32
+	Revoked []RevocationEntry
+	Sig     Signature
+}
+
+// signingBytes returns the root-signed region.
+func (l *RevocationList) signingBytes() []byte {
+	buf := make([]byte, revocationHeaderSize+len(l.Revoked)*revocationEntrySize)
+	binary.BigEndian.PutUint32(buf[0:4], RevocationMagic)
+	buf[4] = LifecycleFormatVersion
+	binary.BigEndian.PutUint32(buf[5:9], l.Seq)
+	binary.BigEndian.PutUint16(buf[9:11], uint16(len(l.Revoked)))
+	off := revocationHeaderSize
+	for _, e := range l.Revoked {
+		buf[off] = byte(e.Role)
+		binary.BigEndian.PutUint32(buf[off+1:off+5], e.KeyID)
+		off += revocationEntrySize
+	}
+	return buf
+}
+
+// Sign computes and installs the root signature.
+func (l *RevocationList) Sign(suite Suite, root *PrivateKey) error {
+	if len(l.Revoked) > MaxRevocationEntries {
+		return fmt.Errorf("security: sign revocation list: %d entries exceeds %d", len(l.Revoked), MaxRevocationEntries)
+	}
+	sig, err := suite.Sign(root, suite.Digest(l.signingBytes()))
+	if err != nil {
+		return fmt.Errorf("security: sign revocation list: %w", err)
+	}
+	l.Sig = sig
+	return nil
+}
+
+// Verify checks the root signature over the list.
+func (l *RevocationList) Verify(suite Suite, root *PublicKey) bool {
+	return suite.Verify(root, suite.Digest(l.signingBytes()), l.Sig)
+}
+
+// MarshalBinary encodes the list in its wire layout.
+func (l *RevocationList) MarshalBinary() ([]byte, error) {
+	if len(l.Revoked) > MaxRevocationEntries {
+		return nil, fmt.Errorf("security: encode revocation list: %d entries exceeds %d", len(l.Revoked), MaxRevocationEntries)
+	}
+	body := l.signingBytes()
+	buf := make([]byte, len(body)+SignatureSize)
+	copy(buf, body)
+	copy(buf[len(body):], l.Sig[:])
+	return buf, nil
+}
+
+// ParseRevocationList decodes a revocation list. Like ParseKeyRecord it
+// validates framing only; signature checking is the keystore's job.
+func ParseRevocationList(data []byte) (*RevocationList, error) {
+	if len(data) < revocationHeaderSize+SignatureSize {
+		return nil, fmt.Errorf("%w: revocation list is %d bytes, want at least %d", ErrBadRecordEncoding, len(data), revocationHeaderSize+SignatureSize)
+	}
+	if got := binary.BigEndian.Uint32(data[0:4]); got != RevocationMagic {
+		return nil, fmt.Errorf("%w: revocation magic 0x%08X", ErrBadRecordEncoding, got)
+	}
+	if data[4] != LifecycleFormatVersion {
+		return nil, fmt.Errorf("%w: revocation format %d", ErrBadRecordEncoding, data[4])
+	}
+	var l RevocationList
+	l.Seq = binary.BigEndian.Uint32(data[5:9])
+	count := int(binary.BigEndian.Uint16(data[9:11]))
+	if count > MaxRevocationEntries {
+		return nil, fmt.Errorf("%w: revocation list has %d entries, max %d", ErrBadRecordEncoding, count, MaxRevocationEntries)
+	}
+	want := revocationHeaderSize + count*revocationEntrySize + SignatureSize
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: revocation list is %d bytes, want %d for %d entries", ErrBadRecordEncoding, len(data), want, count)
+	}
+	l.Revoked = make([]RevocationEntry, count)
+	off := revocationHeaderSize
+	for i := range l.Revoked {
+		role := KeyRole(data[off])
+		if !role.valid() {
+			return nil, fmt.Errorf("%w: revocation entry role %d", ErrBadRecordEncoding, data[off])
+		}
+		l.Revoked[i] = RevocationEntry{Role: role, KeyID: binary.BigEndian.Uint32(data[off+1 : off+5])}
+		off += revocationEntrySize
+	}
+	copy(l.Sig[:], data[off:])
+	return &l, nil
+}
+
+// KeyBundle is the distribution container: the full set of key records a
+// device should know plus the current revocation list. Bundles travel
+// over the ordinary (unauthenticated) update channel — every record and
+// the list carry their own root signature, so a tampered bundle is
+// simply rejected piecewise.
+type KeyBundle struct {
+	Records    []*KeyRecord
+	Revocation *RevocationList
+}
+
+// MarshalBinary encodes the bundle.
+func (b *KeyBundle) MarshalBinary() ([]byte, error) {
+	if len(b.Records) > MaxBundleRecords {
+		return nil, fmt.Errorf("security: encode bundle: %d records exceeds %d", len(b.Records), MaxBundleRecords)
+	}
+	var rl []byte
+	if b.Revocation != nil {
+		var err error
+		rl, err = b.Revocation.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+	}
+	buf := make([]byte, bundleHeaderSize, bundleHeaderSize+len(b.Records)*KeyRecordEncodedSize+len(rl))
+	binary.BigEndian.PutUint32(buf[0:4], BundleMagic)
+	buf[4] = LifecycleFormatVersion
+	binary.BigEndian.PutUint16(buf[5:7], uint16(len(b.Records)))
+	binary.BigEndian.PutUint32(buf[7:11], uint32(len(rl)))
+	for _, r := range b.Records {
+		enc, err := r.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, enc...)
+	}
+	buf = append(buf, rl...)
+	return buf, nil
+}
+
+// ParseKeyBundle decodes a bundle, parsing each record and the optional
+// revocation list. Framing only; signatures are checked on apply.
+func ParseKeyBundle(data []byte) (*KeyBundle, error) {
+	if len(data) < bundleHeaderSize {
+		return nil, fmt.Errorf("%w: bundle is %d bytes, want at least %d", ErrBadRecordEncoding, len(data), bundleHeaderSize)
+	}
+	if got := binary.BigEndian.Uint32(data[0:4]); got != BundleMagic {
+		return nil, fmt.Errorf("%w: bundle magic 0x%08X", ErrBadRecordEncoding, got)
+	}
+	if data[4] != LifecycleFormatVersion {
+		return nil, fmt.Errorf("%w: bundle format %d", ErrBadRecordEncoding, data[4])
+	}
+	count := int(binary.BigEndian.Uint16(data[5:7]))
+	if count > MaxBundleRecords {
+		return nil, fmt.Errorf("%w: bundle has %d records, max %d", ErrBadRecordEncoding, count, MaxBundleRecords)
+	}
+	rlLen := int(binary.BigEndian.Uint32(data[7:11]))
+	want := bundleHeaderSize + count*KeyRecordEncodedSize + rlLen
+	if len(data) != want {
+		return nil, fmt.Errorf("%w: bundle is %d bytes, want %d for %d records", ErrBadRecordEncoding, len(data), want, count)
+	}
+	b := &KeyBundle{Records: make([]*KeyRecord, count)}
+	off := bundleHeaderSize
+	for i := range b.Records {
+		r, err := ParseKeyRecord(data[off : off+KeyRecordEncodedSize])
+		if err != nil {
+			return nil, err
+		}
+		b.Records[i] = r
+		off += KeyRecordEncodedSize
+	}
+	if rlLen > 0 {
+		l, err := ParseRevocationList(data[off:])
+		if err != nil {
+			return nil, err
+		}
+		b.Revocation = l
+	}
+	return b, nil
+}
+
+// keyRef indexes a keystore entry.
+type keyRef struct {
+	role KeyRole
+	id   uint32
+}
+
+// Keystore is the device-resident key table: (role, key ID) → record,
+// plus the applied revocation state. It trusts exactly one key — the
+// provisioned root — and derives everything else from root-signed
+// records. Safe for concurrent use.
+type Keystore struct {
+	suite Suite
+	root  *PublicKey
+	// now supplies Unix-seconds time for validity-window checks; nil
+	// disables expiry checking (a device without a clock).
+	now func() uint64
+
+	mu      sync.RWMutex
+	keys    map[keyRef]*KeyRecord
+	revoked map[keyRef]bool
+	rlSeq   uint32
+	rlSeen  bool
+}
+
+// NewKeystore builds an empty keystore anchored at root. now may be nil
+// on devices without a time source; validity windows are then ignored.
+func NewKeystore(suite Suite, root *PublicKey, now func() uint64) *Keystore {
+	return &Keystore{
+		suite:   suite,
+		root:    root,
+		now:     now,
+		keys:    make(map[keyRef]*KeyRecord),
+		revoked: make(map[keyRef]bool),
+	}
+}
+
+// AddRecord verifies rec against the root key and installs it. A record
+// for an already-known (role, key ID) replaces the old one — re-issuing
+// a record with a shortened validity window is how a vendor expires a
+// key early without revoking it.
+func (ks *Keystore) AddRecord(rec *KeyRecord) error {
+	if rec == nil || rec.Key == nil {
+		return fmt.Errorf("%w: nil record", ErrBadRecordEncoding)
+	}
+	if !rec.Verify(ks.suite, ks.root) {
+		return fmt.Errorf("%w: key record %s/%d", ErrRecordSig, rec.Role, rec.KeyID)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.keys[keyRef{rec.Role, rec.KeyID}] = rec
+	return nil
+}
+
+// ApplyRevocation verifies the list against the root key and applies it
+// if its sequence number advances past the last applied list. Revocation
+// is cumulative and irreversible: entries from earlier lists stay
+// revoked even if a later list omits them.
+func (ks *Keystore) ApplyRevocation(l *RevocationList) error {
+	if l == nil {
+		return fmt.Errorf("%w: nil revocation list", ErrBadRecordEncoding)
+	}
+	if !l.Verify(ks.suite, ks.root) {
+		return fmt.Errorf("%w: revocation list seq %d", ErrRecordSig, l.Seq)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if ks.rlSeen && l.Seq <= ks.rlSeq {
+		return fmt.Errorf("%w: got seq %d, have %d", ErrStaleRevocation, l.Seq, ks.rlSeq)
+	}
+	ks.rlSeq = l.Seq
+	ks.rlSeen = true
+	for _, e := range l.Revoked {
+		ks.revoked[keyRef{e.Role, e.KeyID}] = true
+	}
+	return nil
+}
+
+// ApplyBundle parses and applies an encoded bundle: every record that
+// verifies is installed, then the revocation list (if present and newer)
+// is applied. It returns how many records were installed. A bundle whose
+// revocation list is stale is not an error for the records — a device
+// syncing against a lagging mirror still learns new keys — but the
+// stale-list error is returned so callers can surface it.
+func (ks *Keystore) ApplyBundle(data []byte) (int, error) {
+	b, err := ParseKeyBundle(data)
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	for _, rec := range b.Records {
+		if err := ks.AddRecord(rec); err != nil {
+			return added, err
+		}
+		added++
+	}
+	if b.Revocation != nil {
+		if err := ks.ApplyRevocation(b.Revocation); err != nil && !errors.Is(err, ErrStaleRevocation) {
+			return added, err
+		}
+	}
+	return added, nil
+}
+
+// RevocationSeq returns the sequence number of the last applied
+// revocation list, or 0 if none has been applied.
+func (ks *Keystore) RevocationSeq() uint32 {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.rlSeq
+}
+
+// VerificationKey resolves (role, keyID) to a verification key together
+// with its lifecycle state. When the key is known but revoked or outside
+// its validity window, the key is returned ALONGSIDE the error: the
+// bootloader grandfathers already-confirmed images whose key has since
+// been revoked (availability: revoking a key must not brick devices
+// already running firmware it signed), so it needs the key material even
+// when the lifecycle says "no new images".
+func (ks *Keystore) VerificationKey(role KeyRole, keyID uint32) (*PublicKey, error) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	ref := keyRef{role, keyID}
+	rec, ok := ks.keys[ref]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownKey, role, keyID)
+	}
+	if ks.revoked[ref] {
+		return rec.Key, fmt.Errorf("%w: %s/%d", ErrKeyRevoked, role, keyID)
+	}
+	if ks.now != nil {
+		now := ks.now()
+		if now != 0 {
+			if now < rec.NotBefore {
+				return rec.Key, fmt.Errorf("%w: %s/%d not valid before %d (now %d)", ErrKeyExpired, role, keyID, rec.NotBefore, now)
+			}
+			if rec.NotAfter != 0 && now > rec.NotAfter {
+				return rec.Key, fmt.Errorf("%w: %s/%d expired at %d (now %d)", ErrKeyExpired, role, keyID, rec.NotAfter, now)
+			}
+		}
+	}
+	return rec.Key, nil
+}
+
+// IsRevoked reports whether (role, keyID) has been revoked.
+func (ks *Keystore) IsRevoked(role KeyRole, keyID uint32) bool {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.revoked[keyRef{role, keyID}]
+}
+
+// Records returns a snapshot of the installed records, for inspection.
+func (ks *Keystore) Records() []*KeyRecord {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	out := make([]*KeyRecord, 0, len(ks.keys))
+	for _, rec := range ks.keys {
+		out = append(out, rec)
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package security
+
+import (
+	"errors"
+	"testing"
+)
+
+func lcSuite(t *testing.T) Suite {
+	t.Helper()
+	s, err := SuiteByName("tinycrypt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func signedRecord(t *testing.T, suite Suite, root *PrivateKey, role KeyRole, id uint32, notBefore, notAfter uint64) *KeyRecord {
+	t.Helper()
+	rec := &KeyRecord{
+		Role:      role,
+		KeyID:     id,
+		NotBefore: notBefore,
+		NotAfter:  notAfter,
+		Key:       MustGenerateKey(role.String() + "-" + string(rune('0'+id))).Public(),
+	}
+	if err := rec.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestKeyRecordRoundTrip(t *testing.T) {
+	suite := lcSuite(t)
+	root := MustGenerateKey("lc-root")
+	rec := signedRecord(t, suite, root, RoleVendor, 3, 100, 200)
+	enc, err := rec.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseKeyRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Role != rec.Role || got.KeyID != rec.KeyID ||
+		got.NotBefore != rec.NotBefore || got.NotAfter != rec.NotAfter {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if !got.Verify(suite, root.Public()) {
+		t.Fatal("parsed record fails verification")
+	}
+	if got.Verify(suite, MustGenerateKey("lc-other").Public()) {
+		t.Fatal("record verifies under the wrong root")
+	}
+}
+
+func TestRevocationListRoundTrip(t *testing.T) {
+	suite := lcSuite(t)
+	root := MustGenerateKey("lc-root")
+	rl := &RevocationList{Seq: 9, Revoked: []RevocationEntry{
+		{Role: RoleVendor, KeyID: 1}, {Role: RoleServer, KeyID: 4},
+	}}
+	if err := rl.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := rl.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseRevocationList(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 9 || len(got.Revoked) != 2 || got.Revoked[1].KeyID != 4 {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	if !got.Verify(suite, root.Public()) {
+		t.Fatal("parsed list fails verification")
+	}
+
+	// Tampering with an entry invalidates the signature.
+	enc[12] ^= 1
+	if tampered, err := ParseRevocationList(enc); err == nil &&
+		tampered.Verify(suite, root.Public()) {
+		t.Fatal("tampered list still verifies")
+	}
+}
+
+func TestKeystoreLifecycle(t *testing.T) {
+	suite := lcSuite(t)
+	root := MustGenerateKey("lc-root")
+	var now uint64 = 1000
+	ks := NewKeystore(suite, root.Public(), func() uint64 { return now })
+
+	// Unknown key.
+	if _, err := ks.VerificationKey(RoleVendor, 1); !errors.Is(err, ErrUnknownKey) {
+		t.Fatalf("err = %v, want ErrUnknownKey", err)
+	}
+
+	// Valid record inside its window.
+	rec := signedRecord(t, suite, root, RoleVendor, 1, 500, 2000)
+	if err := ks.AddRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.VerificationKey(RoleVendor, 1); err != nil {
+		t.Fatalf("valid key rejected: %v", err)
+	}
+
+	// A record signed by a non-root key must not install.
+	forged := signedRecord(t, suite, MustGenerateKey("lc-evil"), RoleVendor, 7, 0, 0)
+	if err := ks.AddRecord(forged); !errors.Is(err, ErrRecordSig) {
+		t.Fatalf("forged record err = %v, want ErrRecordSig", err)
+	}
+
+	// Expiry: the key material comes back ALONGSIDE the error, for the
+	// bootloader's grandfathering of already-running images.
+	now = 3000
+	key, err := ks.VerificationKey(RoleVendor, 1)
+	if !errors.Is(err, ErrKeyExpired) {
+		t.Fatalf("expired key err = %v, want ErrKeyExpired", err)
+	}
+	if key == nil {
+		t.Fatal("expired key material withheld")
+	}
+	now = 100 // before NotBefore
+	if _, err := ks.VerificationKey(RoleVendor, 1); !errors.Is(err, ErrKeyExpired) {
+		t.Fatalf("premature key err = %v, want ErrKeyExpired", err)
+	}
+	now = 1000
+
+	// Revocation.
+	rl := &RevocationList{Seq: 1, Revoked: []RevocationEntry{{Role: RoleVendor, KeyID: 1}}}
+	if err := rl.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.ApplyRevocation(rl); err != nil {
+		t.Fatal(err)
+	}
+	key, err = ks.VerificationKey(RoleVendor, 1)
+	if !errors.Is(err, ErrKeyRevoked) {
+		t.Fatalf("revoked key err = %v, want ErrKeyRevoked", err)
+	}
+	if key == nil {
+		t.Fatal("revoked key material withheld (grandfathering needs it)")
+	}
+
+	// Stale and replayed lists are refused; revocation is irreversible.
+	empty := &RevocationList{Seq: 1}
+	if err := empty.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.ApplyRevocation(empty); !errors.Is(err, ErrStaleRevocation) {
+		t.Fatalf("replayed list err = %v, want ErrStaleRevocation", err)
+	}
+	later := &RevocationList{Seq: 2} // omits the vendor/1 entry
+	if err := later.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	if err := ks.ApplyRevocation(later); err != nil {
+		t.Fatal(err)
+	}
+	if !ks.IsRevoked(RoleVendor, 1) {
+		t.Fatal("revocation reversed by a later list omitting the entry")
+	}
+	if ks.RevocationSeq() != 2 {
+		t.Fatalf("revocation seq = %d, want 2", ks.RevocationSeq())
+	}
+}
+
+func TestKeyBundleApply(t *testing.T) {
+	suite := lcSuite(t)
+	root := MustGenerateKey("lc-root")
+	recs := []*KeyRecord{
+		signedRecord(t, suite, root, RoleVendor, 1, 0, 0),
+		signedRecord(t, suite, root, RoleServer, 1, 0, 0),
+		signedRecord(t, suite, root, RoleServer, 2, 0, 0),
+	}
+	rl := &RevocationList{Seq: 1, Revoked: []RevocationEntry{{Role: RoleServer, KeyID: 1}}}
+	if err := rl.Sign(suite, root); err != nil {
+		t.Fatal(err)
+	}
+	kb := &KeyBundle{Records: recs, Revocation: rl}
+	enc, err := kb.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ks := NewKeystore(suite, root.Public(), nil)
+	added, err := ks.ApplyBundle(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 3 {
+		t.Fatalf("added %d records, want 3", added)
+	}
+	if !ks.IsRevoked(RoleServer, 1) || ks.IsRevoked(RoleServer, 2) {
+		t.Fatal("bundle revocation state wrong")
+	}
+
+	// Re-applying the same bundle: records re-install idempotently, the
+	// stale revocation list is tolerated (ApplyBundle swallows
+	// ErrStaleRevocation so lagging mirrors stay usable).
+	if _, err := ks.ApplyBundle(enc); err != nil {
+		t.Fatalf("re-apply: %v", err)
+	}
+
+	// Nil-keystore time source means no expiry enforcement even with a
+	// bounded window.
+	bounded := signedRecord(t, suite, root, RoleVendor, 9, 1, 2)
+	if err := ks.AddRecord(bounded); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.VerificationKey(RoleVendor, 9); err != nil {
+		t.Fatalf("clockless device enforced expiry: %v", err)
+	}
+}

@@ -1,0 +1,169 @@
+package slot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"upkit/internal/flash"
+)
+
+// SecurityCounter is the device's persisted anti-rollback state: the
+// highest manifest security version the device has ever accepted. The
+// agent advances it *before* marking a staged image complete, so by the
+// time the bootloader considers swapping, the counter already covers the
+// new image — a power loss anywhere in between leaves the device either
+// on the old image with the counter advanced (safe: equal-or-newer
+// images still install) or on the new image, never in a state where a
+// rolled-back image would be accepted.
+//
+// Storage follows the reception journal's NOR ring discipline: a ring of
+// fixed 16-byte frames across at least two sectors, monotonically
+// sequenced, erase-on-sector-entry, so the frame holding the current
+// value never lives in the sector being erased. Torn frames fail their
+// CRC and are skipped.
+//
+// Frame layout (big endian):
+//
+//	magic "UPSV" | seq uint32 | value uint32 | crc32
+const (
+	secFrameSize  = 16
+	secMagic      = uint32(0x55505356) // "UPSV"
+	secHeaderSize = 4 + 4
+)
+
+// ErrSecCounterTooSmall is returned when the counter region spans fewer
+// than two sectors.
+var ErrSecCounterTooSmall = errors.New("slot: security counter needs at least two sectors")
+
+// SecurityCounter manages the counter region. Like ReceptionJournal, the
+// cursor/sequence cache is rebuilt from flash whenever unknown, so the
+// struct holds no durable state of its own.
+type SecurityCounter struct {
+	region    flash.Region
+	frames    int
+	perSector int
+
+	scanned bool
+	nextSeq uint32
+	cursor  int
+	value   uint32
+}
+
+// NewSecurityCounter wraps region, which must span at least two sectors.
+func NewSecurityCounter(region flash.Region) (*SecurityCounter, error) {
+	if region.Sectors() < 2 {
+		return nil, ErrSecCounterTooSmall
+	}
+	sector := region.Mem.Geometry().SectorSize
+	return &SecurityCounter{
+		region:    region,
+		frames:    region.Length / secFrameSize,
+		perSector: sector / secFrameSize,
+	}, nil
+}
+
+// frameAt reads and validates frame i, returning (value, seq, ok).
+func (c *SecurityCounter) frameAt(i int) (uint32, uint32, bool) {
+	frame := make([]byte, secFrameSize)
+	if err := c.region.ReadAt(i*secFrameSize, frame); err != nil {
+		return 0, 0, false
+	}
+	if binary.BigEndian.Uint32(frame) != secMagic {
+		return 0, 0, false
+	}
+	if crc32.ChecksumIEEE(frame[:12]) != binary.BigEndian.Uint32(frame[12:]) {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint32(frame[8:12]), binary.BigEndian.Uint32(frame[4:8]), true
+}
+
+// scan rebuilds the value/cursor/sequence cache from flash.
+func (c *SecurityCounter) scan() {
+	bestFrame := -1
+	var bestSeq, bestVal uint32
+	for i := range c.frames {
+		val, seq, ok := c.frameAt(i)
+		if !ok {
+			continue
+		}
+		if bestFrame < 0 || seq > bestSeq {
+			bestFrame, bestSeq, bestVal = i, seq, val
+		}
+	}
+	c.value = bestVal
+	c.nextSeq = bestSeq + 1
+	c.cursor = 0
+	if bestFrame >= 0 {
+		c.cursor = (bestFrame + 1) % c.frames
+	}
+	c.scanned = true
+}
+
+// Value returns the persisted counter, or zero when none has ever been
+// written (factory state).
+func (c *SecurityCounter) Value() uint32 {
+	if !c.scanned {
+		c.scan()
+	}
+	return c.value
+}
+
+// Advance persists v as the new counter value if it is greater than the
+// current one; lower or equal values are a no-op (the counter is
+// monotonic by construction). The write is durable before Advance
+// returns.
+func (c *SecurityCounter) Advance(v uint32) error {
+	if !c.scanned {
+		c.scan()
+	}
+	if v <= c.value {
+		return nil
+	}
+	frame := make([]byte, secFrameSize)
+	binary.BigEndian.PutUint32(frame, secMagic)
+	binary.BigEndian.PutUint32(frame[4:], c.nextSeq)
+	binary.BigEndian.PutUint32(frame[8:], v)
+	binary.BigEndian.PutUint32(frame[12:], crc32.ChecksumIEEE(frame[:12]))
+
+	// Same probe discipline as the reception journal: entering a sector
+	// erases it whole; torn (non-blank) frames inside a sector are
+	// skipped.
+	for probe := 0; probe <= c.frames+c.perSector; probe++ {
+		at := c.cursor
+		if at%c.perSector == 0 {
+			if err := c.region.EraseSectorAt(at * secFrameSize); err != nil {
+				c.scanned = false
+				return fmt.Errorf("slot: security counter erase: %w", err)
+			}
+		} else if !c.frameBlank(at) {
+			c.cursor = (at + 1) % c.frames
+			continue
+		}
+		if err := c.region.ProgramAt(at*secFrameSize, frame); err != nil {
+			c.scanned = false
+			return fmt.Errorf("slot: security counter write: %w", err)
+		}
+		c.cursor = (at + 1) % c.frames
+		c.nextSeq++
+		c.value = v
+		return nil
+	}
+	c.scanned = false
+	return errors.New("slot: security counter has no free frame")
+}
+
+// frameBlank reports whether frame i is fully erased.
+func (c *SecurityCounter) frameBlank(i int) bool {
+	buf := make([]byte, secFrameSize)
+	if err := c.region.ReadAt(i*secFrameSize, buf); err != nil {
+		return false
+	}
+	for _, b := range buf {
+		if b != 0xFF {
+			return false
+		}
+	}
+	return true
+}

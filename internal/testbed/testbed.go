@@ -73,6 +73,13 @@ type Options struct {
 	// in flushed bytes; zero keeps the agent default (four pipeline
 	// buffers).
 	CheckpointEvery int
+	// Lifecycle enables the key-lifecycle wiring: a vendor root key is
+	// derived from Seed, the vendor and server signing keys get explicit
+	// key IDs (starting at 1) bound by root-signed KeyRecords, the device
+	// verifies through a Keystore instead of static keys, and the bed
+	// gains rotation/revocation helpers. Incompatible with SharedVendor/
+	// SharedUpdate (the bed must own the signing keys it rotates).
+	Lifecycle bool
 }
 
 // Bed is a wired deployment.
@@ -85,12 +92,31 @@ type Bed struct {
 	// Link is the device's radio link (BLE for push, 802.15.4 for pull).
 	Link *transport.Link
 
+	// Keystore is the device's lifecycle key table (nil unless
+	// Options.Lifecycle). Root is the vendor root signing key — in a
+	// real deployment it lives in the vendor's HSM; the bed holds it to
+	// issue records and revocations.
+	Keystore *security.Keystore
+	Root     *security.PrivateKey
+
 	opts Options
 	tel  *telemetry.Registry
 	// pull is the bed's single CoAP pull server: its session table must
 	// survive across PullClient calls so a device resuming after a power
 	// cycle re-joins the same prepared session (same payload bytes).
 	pull *coap.PullServer
+
+	// Key-lifecycle state: the signing keys currently in service, the
+	// issued records (re-published in every bundle), and the cumulative
+	// revocation set with its sequence counter.
+	vendorKey, serverKey     *security.PrivateKey
+	vendorKeyID, serverKeyID uint32
+	records                  []*security.KeyRecord
+	revoked                  []security.RevocationEntry
+	rlSeq                    uint32
+	// epoch anchors the simulated wall clock (Unix seconds at boot); the
+	// device clock's virtual elapsed time is added on top.
+	epoch uint64
 }
 
 // Telemetry returns the registry the bed reports into.
@@ -132,13 +158,18 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Lifecycle && (opts.SharedVendor != nil || opts.SharedUpdate != nil) {
+		return nil, errors.New("testbed: Lifecycle requires bed-owned servers")
+	}
+	vendorKey := security.MustGenerateKey(opts.Seed + "-vendor")
+	serverKey := security.MustGenerateKey(opts.Seed + "-server")
 	vendor := opts.SharedVendor
 	if vendor == nil {
-		vendor = vendorserver.New(suite, security.MustGenerateKey(opts.Seed+"-vendor"))
+		vendor = vendorserver.New(suite, vendorKey)
 	}
 	update := opts.SharedUpdate
 	if update == nil {
-		update = updateserver.New(suite, security.MustGenerateKey(opts.Seed+"-server"))
+		update = updateserver.New(suite, serverKey)
 	}
 	reg := opts.Telemetry
 	if reg == nil {
@@ -167,6 +198,43 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 		}
 	}
 
+	b := &Bed{Suite: suite, Vendor: vendor, Update: update, opts: opts, tel: reg}
+
+	var keySource verifier.KeySource
+	var timeSource func() uint64
+	if opts.Lifecycle {
+		// The device's wall clock is the bed epoch plus the virtual time
+		// the simulation has advanced — expiry tests just advance the
+		// device clock. The closure reads b.Device, set a few lines down;
+		// nothing calls it before the device exists.
+		b.epoch = 1_754_000_000 // an arbitrary recent Unix time
+		timeSource = func() uint64 {
+			return b.epoch + uint64(b.Device.Clock.Now()/time.Second)
+		}
+		b.Root = security.MustGenerateKey(opts.Seed + "-root")
+		b.vendorKey, b.vendorKeyID = vendorKey, 1
+		b.serverKey, b.serverKeyID = serverKey, 1
+		vendor.SetSigningKey(vendorKey, 1)
+		update.RotateKey(serverKey, 1)
+		b.Keystore = security.NewKeystore(suite, b.Root.Public(), timeSource)
+		keySource = b.Keystore
+		if err := b.issueRecord(security.RoleVendor, 1, vendorKey.Public(), 0, 0); err != nil {
+			return nil, err
+		}
+		if err := b.issueRecord(security.RoleServer, 1, serverKey.Public(), 0, 0); err != nil {
+			return nil, err
+		}
+		if err := b.publishKeyBundle(); err != nil {
+			return nil, err
+		}
+		// Factory provisioning: the device ships with the initial key
+		// table. Keys issued later arrive over the update channel
+		// (SyncKeys).
+		if _, err := b.Keystore.ApplyBundle(update.KeyBundle()); err != nil {
+			return nil, err
+		}
+	}
+
 	dev, err := device.New(device.Options{
 		Name:                fmt.Sprintf("dev-%x", opts.DeviceID),
 		MCU:                 *opts.MCU,
@@ -174,6 +242,8 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 		SlotBytes:           opts.SlotBytes,
 		Suite:               suite,
 		Keys:                verifier.Keys{Vendor: vendor.PublicKey(), Server: update.PublicKey()},
+		KeySource:           keySource,
+		TimeSource:          timeSource,
 		DeviceID:            opts.DeviceID,
 		AppID:               opts.AppID,
 		SupportDifferential: opts.Differential,
@@ -188,8 +258,7 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	b := &Bed{Suite: suite, Vendor: vendor, Update: update, Device: dev, opts: opts, tel: reg}
+	b.Device = dev
 	b.pull = coap.NewPullServer(update)
 	switch opts.Approach {
 	case platform.Push:
@@ -229,16 +298,120 @@ func (b *Bed) provisionFactory(fw []byte) error {
 // PublishVersion builds and publishes a release through the vendor and
 // update servers.
 func (b *Bed) PublishVersion(version uint16, fw []byte) error {
-	img, err := b.Vendor.BuildImage(vendorserver.Release{
-		AppID:      b.opts.AppID,
-		Version:    version,
-		LinkOffset: 0xFFFFFFFF, // position independent
-		Firmware:   fw,
-	})
+	return b.PublishRelease(vendorserver.Release{Version: version, Firmware: fw})
+}
+
+// PublishRelease publishes a release with explicit security fields
+// (anti-rollback version, expiry). Zero AppID and LinkOffset take the
+// bed's defaults.
+func (b *Bed) PublishRelease(rel vendorserver.Release) error {
+	if rel.AppID == 0 {
+		rel.AppID = b.opts.AppID
+	}
+	if rel.LinkOffset == 0 {
+		rel.LinkOffset = 0xFFFFFFFF // position independent
+	}
+	img, err := b.Vendor.BuildImage(rel)
 	if err != nil {
 		return err
 	}
 	return b.Update.Publish(img)
+}
+
+// issueRecord root-signs a (role, key ID) → key binding and queues it
+// for the next published bundle.
+func (b *Bed) issueRecord(role security.KeyRole, id uint32, key *security.PublicKey, notBefore, notAfter uint64) error {
+	rec := &security.KeyRecord{Role: role, KeyID: id, NotBefore: notBefore, NotAfter: notAfter, Key: key}
+	if err := rec.Sign(b.Suite, b.Root); err != nil {
+		return err
+	}
+	b.records = append(b.records, rec)
+	return nil
+}
+
+// IssueKeyRecord root-signs a record with an explicit validity window
+// and republishes the bundle — how expiry scenarios put a short-lived
+// key into service.
+func (b *Bed) IssueKeyRecord(role security.KeyRole, id uint32, key *security.PublicKey, notBefore, notAfter uint64) error {
+	if err := b.issueRecord(role, id, key, notBefore, notAfter); err != nil {
+		return err
+	}
+	return b.publishKeyBundle()
+}
+
+// publishKeyBundle encodes every issued record plus the cumulative
+// revocation list and hands the bundle to the update server for
+// distribution.
+func (b *Bed) publishKeyBundle() error {
+	bundle := &security.KeyBundle{Records: b.records}
+	if b.rlSeq > 0 {
+		rl := &security.RevocationList{Seq: b.rlSeq, Revoked: b.revoked}
+		if err := rl.Sign(b.Suite, b.Root); err != nil {
+			return err
+		}
+		bundle.Revocation = rl
+	}
+	enc, err := bundle.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	b.Update.SetKeyBundle(enc)
+	return nil
+}
+
+// Revoke withdraws a key from service: the revocation list grows by one
+// entry, its sequence advances, and the bundle is republished. Devices
+// pick it up on their next SyncKeys.
+func (b *Bed) Revoke(role security.KeyRole, keyID uint32) error {
+	b.revoked = append(b.revoked, security.RevocationEntry{Role: role, KeyID: keyID})
+	b.rlSeq++
+	return b.publishKeyBundle()
+}
+
+// RotateServerKey models recovery from an update-server compromise: a
+// fresh signing key (next key ID) goes into service under a root-signed
+// record, and the old ID is revoked. It returns the OLD private key —
+// in attack scenarios, the one the adversary stole.
+func (b *Bed) RotateServerKey() (*security.PrivateKey, error) {
+	old, oldID := b.serverKey, b.serverKeyID
+	b.serverKeyID++
+	b.serverKey = security.MustGenerateKey(fmt.Sprintf("%s-server-%d", b.opts.Seed, b.serverKeyID))
+	b.Update.RotateKey(b.serverKey, b.serverKeyID)
+	if err := b.issueRecord(security.RoleServer, b.serverKeyID, b.serverKey.Public(), 0, 0); err != nil {
+		return nil, err
+	}
+	b.revoked = append(b.revoked, security.RevocationEntry{Role: security.RoleServer, KeyID: oldID})
+	b.rlSeq++
+	if err := b.publishKeyBundle(); err != nil {
+		return nil, err
+	}
+	return old, nil
+}
+
+// RotateVendorKey rotates the vendor signing key likewise, revoking the
+// old ID. Images already built keep their old-key signature; new builds
+// sign with the new key.
+func (b *Bed) RotateVendorKey() (*security.PrivateKey, error) {
+	old, oldID := b.vendorKey, b.vendorKeyID
+	b.vendorKeyID++
+	b.vendorKey = security.MustGenerateKey(fmt.Sprintf("%s-vendor-%d", b.opts.Seed, b.vendorKeyID))
+	b.Vendor.SetSigningKey(b.vendorKey, b.vendorKeyID)
+	if err := b.issueRecord(security.RoleVendor, b.vendorKeyID, b.vendorKey.Public(), 0, 0); err != nil {
+		return nil, err
+	}
+	b.revoked = append(b.revoked, security.RevocationEntry{Role: security.RoleVendor, KeyID: oldID})
+	b.rlSeq++
+	if err := b.publishKeyBundle(); err != nil {
+		return nil, err
+	}
+	return old, nil
+}
+
+// SyncKeys pulls the current key bundle over the device's CoAP link and
+// applies it to the keystore, returning the number of new records
+// learned.
+func (b *Bed) SyncKeys() (int, error) {
+	return b.PullClient().SyncKeys()
 }
 
 // Smartphone returns a push proxy connected to the device over BLE.
@@ -258,7 +431,7 @@ func (b *Bed) Smartphone() *proxy.Smartphone {
 // device reboot can resume the session an earlier client established.
 // Transfer-level retry backoff advances the device clock.
 func (b *Bed) PullClient() *coap.PullClient {
-	return &coap.PullClient{
+	c := &coap.PullClient{
 		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: b.pull.Handle, Telemetry: b.tel},
 		Agent: b.Device.Agent,
 		AppID: b.opts.AppID,
@@ -266,6 +439,11 @@ func (b *Bed) PullClient() *coap.PullClient {
 			b.Device.Clock.Advance(2 * time.Second << uint(attempt-1))
 		},
 	}
+	if b.Keystore != nil {
+		c.Keys = b.Keystore
+		c.Events = b.Device.Events
+	}
+	return c
 }
 
 // startPropagation opens the propagation-phase measurement for one

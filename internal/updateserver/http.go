@@ -115,6 +115,7 @@ func (s *Server) Handler() http.Handler {
 	t.HandleFunc(http.MethodGet, "/api/v1/apps", s.handleHTTPApps)
 	t.HandleFunc(http.MethodPost, "/api/v1/images", s.handleHTTPPublish)
 	t.HandleFunc(http.MethodGet, "/api/v1/stats", s.handleHTTPStats)
+	t.HandleFunc(http.MethodGet, "/api/v1/keys", s.handleHTTPKeys)
 	t.Handle(http.MethodGet, "/api/v1/metrics", s.tel.Handler())
 	for _, mount := range s.mounts {
 		mount(t)
@@ -221,6 +222,20 @@ func (s *Server) handleHTTPUpdate(w http.ResponseWriter, r *http.Request) {
 		Manifest:     base64.StdEncoding.EncodeToString(u.ManifestBytes),
 		Payload:      base64.StdEncoding.EncodeToString(u.Payload),
 	})
+}
+
+// handleHTTPKeys serves the encoded key bundle (root-signed key records
+// plus the current revocation list). 204 until a bundle is published:
+// deployments without key lifecycle simply have nothing to distribute.
+func (s *Server) handleHTTPKeys(w http.ResponseWriter, _ *http.Request) {
+	b := s.KeyBundle()
+	if len(b) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
 }
 
 func (s *Server) handleHTTPApps(w http.ResponseWriter, _ *http.Request) {

@@ -70,7 +70,13 @@ type Announcement struct {
 // Server is the update server.
 type Server struct {
 	suite security.Suite
-	key   *security.PrivateKey
+
+	// keyMu guards the per-request signing key, its ID, and the key
+	// bundle: rotation swaps all three while requests are in flight.
+	keyMu  sync.RWMutex
+	key    *security.PrivateKey
+	keyID  uint32
+	bundle []byte
 
 	// store holds the published releases; the server keeps no release
 	// state of its own.
@@ -282,7 +288,47 @@ func (s *Server) initTelemetry() {
 
 // PublicKey returns the per-request verification key devices must be
 // provisioned with.
-func (s *Server) PublicKey() *security.PublicKey { return s.key.Public() }
+func (s *Server) PublicKey() *security.PublicKey {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return s.key.Public()
+}
+
+// KeyID returns the key ID stamped into prepared manifests.
+func (s *Server) KeyID() uint32 {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return s.keyID
+}
+
+// RotateKey swaps the per-request signing key: subsequent updates are
+// signed with key and carry keyID in their token part. Devices learn
+// the new key from a root-signed KeyRecord (see SetKeyBundle); rotate
+// after a suspected server compromise, revoking the old ID.
+func (s *Server) RotateKey(key *security.PrivateKey, keyID uint32) {
+	s.keyMu.Lock()
+	s.key = key
+	s.keyID = keyID
+	s.keyMu.Unlock()
+	s.tel.Counter("upkit_server_key_rotations_total", "Update-server signing-key rotations.").Inc()
+}
+
+// SetKeyBundle publishes an encoded security.KeyBundle — root-signed
+// key records plus the current revocation list — for devices to fetch
+// over the update channel (GET /api/v1/keys, CoAP /upkit/keys).
+func (s *Server) SetKeyBundle(b []byte) {
+	s.keyMu.Lock()
+	s.bundle = bytes.Clone(b)
+	s.keyMu.Unlock()
+}
+
+// KeyBundle returns the published key bundle, or nil when key
+// lifecycle is not in use.
+func (s *Server) KeyBundle() []byte {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return bytes.Clone(s.bundle)
+}
 
 // SetPayloadEncryption makes every prepared payload AES-CTR ciphertext
 // under key (§VIII future work: confidentiality independent of
@@ -403,9 +449,14 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 		base, _ = s.store.ByVersion(appID, tok.CurrentVersion)
 	}
 
+	s.keyMu.RLock()
+	key, keyID := s.key, s.keyID
+	s.keyMu.RUnlock()
+
 	m := latest.Manifest // copy; the stored vendor-signed manifest stays pristine
 	m.DeviceID = tok.DeviceID
 	m.Nonce = tok.Nonce
+	m.ServerKeyID = keyID
 
 	u := &Update{}
 	if base != nil {
@@ -444,7 +495,7 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 		u.Payload = enc
 		u.Encrypted = true
 	}
-	if err := m.SignServer(s.suite, s.key); err != nil {
+	if err := m.SignServer(s.suite, key); err != nil {
 		s.met.reqError.Inc()
 		return nil, fmt.Errorf("updateserver: %w", err)
 	}

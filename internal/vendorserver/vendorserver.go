@@ -10,6 +10,7 @@ package vendorserver
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"upkit/internal/manifest"
@@ -34,6 +35,15 @@ type Release struct {
 	LinkOffset uint32
 	// Firmware is the raw binary.
 	Firmware []byte
+	// SecurityVersion is the release's anti-rollback level. Devices
+	// persist the highest value they install and refuse anything lower,
+	// so bumping it marks this release as a security baseline older
+	// (still correctly signed) images cannot roll back past. Zero keeps
+	// the release installable everywhere.
+	SecurityVersion uint32
+	// NotAfter is the manifest expiry in Unix seconds, or zero for no
+	// expiry.
+	NotAfter uint64
 }
 
 // Image is a vendor-signed update image: the output of the generation
@@ -50,11 +60,18 @@ type Image struct {
 // Server is the vendor server.
 type Server struct {
 	suite security.Suite
-	key   *security.PrivateKey
 	tel   *telemetry.Registry
+
+	// keyMu guards the signing key and its ID: key rotation swaps both
+	// while releases may be building concurrently.
+	keyMu sync.RWMutex
+	key   *security.PrivateKey
+	keyID uint32
 }
 
-// New creates a vendor server signing with key under suite.
+// New creates a vendor server signing with key under suite. The initial
+// key carries key ID 0 (the static, pre-lifecycle convention); rotate
+// with SetSigningKey to assign explicit IDs.
 func New(suite security.Suite, key *security.PrivateKey) *Server {
 	return &Server{suite: suite, key: key}
 }
@@ -65,7 +82,30 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) { s.tel = reg }
 
 // PublicKey returns the verification key devices must be provisioned
 // with.
-func (s *Server) PublicKey() *security.PublicKey { return s.key.Public() }
+func (s *Server) PublicKey() *security.PublicKey {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return s.key.Public()
+}
+
+// KeyID returns the key ID stamped into built manifests.
+func (s *Server) KeyID() uint32 {
+	s.keyMu.RLock()
+	defer s.keyMu.RUnlock()
+	return s.keyID
+}
+
+// SetSigningKey rotates the vendor signing key: subsequent images are
+// signed with key and carry keyID in their manifest. Devices learn the
+// new key from a root-signed KeyRecord distributed ahead of (or along
+// with) the first release signed by it.
+func (s *Server) SetSigningKey(key *security.PrivateKey, keyID uint32) {
+	s.keyMu.Lock()
+	defer s.keyMu.Unlock()
+	s.key = key
+	s.keyID = keyID
+	s.tel.Counter("upkit_vendor_key_rotations_total", "Vendor signing-key rotations.").Inc()
+}
 
 // BuildImage produces the vendor-signed update image for a release
 // (step 1 of Fig. 2: firmware in, manifest + signature out).
@@ -76,18 +116,24 @@ func (s *Server) BuildImage(rel Release) (*Image, error) {
 	if rel.Version == 0 {
 		return nil, ErrZeroVersion
 	}
+	s.keyMu.RLock()
+	key, keyID := s.key, s.keyID
+	s.keyMu.RUnlock()
 	img := &Image{
 		Manifest: manifest.Manifest{
-			AppID:          rel.AppID,
-			Version:        rel.Version,
-			Size:           uint32(len(rel.Firmware)),
-			FirmwareDigest: s.suite.Digest(rel.Firmware),
-			LinkOffset:     rel.LinkOffset,
+			AppID:           rel.AppID,
+			Version:         rel.Version,
+			Size:            uint32(len(rel.Firmware)),
+			FirmwareDigest:  s.suite.Digest(rel.Firmware),
+			LinkOffset:      rel.LinkOffset,
+			SecurityVersion: rel.SecurityVersion,
+			NotAfter:        rel.NotAfter,
+			VendorKeyID:     keyID,
 		},
 		Firmware: rel.Firmware,
 	}
 	start := time.Now()
-	if err := img.Manifest.SignVendor(s.suite, s.key); err != nil {
+	if err := img.Manifest.SignVendor(s.suite, key); err != nil {
 		return nil, fmt.Errorf("vendorserver: %w", err)
 	}
 	s.tel.Histogram("upkit_vendor_sign_seconds", "Vendor signing latency.", nil).ObserveDuration(time.Since(start))

@@ -26,6 +26,8 @@ import (
 var (
 	ErrVendorSig  = errors.New("verifier: vendor signature invalid")
 	ErrServerSig  = errors.New("verifier: update-server signature invalid")
+	ErrVendorKey  = errors.New("verifier: vendor key unusable")
+	ErrServerKey  = errors.New("verifier: update-server key unusable")
 	ErrDeviceID   = errors.New("verifier: device ID mismatch")
 	ErrNonce      = errors.New("verifier: nonce mismatch (stale or replayed update)")
 	ErrVersion    = errors.New("verifier: version not strictly newer")
@@ -34,9 +36,24 @@ var (
 	ErrLinkOffset = errors.New("verifier: link offset incompatible with slot")
 	ErrTooLarge   = errors.New("verifier: firmware exceeds slot capacity")
 	ErrDigest     = errors.New("verifier: firmware digest mismatch")
+	ErrRollback   = errors.New("verifier: security version rollback")
+	ErrExpired    = errors.New("verifier: manifest expired")
 )
 
-// Keys holds the two verification keys provisioned on a device.
+// KeySource resolves the key named by a manifest to verification-key
+// material plus its lifecycle state. When the key is known but revoked
+// or expired the implementation returns the key ALONGSIDE the error —
+// the bootloader grandfathers already-confirmed images (see
+// VerifyConfirmedForBoot), which needs the key material even when the
+// lifecycle forbids new installs. security.Keystore satisfies this.
+type KeySource interface {
+	VerificationKey(role security.KeyRole, keyID uint32) (*security.PublicKey, error)
+}
+
+// Keys holds the two verification keys provisioned on a device. It is
+// the static, pre-lifecycle KeySource: key IDs are ignored and keys
+// never expire or revoke — the behaviour of a device provisioned with
+// bare keys rather than a keystore.
 type Keys struct {
 	// Vendor verifies the vendor server's signature (integrity and
 	// authenticity of the firmware description).
@@ -44,6 +61,18 @@ type Keys struct {
 	// Server verifies the update server's per-request signature
 	// (freshness and device binding).
 	Server *security.PublicKey
+}
+
+// VerificationKey implements KeySource with static keys.
+func (k Keys) VerificationKey(role security.KeyRole, keyID uint32) (*security.PublicKey, error) {
+	switch role {
+	case security.RoleVendor:
+		return k.Vendor, nil
+	case security.RoleServer:
+		return k.Server, nil
+	default:
+		return nil, fmt.Errorf("%w: %s/%d", security.ErrUnknownKey, role, keyID)
+	}
 }
 
 // DeviceInfo is what the verifier knows about the device it protects.
@@ -55,6 +84,14 @@ type DeviceInfo struct {
 	// CurrentVersion is the newest firmware version present on the
 	// device; updates must be strictly newer.
 	CurrentVersion uint16
+	// SecurityVersion is the device's persisted anti-rollback counter;
+	// manifests carrying a lower security version are rejected. Zero
+	// (the initial counter value) accepts everything.
+	SecurityVersion uint32
+	// Now is the device's notion of Unix-seconds time for manifest
+	// expiry checks, or zero on devices without a time source (expiry
+	// is then not enforced).
+	Now uint64
 }
 
 // SlotInfo is what the verifier knows about the destination slot.
@@ -76,13 +113,25 @@ const anyLink uint32 = 0xFFFFFFFF
 type Verifier struct {
 	Suite security.Suite
 	Keys  Keys
-	Clock *simclock.Clock
+	// Source, when non-nil, resolves verification keys by (role, key ID)
+	// instead of the static Keys — this is how a keystore with rotation
+	// and revocation is wired in.
+	Source KeySource
+	Clock  *simclock.Clock
 }
 
 // New returns a verifier using suite and keys, charging crypto costs to
 // clock (which may be nil).
 func New(suite security.Suite, keys Keys, clock *simclock.Clock) *Verifier {
 	return &Verifier{Suite: suite, Keys: keys, Clock: clock}
+}
+
+// keySource returns the active key source.
+func (v *Verifier) keySource() KeySource {
+	if v.Source != nil {
+		return v.Source
+	}
+	return v.Keys
 }
 
 func (v *Verifier) chargeHash(n int) {
@@ -97,16 +146,27 @@ func (v *Verifier) chargeVerify() {
 	}
 }
 
-// verifySignatures checks the double signature.
-func (v *Verifier) verifySignatures(m *manifest.Manifest) error {
+// verifySignatures checks the double signature, resolving each key
+// through the key source. With grandfather set, lifecycle errors
+// (revoked/expired/not-yet-valid) are forgiven as long as the key
+// material itself is known — the signatures must still verify.
+func (v *Verifier) verifySignatures(m *manifest.Manifest, grandfather bool) error {
+	vendorKey, err := v.keySource().VerificationKey(security.RoleVendor, m.VendorKeyID)
+	if err != nil && !(grandfather && vendorKey != nil) {
+		return fmt.Errorf("%w: %w", ErrVendorKey, err)
+	}
 	v.chargeHash(len(m.VendorSigningBytes()))
 	v.chargeVerify()
-	if !m.VerifyVendorSig(v.Suite, v.Keys.Vendor) {
+	if !m.VerifyVendorSig(v.Suite, vendorKey) {
 		return ErrVendorSig
+	}
+	serverKey, err := v.keySource().VerificationKey(security.RoleServer, m.ServerKeyID)
+	if err != nil && !(grandfather && serverKey != nil) {
+		return fmt.Errorf("%w: %w", ErrServerKey, err)
 	}
 	v.chargeHash(len(m.ServerSigningBytes()))
 	v.chargeVerify()
-	if !m.VerifyServerSig(v.Suite, v.Keys.Server) {
+	if !m.VerifyServerSig(v.Suite, serverKey) {
 		return ErrServerSig
 	}
 	return nil
@@ -122,6 +182,10 @@ func verifyCommonFields(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) erro
 		return fmt.Errorf("%w: manifest %#x, device %#x", ErrAppID, m.AppID, dev.AppID)
 	case m.Version <= dev.CurrentVersion:
 		return fmt.Errorf("%w: manifest v%d, device v%d", ErrVersion, m.Version, dev.CurrentVersion)
+	case m.SecurityVersion < dev.SecurityVersion:
+		return fmt.Errorf("%w: manifest sec v%d, device sec v%d", ErrRollback, m.SecurityVersion, dev.SecurityVersion)
+	case dev.Now != 0 && m.NotAfter != 0 && dev.Now > m.NotAfter:
+		return fmt.Errorf("%w: not-after %d, now %d", ErrExpired, m.NotAfter, dev.Now)
 	case dst.LinkBase != anyLink && m.LinkOffset != dst.LinkBase:
 		return fmt.Errorf("%w: manifest %#x, slot %#x", ErrLinkOffset, m.LinkOffset, dst.LinkBase)
 	case int(m.Size) > dst.Capacity:
@@ -135,7 +199,7 @@ func verifyCommonFields(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) erro
 // enforces the complete freshness contract against the device token the
 // agent issued for this request.
 func (v *Verifier) VerifyManifestForAgent(m *manifest.Manifest, tok manifest.DeviceToken, dev DeviceInfo, dst SlotInfo) error {
-	if err := v.verifySignatures(m); err != nil {
+	if err := v.verifySignatures(m, false); err != nil {
 		return err
 	}
 	if m.Nonce != tok.Nonce {
@@ -156,10 +220,28 @@ func (v *Verifier) VerifyManifestForAgent(m *manifest.Manifest, tok manifest.Dev
 // currentVersion is the version of the other (previously running)
 // image, or 0 when there is none.
 func (v *Verifier) VerifyManifestForBoot(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) error {
-	if err := v.verifySignatures(m); err != nil {
+	if err := v.verifySignatures(m, false); err != nil {
 		return err
 	}
 	return verifyCommonFields(m, dev, dst)
+}
+
+// VerifyConfirmedForBoot is the lenient boot-time check for an image
+// that has already been booted and confirmed (or for the factory
+// recovery image). Revoking or expiring a key must never brick devices
+// already running firmware it signed, so lifecycle errors on a known
+// key are grandfathered — but the signatures themselves must still
+// verify, and the structural fields (IDs, link offset, size) still
+// hold. Rollback and expiry gates do not apply: they police what may be
+// *installed*, never what may keep *running*.
+func (v *Verifier) VerifyConfirmedForBoot(m *manifest.Manifest, dev DeviceInfo, dst SlotInfo) error {
+	if err := v.verifySignatures(m, true); err != nil {
+		return err
+	}
+	lenient := dev
+	lenient.SecurityVersion = 0
+	lenient.Now = 0
+	return verifyCommonFields(m, lenient, dst)
 }
 
 // VerifyFirmware streams the firmware and compares its digest with the
@@ -180,4 +262,56 @@ func (v *Verifier) VerifyFirmware(r io.Reader, m *manifest.Manifest) error {
 		return ErrDigest
 	}
 	return nil
+}
+
+// Reason maps a verification error to the stable label used by the
+// `upkit_reject_total{reason}` telemetry family, so agent and
+// bootloader rejections aggregate under the same names.
+func Reason(err error) string {
+	keyReason := func(prefix string) string {
+		switch {
+		case errors.Is(err, security.ErrKeyRevoked):
+			return prefix + "-key-revoked"
+		case errors.Is(err, security.ErrKeyExpired):
+			return prefix + "-key-expired"
+		case errors.Is(err, security.ErrUnknownKey):
+			return prefix + "-key-unknown"
+		default:
+			return prefix + "-key"
+		}
+	}
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, ErrVendorKey):
+		return keyReason("vendor")
+	case errors.Is(err, ErrServerKey):
+		return keyReason("server")
+	case errors.Is(err, ErrVendorSig):
+		return "vendor-sig"
+	case errors.Is(err, ErrServerSig):
+		return "server-sig"
+	case errors.Is(err, ErrNonce):
+		return "nonce"
+	case errors.Is(err, ErrRollback):
+		return "rollback"
+	case errors.Is(err, ErrExpired):
+		return "expired"
+	case errors.Is(err, ErrVersion):
+		return "version"
+	case errors.Is(err, ErrOldVersion):
+		return "old-version"
+	case errors.Is(err, ErrDeviceID):
+		return "device-id"
+	case errors.Is(err, ErrAppID):
+		return "app-id"
+	case errors.Is(err, ErrLinkOffset):
+		return "link-offset"
+	case errors.Is(err, ErrTooLarge):
+		return "too-large"
+	case errors.Is(err, ErrDigest):
+		return "digest"
+	default:
+		return "other"
+	}
 }

@@ -87,6 +87,52 @@ type (
 	HSM = security.HSM
 )
 
+// Key lifecycle: versioned verification keys, root-signed records, and
+// revocation, distributed to devices over the update channel itself.
+type (
+	// KeyRecord is a root-signed (role, key ID, validity window,
+	// public key) statement introducing a verification key.
+	KeyRecord = security.KeyRecord
+	// RevocationList is a root-signed, sequence-numbered list of
+	// revoked key IDs. Revocation is cumulative and irreversible.
+	RevocationList = security.RevocationList
+	// RevocationEntry names one revoked (role, key ID) pair.
+	RevocationEntry = security.RevocationEntry
+	// KeyBundle packs key records and a revocation list into the blob
+	// served at /api/v1/keys (HTTP) and /upkit/keys (CoAP).
+	KeyBundle = security.KeyBundle
+	// Keystore is the device-side key table: it verifies records
+	// against the factory-provisioned root key and answers the
+	// verifier's key lookups with lifecycle state attached.
+	Keystore = security.Keystore
+	// KeyRole distinguishes vendor keys from update-server keys.
+	KeyRole = security.KeyRole
+)
+
+// Key roles.
+const (
+	RoleVendor = security.RoleVendor
+	RoleServer = security.RoleServer
+)
+
+// NewKeystore builds a device keystore anchored at the vendor root
+// verification key. now supplies Unix seconds for validity windows and
+// may be nil on devices without a clock.
+func NewKeystore(suite Suite, root *PublicKey, now func() uint64) *Keystore {
+	return security.NewKeystore(suite, root, now)
+}
+
+// ParseKeyRecord decodes a signed key record from its wire form.
+func ParseKeyRecord(data []byte) (*KeyRecord, error) { return security.ParseKeyRecord(data) }
+
+// ParseRevocationList decodes a signed revocation list.
+func ParseRevocationList(data []byte) (*RevocationList, error) {
+	return security.ParseRevocationList(data)
+}
+
+// ParseKeyBundle decodes a key bundle.
+func ParseKeyBundle(data []byte) (*KeyBundle, error) { return security.ParseKeyBundle(data) }
+
 // Server side.
 type (
 	// VendorServer signs firmware releases (first signature).
