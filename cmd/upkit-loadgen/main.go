@@ -13,6 +13,8 @@
 //	upkit-loadgen -stages 0.01,0.1,1 -gate 0.05    # staged rollout
 //	upkit-loadgen -breaker 0.2 -checkpoint cp.json # resumable breaker run
 //	upkit-loadgen -o result.json           # write JSON to a file
+//	upkit-loadgen -proxies 2 -peer         # serve through caching proxies + peer tier
+//	upkit-loadgen -dist-ablation -n 1000 -min-egress-reduction 5 -o dist.json
 //
 // With -api the harness does not touch the fleet directly: it drives
 // the campaign control plane over HTTP exactly like an operator —
@@ -70,7 +72,12 @@ func run() error {
 	flag.IntVar(&cfg.BreakerMinSample, "breaker-min", 0, "breaker minimum completed-device sample (0 = default)")
 	flag.IntVar(&cfg.MaxRetries, "retries", 0, "extra attempts per device after a failure (0 = 1, negative = none)")
 	flag.BoolVar(&cfg.Encrypted, "encrypted", false, "enable end-to-end payload encryption (full stack)")
+	flag.IntVar(&cfg.Proxies, "proxies", 0, "caching CoAP proxies between fleet and origin (full stack, 0 = direct)")
+	flag.IntVar(&cfg.ProxyCacheKiB, "proxy-cache", 0, "per-proxy block cache size in KiB (0 = default)")
+	flag.BoolVar(&cfg.PeerAssist, "peer", false, "enable the peer-assisted block tier (full stack)")
 	flag.StringVar(&cfg.Seed, "seed", "loadgen", "deterministic seed")
+	distAblation := flag.Bool("dist-ablation", false, "run the direct / proxy / proxy+peer egress ablation and emit an Ablation JSON")
+	minEgress := flag.Float64("min-egress-reduction", 0, "with -dist-ablation, fail unless the proxy leg cuts origin egress by at least this factor")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resumed from if present, written on abort")
 	out := flag.String("o", "-", "output path for the JSON result (- for stdout)")
 	api := flag.Bool("api", false, "drive the campaign over the HTTP control plane instead of in-process")
@@ -82,6 +89,9 @@ func run() error {
 	var err error
 	if cfg.Stages, err = parseStages(*stages); err != nil {
 		return err
+	}
+	if *distAblation {
+		return runDistAblation(cfg, *out, *minEgress)
 	}
 	if *api {
 		return runAPI(loadgen.APIConfig{
@@ -138,6 +148,34 @@ func run() error {
 	if res.Updated+expectedFailures != res.Devices {
 		return fmt.Errorf("%d of %d devices failed to update: %v",
 			res.Devices-res.Updated, res.Devices, res.Errors)
+	}
+	return nil
+}
+
+// runDistAblation is the -dist-ablation path: the same campaign direct,
+// through one caching proxy, and through proxy + peer tier, reported as
+// one Ablation JSON. -min-egress-reduction turns the proxy leg's origin
+// egress saving into a CI gate.
+func runDistAblation(cfg loadgen.Config, out string, minReduction float64) error {
+	a, err := loadgen.RunDistAblation(cfg)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(out, blob, 0o644); err != nil {
+		return err
+	}
+	if minReduction > 0 && a.EgressReductionProxy < minReduction {
+		return fmt.Errorf("origin egress reduction %.1fx below the required %.1fx",
+			a.EgressReductionProxy, minReduction)
 	}
 	return nil
 }

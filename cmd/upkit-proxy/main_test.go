@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+
+	"upkit/internal/coap"
+	"upkit/internal/platform"
+	"upkit/internal/proxy"
+	"upkit/internal/telemetry"
+	"upkit/internal/testbed"
+)
+
+// TestProxyServesUpdateOverUDP wires the exact topology the command
+// builds — origin pull server on one UDP socket, caching proxy on
+// another, device talking only to the proxy — and runs a complete
+// update through it.
+func TestProxyServesUpdateOverUDP(t *testing.T) {
+	b, err := testbed.New(testbed.Options{Approach: platform.Pull, Seed: "proxy-udp"},
+		testbed.MakeFirmware("proxy-udp-v1", 16*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, testbed.MakeFirmware("proxy-udp-v2", 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	origin, err := coap.ListenUDP("127.0.0.1:0", b.PullHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+	go origin.Serve()
+
+	up, err := coap.DialUDP(origin.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	tel := telemetry.NewRegistry()
+	cache := proxy.NewCache(up, proxy.CacheOptions{Telemetry: tel, Instance: "0"})
+
+	psrv, err := coap.ListenUDP("127.0.0.1:0", cache.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psrv.Close()
+	go psrv.Serve()
+
+	pex, err := coap.DialUDP(psrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pex.Close()
+
+	// The device's whole cycle — control traffic and blocks — runs
+	// against the proxy address, like a fleet behind a border router.
+	c := b.PullClient()
+	c.Ex = pex
+	c.Sources = []coap.BlockSource{{Name: "proxy", Ex: pex}}
+
+	staged, err := c.CheckAndUpdate()
+	if err != nil {
+		t.Fatalf("CheckAndUpdate through the UDP proxy: %v", err)
+	}
+	if !staged {
+		t.Fatal("no update staged through the proxy")
+	}
+	if st := cache.Stats(); st.Fills == 0 {
+		t.Fatalf("proxy stats = %+v: the transfer must have filled the cache", st)
+	}
+	if _, err := b.Device.ApplyStagedUpdate(); err != nil {
+		t.Fatalf("apply staged v2: %v", err)
+	}
+
+	// A second update cycle on a FRESH client socket: its message IDs
+	// restart at 1 while the proxy's long-lived upstream exchanger has
+	// moved on. The proxy must keep correlating responses by the
+	// device's IDs, not the upstream leg's (regression: the second
+	// device through a proxy process used to time out forever).
+	if err := b.PublishVersion(3, testbed.MakeFirmware("proxy-udp-v3", 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	pex2, err := coap.DialUDP(psrv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pex2.Close()
+	c2 := b.PullClient()
+	c2.Ex = pex2
+	c2.Sources = []coap.BlockSource{{Name: "proxy", Ex: pex2}}
+	if staged, err := c2.CheckAndUpdate(); err != nil || !staged {
+		t.Fatalf("second cycle through the same proxy: staged=%v err=%v", staged, err)
+	}
+}
+
+func TestRunRequiresOrigin(t *testing.T) {
+	if err := run(); err == nil {
+		t.Fatal("run without -origin must fail")
+	}
+}

@@ -1,0 +1,83 @@
+// Proxy: the content-addressed distribution walkthrough.
+//
+// A prepared update's payload is exposed as immutable named blocks —
+// the name is the SHA-256 of the payload bytes — so ANY middlebox can
+// serve it: a caching CoAP proxy near the devices, or a peer device
+// that already completed the download. This demo wires the full serve
+// topology and then plays the attack the design exists to survive:
+//
+//  1. the device updates through a caching proxy; the proxy fills from
+//     the origin once and the verified payload seeds a peer registry;
+//  2. the proxy turns hostile and flips a bit in every block it
+//     serves; the device's digest check rejects the stream, fails over
+//     to the origin, and the update still completes — a poisoned cache
+//     costs a transfer, never an installed image.
+//
+// Run with: go run ./examples/proxy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"upkit"
+)
+
+func main() {
+	v1 := upkit.MakeFirmware("proxy-demo-v1", 64*1024)
+	dep, err := upkit.NewDeployment(upkit.DeploymentOptions{Seed: "proxy-demo"}, v1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := dep.PublishVersion(2, upkit.MakeFirmware("proxy-demo-v2", 64*1024)); err != nil {
+		log.Fatal(err)
+	}
+
+	// The serve topology: a caching proxy in front of the origin, and a
+	// peer registry that verified downloads feed. The proxy holds no key
+	// material — it is just a cache.
+	cache := upkit.NewProxyCache(
+		&upkit.CoAPLoopback{Handler: dep.PullHandler()},
+		upkit.ProxyCacheOptions{})
+	peers := upkit.NewBlockRegistry(0)
+	peerSrv := &upkit.BlockServer{Source: peers}
+	dep.Distribute(cache.Handle,
+		upkit.DistributionRoute{Name: "peer", Handler: peerSrv.Handle},
+		upkit.DistributionRoute{Name: "proxy", Handler: cache.Handle})
+	dep.ShareBlocks(peers)
+
+	res, err := dep.PullUpdate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := cache.Stats()
+	fmt.Printf("v%d installed through the proxy: %d origin fills, %d cache hits\n",
+		res.Version, st.Fills, st.Hits)
+	fmt.Printf("peer registry now seeds %d payload(s) for the rest of the fleet\n",
+		peers.Stats().Entries)
+
+	// Act two: the proxy goes hostile. Every block it serves has one bit
+	// flipped — a corrupted cache, a tampering middlebox, same thing.
+	if err := dep.PublishVersion(3, upkit.MakeFirmware("proxy-demo-v3", 64*1024)); err != nil {
+		log.Fatal(err)
+	}
+	poisoned := func(req *upkit.CoAPMessage) *upkit.CoAPMessage {
+		resp := cache.Handle(req)
+		if req.Path() == "/upkit/blocks" && len(resp.Payload) > 0 {
+			resp.Payload[0] ^= 0x01
+		}
+		return resp
+	}
+	dep.Distribute(cache.Handle,
+		upkit.DistributionRoute{Name: "evil-proxy", Handler: poisoned})
+
+	res, err = dep.PullUpdate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("v%d installed despite the poisoned proxy: %d digest rejection(s), %d failover(s)\n",
+		res.Version,
+		dep.Device.Events.Count(upkit.EventFirmwareRejected),
+		dep.Device.Events.Count(upkit.EventSourceFailover))
+	fmt.Println("the poisoned cache wasted one transfer — it could never install code")
+}

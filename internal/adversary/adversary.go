@@ -56,12 +56,17 @@ func (i *Interceptor) Exchange(req *coap.Message) (*coap.Message, error) {
 
 // FlipBitInBlock returns an OnResponse hook that flips one bit in the
 // payload of image block num — a proxy corrupting firmware mid-transfer.
-// Other resources and other blocks pass through untouched, so the
-// transfer proceeds normally until the mutated block reaches the
-// device's digest pipeline.
+// It poisons both transfer paths: the session-bound /upkit/image and the
+// content-addressed /upkit/blocks (a poisoned block cache). Other
+// resources and other blocks pass through untouched, so the transfer
+// proceeds normally until the mutated block reaches the device's digest
+// pipeline.
 func FlipBitInBlock(num uint32, bit int) func(req, resp *coap.Message) *coap.Message {
 	return func(req, resp *coap.Message) *coap.Message {
-		if req.Path() != coap.PathImage || len(resp.Payload) == 0 {
+		if path := req.Path(); path != coap.PathImage && path != coap.PathBlocks {
+			return nil
+		}
+		if len(resp.Payload) == 0 {
 			return nil
 		}
 		raw, has := resp.Option(coap.OptBlock2)

@@ -1,0 +1,171 @@
+package coap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"upkit/internal/dist"
+	"upkit/internal/telemetry"
+)
+
+// Content-addressed block transfer (the in-network propagation path):
+//
+//	GET /upkit/name?d=<hex>&n=<hex>   → 32-byte payload name + 4-byte
+//	                                    total length for an established
+//	                                    session
+//	GET /upkit/blocks?b=<hex name>    → named payload, Block2 transfer
+//
+// /upkit/blocks is deliberately session-free: the name alone addresses
+// immutable bytes, so any node holding them — origin, caching proxy,
+// updated peer — can answer, and answers are cacheable across devices.
+// The double signature carried by the manifest keeps all of them
+// untrusted: a wrong block surfaces as a digest failure on the device,
+// never as installed code.
+
+// BlockServer serves named blocks from a dist.Source over CoAP Block2 —
+// the one handler the origin, the caching proxy tier, and peer devices
+// all reuse. The client-requested SZX is honoured (16..1024 bytes;
+// ParseBlock has already rejected the reserved SZX 7).
+type BlockServer struct {
+	// Source holds the named payloads.
+	Source dist.Source
+	// Blocks, when set, counts served blocks. Nil drops the samples.
+	Blocks *telemetry.Counter
+}
+
+// Handle is the CoAP Handler for the named-block resource.
+func (s *BlockServer) Handle(req *Message) *Message {
+	if req.Code != CodeGET || req.Path() != PathBlocks {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+	raw, ok := req.Query("b")
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	name, err := dist.ParseName(raw)
+	if err != nil {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	block := Block{SZX: DefaultSZX}
+	if v, has := req.Option(OptBlock2); has {
+		b, err := ParseBlock(v)
+		if err != nil {
+			return &Message{Type: Acknowledgement, Code: CodeBadReq}
+		}
+		block = b
+	}
+	data, more, err := s.Source.Block(name, block.Num, block.Size())
+	switch {
+	case errors.Is(err, dist.ErrUnknownName):
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	case errors.Is(err, dist.ErrOutOfRange):
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	case err != nil:
+		return &Message{Type: Acknowledgement, Code: CodeIntErr}
+	}
+	s.Blocks.Inc()
+	// Clone: sources may alias their stored payload, and responses
+	// travel through transports (and, in attack experiments, hostile
+	// hops) that must not reach back into it.
+	resp := &Message{Type: Acknowledgement, Code: CodeContent, Payload: bytes.Clone(data)}
+	resp.AddOption(OptBlock2, Block{Num: block.Num, More: more, SZX: block.SZX}.Marshal())
+	return resp
+}
+
+// Loopback is an Exchanger that runs the full codec round-trip against
+// an in-process Handler — the hop between a caching proxy and its
+// origin when both live in one process, and the test stand-in for a
+// backhaul link with no radio to charge. Safe for concurrent use.
+type Loopback struct {
+	Handler Handler
+
+	mu      sync.Mutex
+	nextMID uint16
+}
+
+// Exchange implements Exchanger.
+func (l *Loopback) Exchange(req *Message) (*Message, error) {
+	l.mu.Lock()
+	l.nextMID++
+	req.MessageID = l.nextMID
+	l.mu.Unlock()
+	enc, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := Unmarshal(enc)
+	if err != nil {
+		return nil, fmt.Errorf("coap: server parse: %w", err)
+	}
+	resp := l.Handler(parsed)
+	if resp == nil {
+		return nil, fmt.Errorf("coap: no response for %s %s", req.Code, req.Path())
+	}
+	resp.MessageID = parsed.MessageID
+	resp.Token = parsed.Token
+	respEnc, err := resp.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(respEnc)
+}
+
+// ExchangerSource adapts a remote block server reachable over Ex into a
+// dist.Source — the caching proxy's origin-fill path, and what lets a
+// cache tier stack (proxy filling from proxy filling from origin).
+type ExchangerSource struct {
+	Ex Exchanger
+}
+
+// Block implements dist.Source by one GET /upkit/blocks exchange.
+func (s *ExchangerSource) Block(name dist.Name, num uint32, size int) ([]byte, bool, error) {
+	szx, err := SZXForSize(size)
+	if err != nil {
+		return nil, false, err
+	}
+	req := &Message{Type: Confirmable, Code: CodeGET}
+	req.SetPath(PathBlocks)
+	req.AddOption(OptUriQuery, []byte("b="+name.String()))
+	req.AddOption(OptBlock2, Block{Num: num, SZX: szx}.Marshal())
+	resp, err := s.Ex.Exchange(req)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Code {
+	case CodeContent:
+	case CodeNotFound:
+		return nil, false, dist.ErrUnknownName
+	case CodeBadReq:
+		return nil, false, fmt.Errorf("%w: block %d refused upstream", dist.ErrOutOfRange, num)
+	default:
+		return nil, false, fmt.Errorf("%w: %s for block %d", ErrServerRefused, resp.Code, num)
+	}
+	raw, has := resp.Option(OptBlock2)
+	if !has {
+		return nil, false, fmt.Errorf("%w: missing Block2 in block response", ErrServerRefused)
+	}
+	b, err := ParseBlock(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Payload, b.More, nil
+}
+
+// BlockSource is one place a PullClient can fetch named blocks from.
+// Sources are tried in the order given (peer, proxy, origin); the
+// client fails over to the next on timeout, refusal, or — restarting
+// the cycle — when the verifier rejects what a source served.
+type BlockSource struct {
+	// Name labels the source in events and errors ("peer", "proxy",
+	// "origin").
+	Name string
+	// Ex reaches the source's block server.
+	Ex Exchanger
+	// BlockSize overrides the client's Block2 size for this source;
+	// 0 inherits PullClient.BlockSize. Well-connected hops (a proxy on
+	// mains power) can pull 512/1024-byte blocks while the radio path
+	// stays at 64.
+	BlockSize int
+}

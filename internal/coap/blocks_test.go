@@ -1,0 +1,344 @@
+package coap_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"upkit/internal/coap"
+	"upkit/internal/dist"
+	"upkit/internal/events"
+)
+
+// TestBlockServerHonorsRequestedSZX pins the wire behaviour for large
+// client-requested block sizes: a proxy on mains power asks for 512- or
+// 1024-byte blocks and must get exactly that, with the request's SZX
+// echoed in the response's Block2 option. The exchanges run through the
+// full codec (Loopback) so the option bytes on the wire are what is
+// asserted.
+func TestBlockServerHonorsRequestedSZX(t *testing.T) {
+	payload := make([]byte, 1536)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	reg := dist.NewRegistry(0)
+	name := reg.Put(payload)
+	ex := &coap.Loopback{Handler: (&coap.BlockServer{Source: reg}).Handle}
+
+	get := func(num uint32, szx uint8) *coap.Message {
+		req := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+		req.SetPath(coap.PathBlocks)
+		req.AddOption(coap.OptUriQuery, []byte("b="+name.String()))
+		req.AddOption(coap.OptBlock2, coap.Block{Num: num, SZX: szx}.Marshal())
+		resp, err := ex.Exchange(req)
+		if err != nil {
+			t.Fatalf("block %d szx %d: %v", num, szx, err)
+		}
+		return resp
+	}
+
+	for _, tc := range []struct {
+		num       uint32
+		szx       uint8
+		wantLen   int
+		wantBlock []byte // pinned Block2 option wire bytes
+	}{
+		{0, 5, 512, []byte{0x0D}},  // num 0, more, SZX 5
+		{1, 5, 512, []byte{0x1D}},  // num 1, more, SZX 5
+		{2, 5, 512, []byte{0x25}},  // num 2, last, SZX 5
+		{0, 6, 1024, []byte{0x0E}}, // num 0, more, SZX 6
+		{1, 6, 512, []byte{0x16}},  // num 1, last (short), SZX 6
+	} {
+		resp := get(tc.num, tc.szx)
+		if resp.Code != coap.CodeContent {
+			t.Fatalf("block %d szx %d code = %v", tc.num, tc.szx, resp.Code)
+		}
+		if len(resp.Payload) != tc.wantLen {
+			t.Fatalf("block %d szx %d payload = %d bytes, want %d",
+				tc.num, tc.szx, len(resp.Payload), tc.wantLen)
+		}
+		raw, ok := resp.Option(coap.OptBlock2)
+		if !ok {
+			t.Fatalf("block %d szx %d: missing Block2", tc.num, tc.szx)
+		}
+		if !bytes.Equal(raw, tc.wantBlock) {
+			t.Fatalf("block %d szx %d Block2 wire bytes = %x, want %x",
+				tc.num, tc.szx, raw, tc.wantBlock)
+		}
+		start := int(tc.num) * coap.Block{SZX: tc.szx}.Size()
+		if !bytes.Equal(resp.Payload, payload[start:start+tc.wantLen]) {
+			t.Fatalf("block %d szx %d: wrong bytes", tc.num, tc.szx)
+		}
+	}
+}
+
+// TestBlockServerRejectsReservedSZX pins the bounds check: the reserved
+// SZX 7 (RFC 7959 §2.2) in a request must be refused, not interpreted
+// as a 2048-byte block.
+func TestBlockServerRejectsReservedSZX(t *testing.T) {
+	reg := dist.NewRegistry(0)
+	name := reg.Put([]byte("payload"))
+	srv := &coap.BlockServer{Source: reg}
+
+	req := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+	req.SetPath(coap.PathBlocks)
+	req.AddOption(coap.OptUriQuery, []byte("b="+name.String()))
+	req.AddOption(coap.OptBlock2, []byte{0x0F}) // num 0, more, SZX 7
+	if resp := srv.Handle(req); resp.Code != coap.CodeBadReq {
+		t.Fatalf("reserved SZX code = %v, want 4.00", resp.Code)
+	}
+}
+
+func TestBlockServerErrorMapping(t *testing.T) {
+	reg := dist.NewRegistry(0)
+	name := reg.Put(make([]byte, 100))
+	srv := &coap.BlockServer{Source: reg}
+
+	get := func(q string, block []byte) coap.Code {
+		req := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+		req.SetPath(coap.PathBlocks)
+		if q != "" {
+			req.AddOption(coap.OptUriQuery, []byte(q))
+		}
+		if block != nil {
+			req.AddOption(coap.OptBlock2, block)
+		}
+		return srv.Handle(req).Code
+	}
+
+	if code := get("b="+dist.NameOf([]byte("absent")).String(), nil); code != coap.CodeNotFound {
+		t.Fatalf("unknown name code = %v, want 4.04", code)
+	}
+	if code := get("b=zzzz", nil); code != coap.CodeBadReq {
+		t.Fatalf("malformed name code = %v, want 4.00", code)
+	}
+	if code := get("", nil); code != coap.CodeBadReq {
+		t.Fatalf("missing name code = %v, want 4.00", code)
+	}
+	// Block far past the end of the payload.
+	if code := get("b="+name.String(), coap.Block{Num: 99, SZX: 2}.Marshal()); code != coap.CodeBadReq {
+		t.Fatalf("out-of-range code = %v, want 4.00", code)
+	}
+}
+
+// TestExchangerSourceRoundTrip reassembles a payload through the
+// remote-source adapter — the caching proxy's origin-fill path.
+func TestExchangerSourceRoundTrip(t *testing.T) {
+	payload := make([]byte, 3000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	reg := dist.NewRegistry(0)
+	name := reg.Put(payload)
+	src := &coap.ExchangerSource{Ex: &coap.Loopback{Handler: (&coap.BlockServer{Source: reg}).Handle}}
+
+	var got []byte
+	for num := uint32(0); ; num++ {
+		data, more, err := src.Block(name, num, 1024)
+		if err != nil {
+			t.Fatalf("block %d: %v", num, err)
+		}
+		got = append(got, data...)
+		if !more {
+			break
+		}
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("reassembled payload differs")
+	}
+	if _, _, err := src.Block(dist.NameOf([]byte("absent")), 0, 1024); !errors.Is(err, dist.ErrUnknownName) {
+		t.Fatalf("unknown name: %v, want ErrUnknownName", err)
+	}
+}
+
+// TestPullImageHonorsRequestedSZX covers the session-bound image path:
+// the same transfer a constrained device runs at 64 bytes can be pulled
+// at 512 by a better-connected client.
+func TestPullImageHonorsRequestedSZX(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+
+	tok, err := b.Device.Agent.RequestDeviceToken()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokBytes, _ := tok.MarshalBinary()
+	req := &coap.Message{Type: coap.Confirmable, Code: coap.CodePOST, Payload: tokBytes}
+	req.SetPath(coap.PathRequest)
+	req.AddOption(coap.OptUriQuery, []byte("app=2a"))
+	if resp := srv.Handle(req); resp.Code != coap.CodeContent {
+		t.Fatalf("request code = %v", resp.Code)
+	}
+
+	img := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+	img.SetPath(coap.PathImage)
+	img.AddOption(coap.OptUriQuery, []byte("d="+hex32(tok.DeviceID)))
+	img.AddOption(coap.OptUriQuery, []byte("n="+hex32(tok.Nonce)))
+	img.AddOption(coap.OptBlock2, coap.Block{Num: 0, SZX: 5}.Marshal())
+	resp := srv.Handle(img)
+	if resp.Code != coap.CodeContent {
+		t.Fatalf("image code = %v", resp.Code)
+	}
+	if len(resp.Payload) != 512 {
+		t.Fatalf("payload = %d bytes, want 512", len(resp.Payload))
+	}
+	b.Device.Agent.Abort()
+}
+
+func TestPullClientMultiSourceFromOrigin(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: srv.Handle}
+	client.Sources = []coap.BlockSource{{Name: "origin", Ex: &coap.Loopback{Handler: srv.Handle}}}
+
+	staged, err := client.CheckAndUpdate()
+	if err != nil {
+		t.Fatalf("CheckAndUpdate: %v", err)
+	}
+	if !staged {
+		t.Fatal("no update staged over the block path")
+	}
+	if !b.Device.ReadyToReboot() {
+		t.Fatal("device not ready to reboot")
+	}
+}
+
+// timeoutExchanger is a source whose transport never answers.
+type timeoutExchanger struct{}
+
+func (timeoutExchanger) Exchange(*coap.Message) (*coap.Message, error) {
+	return nil, coap.ErrTimeout
+}
+
+func TestPullClientFailsOverFromDeadSource(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+	log := events.NewLog(nil, 0)
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: srv.Handle}
+	client.Events = log
+	client.Sources = []coap.BlockSource{
+		{Name: "peer", Ex: timeoutExchanger{}},
+		{Name: "origin", Ex: &coap.Loopback{Handler: srv.Handle}},
+	}
+
+	staged, err := client.CheckAndUpdate()
+	if err != nil {
+		t.Fatalf("CheckAndUpdate: %v", err)
+	}
+	if !staged {
+		t.Fatal("no update staged after failover")
+	}
+	if log.Count(events.KindSourceFailover) == 0 {
+		t.Fatal("no source-failover event emitted")
+	}
+}
+
+// TestPullClientPoisonedSourceFailsOver: a source that serves mutated
+// blocks costs a wasted transfer — the digest check rejects it, the
+// client excludes the source and completes from the origin.
+func TestPullClientPoisonedSourceFailsOver(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+	poisoned := func(req *coap.Message) *coap.Message {
+		resp := srv.Handle(req)
+		if req.Path() == coap.PathBlocks && len(resp.Payload) > 0 {
+			resp.Payload[0] ^= 0x01
+		}
+		return resp
+	}
+	log := events.NewLog(nil, 0)
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: srv.Handle}
+	client.Events = log
+	client.Sources = []coap.BlockSource{
+		{Name: "proxy", Ex: &coap.Loopback{Handler: poisoned}},
+		{Name: "origin", Ex: &coap.Loopback{Handler: srv.Handle}},
+	}
+
+	staged, err := client.CheckAndUpdate()
+	if err != nil {
+		t.Fatalf("CheckAndUpdate after poisoned source: %v", err)
+	}
+	if !staged {
+		t.Fatal("no update staged after excluding the poisoned source")
+	}
+	if log.Count(events.KindSourceFailover) == 0 {
+		t.Fatal("no source-failover event emitted")
+	}
+}
+
+func TestPullClientAllSourcesPoisonedFails(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+	poisoned := func(req *coap.Message) *coap.Message {
+		resp := srv.Handle(req)
+		if req.Path() == coap.PathBlocks && len(resp.Payload) > 0 {
+			resp.Payload[0] ^= 0x01
+		}
+		return resp
+	}
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: srv.Handle}
+	client.Sources = []coap.BlockSource{
+		{Name: "proxy", Ex: &coap.Loopback{Handler: poisoned}},
+		{Name: "origin", Ex: &coap.Loopback{Handler: poisoned}},
+	}
+
+	staged, err := client.CheckAndUpdate()
+	if staged || err == nil {
+		t.Fatalf("poisoned everything: staged=%v err=%v, want failure", staged, err)
+	}
+	var se *coap.SourceError
+	if !errors.As(err, &se) {
+		t.Fatalf("error = %v, want *SourceError", err)
+	}
+	if b.Device.ReadyToReboot() {
+		t.Fatal("device staged a poisoned update")
+	}
+}
+
+// TestPullClientPayloadSink verifies the peer-assist hook: a completed
+// multi-source transfer hands the exact payload bytes to the sink, and
+// those bytes carry the name the origin advertised (so re-serving them
+// under that name is sound).
+func TestPullClientPayloadSink(t *testing.T) {
+	b := newPullBed(t, true)
+	srv := coap.NewPullServer(b.Update)
+	var sunk []byte
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: srv.Handle}
+	client.Sources = []coap.BlockSource{{Name: "origin", Ex: &coap.Loopback{Handler: srv.Handle}}}
+	client.PayloadSink = func(p []byte) { sunk = append([]byte(nil), p...) }
+
+	staged, err := client.CheckAndUpdate()
+	if err != nil || !staged {
+		t.Fatalf("CheckAndUpdate: staged=%v err=%v", staged, err)
+	}
+	if len(sunk) == 0 {
+		t.Fatal("payload sink never called")
+	}
+	// The sunk bytes must be servable under their content name from the
+	// origin's own registry — i.e. they are exactly the wire payload.
+	if _, ok := b.Update.Blocks().Payload(dist.NameOf(sunk)); !ok {
+		t.Fatal("sunk payload does not match any registered block payload")
+	}
+}
+
+// TestOriginEgressCounter pins the egress accounting the cache-tier
+// benchmarks rely on: every response payload byte the origin serves is
+// charged, so a transfer of N payload bytes moves the counter by at
+// least N.
+func TestOriginEgressCounter(t *testing.T) {
+	b := newPullBed(t, true)
+	egress := coap.OriginEgressCounter(b.Update.Telemetry())
+	before := egress.Value()
+	staged, err := b.PullClient().CheckAndUpdate()
+	if err != nil || !staged {
+		t.Fatalf("CheckAndUpdate: staged=%v err=%v", staged, err)
+	}
+	if egress.Value() <= before {
+		t.Fatalf("origin egress did not advance: %d -> %d", before, egress.Value())
+	}
+}

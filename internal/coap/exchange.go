@@ -144,12 +144,16 @@ func (s *UDPServer) Serve() error {
 		if err != nil {
 			continue // silently drop malformed datagrams
 		}
+		// Capture the correlation fields before the handler runs: a
+		// proxying handler may forward req through an upstream
+		// exchanger, which rewrites req.MessageID for its own leg.
+		mid, tok := req.MessageID, req.Token
 		resp := s.handler(req)
 		if resp == nil {
 			continue
 		}
-		resp.MessageID = req.MessageID
-		resp.Token = req.Token
+		resp.MessageID = mid
+		resp.Token = tok
 		if resp.Type == Confirmable {
 			resp.Type = Acknowledgement
 		}
@@ -236,22 +240,27 @@ func (e *UDPExchanger) Exchange(req *Message) (*Message, error) {
 		if err := e.conn.SetReadDeadline(time.Now().Add(retryTimeout(e.Timeout, attempt, rand01))); err != nil {
 			return nil, err
 		}
-		n, err := e.conn.Read(buf)
-		if err != nil {
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue
+		// Drain datagrams until the matching response or the deadline.
+		// Stale answers (responses to an earlier exchange on this
+		// long-lived socket) must not count as this attempt's response —
+		// and must not trigger a retransmission, which would generate yet
+		// another response and leave the socket permanently one answer
+		// behind.
+		for {
+			n, err := e.conn.Read(buf)
+			if err != nil {
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					break // retransmit
+				}
+				return nil, err
 			}
-			return nil, err
+			resp, err := Unmarshal(buf[:n])
+			if err != nil || resp.MessageID != req.MessageID {
+				continue // malformed or stale: keep reading
+			}
+			return resp, nil
 		}
-		resp, err := Unmarshal(buf[:n])
-		if err != nil {
-			continue
-		}
-		if resp.MessageID != req.MessageID {
-			continue // stale retransmission answer
-		}
-		return resp, nil
 	}
 	return nil, ErrTimeout
 }

@@ -304,7 +304,10 @@ func (b Block) Marshal() []byte {
 	}
 }
 
-// ParseBlock decodes a block option value.
+// ParseBlock decodes a block option value. SZX 7 is reserved by RFC
+// 7959 §2.2 and rejected here, so every accepted block encodes a real
+// size in 16..1024 — handlers can trust Block.Size without their own
+// bounds check.
 func ParseBlock(data []byte) (Block, error) {
 	if len(data) > 3 {
 		return Block{}, fmt.Errorf("%w: block option %d bytes", ErrBadOption, len(data))
@@ -312,6 +315,9 @@ func ParseBlock(data []byte) (Block, error) {
 	var v uint32
 	for _, b := range data {
 		v = v<<8 | uint32(b)
+	}
+	if v&0x7 == 7 {
+		return Block{}, fmt.Errorf("%w: reserved SZX 7", ErrBadOption)
 	}
 	return Block{Num: v >> 4, More: v&0x8 != 0, SZX: uint8(v & 0x7)}, nil
 }

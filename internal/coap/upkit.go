@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"upkit/internal/agent"
+	"upkit/internal/dist"
 	"upkit/internal/events"
 	"upkit/internal/manifest"
 	"upkit/internal/telemetry"
@@ -24,16 +25,24 @@ import (
 //	GET  /upkit/image?d=<hex>&n=<hex>  → payload, Block2 transfer
 //	GET  /upkit/keys                   → key bundle (root-signed records
 //	                                     + revocation list)
+//	GET  /upkit/name?d=<hex>&n=<hex>   → payload content name + length
+//	GET  /upkit/blocks?b=<hex name>    → named payload, Block2 transfer
 const (
 	PathVersion = "/upkit/version"
 	PathRequest = "/upkit/request"
 	PathImage   = "/upkit/image"
 	PathKeys    = "/upkit/keys"
+	PathName    = "/upkit/name"
+	PathBlocks  = "/upkit/blocks"
 )
 
 // DefaultBlockSize is the Block2 size used by the pull client; 64 bytes
 // fits a single 802.15.4 frame after 6LoWPAN compression.
 const DefaultBlockSize = 64
+
+// DefaultSZX is the Block2 SZX a server assumes when the request
+// carries no Block2 option (64-byte blocks, matching DefaultBlockSize).
+const DefaultSZX = 2
 
 // Pull client errors.
 var (
@@ -56,6 +65,10 @@ type sessionKey struct {
 type session struct {
 	manifest []byte
 	payload  []byte
+	// name is the payload's content address — what GET /upkit/name
+	// reports so the device can fetch the same bytes from any block
+	// source (peer, caching proxy, origin).
+	name dist.Name
 
 	// mu guards scratch, the per-session block buffer: responses must
 	// not alias the stored payload (transports and, in attack
@@ -76,13 +89,20 @@ type PullServer struct {
 	mu       sync.Mutex
 	sessions map[sessionKey]*session
 
+	// blockSrv serves GET /upkit/blocks from the update server's block
+	// registry; nil (no update server) turns the route into NotFound.
+	blockSrv *BlockServer
+
 	// Resolved on the update server's registry; nil handles drop samples.
 	reqVersion *telemetry.Counter
 	reqRequest *telemetry.Counter
 	reqImage   *telemetry.Counter
 	reqKeys    *telemetry.Counter
+	reqName    *telemetry.Counter
+	reqBlocks  *telemetry.Counter
 	reqOther   *telemetry.Counter
 	blocks     *telemetry.Counter
+	egress     *telemetry.Counter
 }
 
 // NewPullServer wraps updates, recording CoAP request and block counts
@@ -98,13 +118,38 @@ func NewPullServer(updates *updateserver.Server) *PullServer {
 	s.reqRequest = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "request"))
 	s.reqImage = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "image"))
 	s.reqKeys = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "keys"))
+	s.reqName = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "name"))
+	s.reqBlocks = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "blocks"))
 	s.reqOther = reg.Counter("upkit_coap_requests_total", help, telemetry.L("path", "other"))
 	s.blocks = reg.Counter("upkit_coap_blocks_total", "Block2 payload blocks served.")
+	s.egress = OriginEgressCounter(reg)
+	if updates != nil {
+		s.blockSrv = &BlockServer{Source: updates.Blocks(), Blocks: s.blocks}
+	}
 	return s
 }
 
-// Handle is the CoAP Handler for the UpKit resources.
+// OriginEgressCounter resolves the origin-egress byte counter on reg:
+// the response payload bytes the origin pull server puts on the wire.
+// The cache-tier benchmarks compare this between direct and proxied
+// topologies — a warm proxy tier should shrink it by the fan-out
+// factor.
+func OriginEgressCounter(reg *telemetry.Registry) *telemetry.Counter {
+	return reg.Counter("upkit_origin_egress_bytes", "Response payload bytes served by the origin pull server.")
+}
+
+// Handle is the CoAP Handler for the UpKit resources. Every response
+// payload byte is charged to the origin-egress counter — the number
+// the cache-tier topologies exist to shrink.
 func (s *PullServer) Handle(req *Message) *Message {
+	resp := s.route(req)
+	if resp != nil {
+		s.egress.Add(uint64(len(resp.Payload)))
+	}
+	return resp
+}
+
+func (s *PullServer) route(req *Message) *Message {
 	switch {
 	case req.Code == CodeGET && req.Path() == PathVersion:
 		s.reqVersion.Inc()
@@ -118,6 +163,12 @@ func (s *PullServer) Handle(req *Message) *Message {
 	case req.Code == CodeGET && req.Path() == PathKeys:
 		s.reqKeys.Inc()
 		return s.handleKeys()
+	case req.Code == CodeGET && req.Path() == PathName:
+		s.reqName.Inc()
+		return s.handleName(req)
+	case req.Code == CodeGET && req.Path() == PathBlocks && s.blockSrv != nil:
+		s.reqBlocks.Inc()
+		return s.blockSrv.Handle(req)
 	default:
 		s.reqOther.Inc()
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
@@ -173,7 +224,7 @@ func (s *PullServer) handleRequest(req *Message) *Message {
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
 	s.mu.Lock()
-	s.sessions[key] = &session{manifest: u.ManifestBytes, payload: u.Payload}
+	s.sessions[key] = &session{manifest: u.ManifestBytes, payload: u.Payload, name: u.PayloadName}
 	s.mu.Unlock()
 	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: u.ManifestBytes}
 }
@@ -187,6 +238,30 @@ func (s *PullServer) handleKeys() *Message {
 		return &Message{Type: Acknowledgement, Code: CodeNotFound}
 	}
 	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: b}
+}
+
+// handleName reports the content name and total length of a session's
+// payload: 32 name bytes followed by a 4-byte big-endian length. With
+// the name in hand the device is free to fetch the actual bytes from
+// any block source — the name is the only per-session fact the
+// content-addressed transfer needs, and this tiny response is the only
+// part of it the origin must serve itself.
+func (s *PullServer) handleName(req *Message) *Message {
+	deviceID, ok1 := parseHexQuery(req, "d")
+	nonce, ok2 := parseHexQuery(req, "n")
+	if !ok1 || !ok2 {
+		return &Message{Type: Acknowledgement, Code: CodeBadReq}
+	}
+	s.mu.Lock()
+	sess, ok := s.sessions[sessionKey{deviceID, nonce}]
+	s.mu.Unlock()
+	if !ok {
+		return &Message{Type: Acknowledgement, Code: CodeNotFound}
+	}
+	payload := make([]byte, dist.NameSize+4)
+	copy(payload, sess.name[:])
+	binary.BigEndian.PutUint32(payload[dist.NameSize:], uint32(len(sess.payload)))
+	return &Message{Type: Acknowledgement, Code: CodeContent, Payload: payload}
 }
 
 func (s *PullServer) handleImage(req *Message) *Message {
@@ -203,7 +278,7 @@ func (s *PullServer) handleImage(req *Message) *Message {
 	}
 	payload := sess.payload
 
-	block := Block{SZX: 2} // default 64-byte blocks
+	block := Block{SZX: DefaultSZX}
 	if raw, has := req.Option(OptBlock2); has {
 		b, err := ParseBlock(raw)
 		if err != nil {
@@ -243,6 +318,21 @@ func (s *PullServer) handleImage(req *Message) *Message {
 type PullClient struct {
 	// Ex performs the exchanges (simulated link or UDP).
 	Ex Exchanger
+	// Sources, when non-empty, switches the image transfer to the
+	// content-addressed block path: the payload name is fetched from the
+	// origin over Ex, then blocks are pulled from the sources in order
+	// (peer, proxy, origin), failing over on timeout or refusal. When a
+	// source serves bytes the verifier rejects, the whole cycle restarts
+	// with that source excluded — the double signature makes every
+	// source untrusted, so a poisoned cache costs a wasted transfer,
+	// never an installed image. Empty Sources keeps the session-bound
+	// /upkit/image path.
+	Sources []BlockSource
+	// PayloadSink, when set, receives the verified payload bytes after a
+	// complete multi-source transfer — the hook peer-assisted serving
+	// uses to admit the device's own download into a shared block
+	// registry. Only called for transfers that started at offset 0.
+	PayloadSink func(payload []byte)
 	// Agent is the device's update agent.
 	Agent *agent.Agent
 	// AppID is the application to poll for.
@@ -314,9 +404,34 @@ func retryableTransport(err error) bool {
 	return errors.Is(err, ErrTimeout) || errors.Is(err, transport.ErrLost)
 }
 
-// exchange performs one request with transfer-level retries on
-// retryable transport errors.
+// SourceError reports that the bytes served by one block source failed
+// verification. The agent has already invalidated the slot, so the
+// cycle cannot continue mid-stream; CheckAndUpdate restarts it with the
+// offending source excluded.
+type SourceError struct {
+	// Source is the index into PullClient.Sources.
+	Source int
+	// Name labels the source ("peer", "proxy", "origin").
+	Name string
+	// Err is the underlying verification failure.
+	Err error
+}
+
+func (e *SourceError) Error() string {
+	return fmt.Sprintf("coap: block source %q served rejected bytes: %v", e.Name, e.Err)
+}
+
+func (e *SourceError) Unwrap() error { return e.Err }
+
+// exchange performs one request over the client's primary exchanger
+// with transfer-level retries on retryable transport errors.
 func (c *PullClient) exchange(req *Message) (*Message, error) {
+	return c.exchangeVia(c.Ex, req)
+}
+
+// exchangeVia performs one request over ex with transfer-level retries
+// on retryable transport errors.
+func (c *PullClient) exchangeVia(ex Exchanger, req *Message) (*Message, error) {
 	retries := c.TransferRetries
 	if retries <= 0 {
 		retries = 2
@@ -326,7 +441,7 @@ func (c *PullClient) exchange(req *Message) (*Message, error) {
 		if attempt > 0 && c.Backoff != nil {
 			c.Backoff(attempt)
 		}
-		resp, err := c.Ex.Exchange(req)
+		resp, err := ex.Exchange(req)
 		if err == nil {
 			return resp, nil
 		}
@@ -379,6 +494,10 @@ func (c *PullClient) nextToken() []byte {
 // re-presented to the server and the Block2 transfer continues at the
 // block containing the journaled offset, so only the remaining bytes
 // travel again.
+//
+// With Sources configured, a source whose bytes fail verification is
+// excluded and the cycle retried over the remaining sources — at most
+// once per source, so a fully poisoned source list still terminates.
 func (c *PullClient) CheckAndUpdate() (bool, error) {
 	latest, err := c.Poll()
 	if err != nil {
@@ -388,8 +507,36 @@ func (c *PullClient) CheckAndUpdate() (bool, error) {
 		return false, ErrNoUpdate
 	}
 
+	var dead []bool
+	if len(c.Sources) > 0 {
+		dead = make([]bool, len(c.Sources))
+	}
+	for {
+		staged, err := c.updateCycle(latest, dead)
+		var se *SourceError
+		if err == nil || !errors.As(err, &se) || dead == nil {
+			return staged, err
+		}
+		dead[se.Source] = true
+		live := 0
+		for _, d := range dead {
+			if !d {
+				live++
+			}
+		}
+		if live == 0 {
+			return false, err
+		}
+		c.Events.Emit(events.KindSourceFailover, latest,
+			fmt.Sprintf("%s served rejected bytes; retrying via %d remaining source(s)", se.Name, live))
+	}
+}
+
+// updateCycle runs one resume-or-fresh update cycle against latest,
+// skipping block sources marked dead.
+func (c *PullClient) updateCycle(latest uint16, dead []bool) (bool, error) {
 	if c.Agent.CanResume() {
-		staged, handled, err := c.resume(latest)
+		staged, handled, err := c.resume(latest, dead)
 		if handled {
 			return staged, err
 		}
@@ -430,13 +577,13 @@ func (c *PullClient) CheckAndUpdate() (bool, error) {
 		return false, fmt.Errorf("coap: unexpected agent status %v after manifest", status)
 	}
 
-	return c.fetchImage(tok, 0)
+	return c.fetchImage(tok, 0, dead)
 }
 
 // resume continues a journaled download. handled reports whether the
 // resume path ran to a conclusion; when false the journal did not apply
 // and the caller should run a fresh cycle.
-func (c *PullClient) resume(latest uint16) (staged, handled bool, err error) {
+func (c *PullClient) resume(latest uint16, dead []bool) (staged, handled bool, err error) {
 	info, err := c.Agent.Resume()
 	if err != nil {
 		// The journal was stale or inconsistent; the agent has already
@@ -452,7 +599,7 @@ func (c *PullClient) resume(latest uint16) (staged, handled bool, err error) {
 	if err := c.establishSession(info.Token); err != nil {
 		return false, true, err
 	}
-	staged, err = c.fetchImage(info.Token, info.Received)
+	staged, err = c.fetchImage(info.Token, info.Received, dead)
 	return staged, true, err
 }
 
@@ -486,7 +633,10 @@ func (c *PullClient) establishSession(tok manifest.DeviceToken) error {
 }
 
 // fetchImage streams the payload blocks into the agent (step 7 + 12),
-// starting at the block containing offset (0 for a fresh transfer).
+// starting at the block containing offset (0 for a fresh transfer). It
+// dispatches on the client's configuration: with Sources set the
+// transfer runs content-addressed over the source list (fetchSources);
+// otherwise it runs the session-bound /upkit/image path (fetchOrigin).
 //
 // Error handling follows a strict classification:
 //   - Retryable transport failures (timeouts, lost frames) that survive
@@ -499,7 +649,17 @@ func (c *PullClient) establishSession(tok manifest.DeviceToken) error {
 //   - CodeNotFound mid-transfer means the server forgot the session
 //     (restart or expiry); the token is re-presented once and the same
 //     block retried before giving up.
-func (c *PullClient) fetchImage(tok manifest.DeviceToken, offset int) (bool, error) {
+func (c *PullClient) fetchImage(tok manifest.DeviceToken, offset int, dead []bool) (bool, error) {
+	if len(c.Sources) > 0 {
+		return c.fetchSources(tok, offset, dead)
+	}
+	return c.fetchOrigin(tok, offset)
+}
+
+// fetchOrigin is the session-bound Block2 transfer over GET
+// /upkit/image — the single-source path devices without a source list
+// use.
+func (c *PullClient) fetchOrigin(tok manifest.DeviceToken, offset int) (bool, error) {
 	size := c.BlockSize
 	if size <= 0 {
 		size = DefaultBlockSize
@@ -577,4 +737,153 @@ func (c *PullClient) fetchImage(tok manifest.DeviceToken, offset int) (bool, err
 			return true, nil
 		}
 	}
+}
+
+// fetchName asks the origin (over the client's primary exchanger) for
+// the session payload's content name and total length — the only
+// per-session fact the content-addressed transfer needs from the
+// origin itself.
+func (c *PullClient) fetchName(tok manifest.DeviceToken) (name string, total int, err error) {
+	req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
+	req.SetPath(PathName)
+	req.AddOption(OptUriQuery, []byte(fmt.Sprintf("d=%x", tok.DeviceID)))
+	req.AddOption(OptUriQuery, []byte(fmt.Sprintf("n=%x", tok.Nonce)))
+	resp, err := c.exchange(req)
+	if err != nil {
+		if retryableTransport(err) {
+			_ = c.Agent.Suspend()
+		} else {
+			c.Agent.Abort()
+		}
+		return "", 0, err
+	}
+	if resp.Code != CodeContent || len(resp.Payload) != dist.NameSize+4 {
+		c.Agent.Abort()
+		return "", 0, fmt.Errorf("%w: %s for payload name", ErrServerRefused, resp.Code)
+	}
+	var n dist.Name
+	copy(n[:], resp.Payload)
+	total = int(binary.BigEndian.Uint32(resp.Payload[dist.NameSize:]))
+	return n.String(), total, nil
+}
+
+// fetchSources streams the payload from the client's block sources in
+// order, failing over to the next source on timeout, refusal, or a
+// malformed block. The fed byte stream is identical to fetchOrigin's —
+// the agent cannot tell which mix of sources served it, and the
+// double-signature verification at the end holds regardless.
+//
+// A verification failure mid-stream returns a *SourceError naming the
+// source whose bytes the agent rejected (the agent has already
+// invalidated the slot); CheckAndUpdate restarts the cycle without it.
+func (c *PullClient) fetchSources(tok manifest.DeviceToken, offset int, dead []bool) (bool, error) {
+	name, total, err := c.fetchName(tok)
+	if err != nil {
+		return false, err
+	}
+	var collect []byte
+	collecting := c.PayloadSink != nil && offset == 0
+	var lastErr error
+	for si := range c.Sources {
+		if dead[si] {
+			continue
+		}
+		src := &c.Sources[si]
+		size := src.BlockSize
+		if size <= 0 {
+			size = c.BlockSize
+		}
+		if size <= 0 {
+			size = DefaultBlockSize
+		}
+		szx, err := SZXForSize(size)
+		if err != nil {
+			c.Agent.Abort()
+			return false, err
+		}
+		failed := false
+		for offset < total {
+			// A failover mid-stream re-fetches the block containing
+			// offset from the next source; the prefix the agent already
+			// consumed is trimmed so the pipeline sees a seamless
+			// stream. Named blocks are content-addressed, so the bytes
+			// line up across sources by construction.
+			num := uint32(offset / size)
+			skip := offset % size
+			req := &Message{Type: Confirmable, Code: CodeGET, Token: c.nextToken()}
+			req.SetPath(PathBlocks)
+			req.AddOption(OptUriQuery, []byte("b="+name))
+			req.AddOption(OptBlock2, Block{Num: num, SZX: szx}.Marshal())
+			resp, err := c.exchangeVia(src.Ex, req)
+			if err != nil {
+				if !retryableTransport(err) {
+					c.Agent.Abort()
+					return false, err
+				}
+				lastErr = err
+				failed = true
+				break
+			}
+			if resp.Code != CodeContent {
+				lastErr = fmt.Errorf("%w: %s for block %d from %s", ErrServerRefused, resp.Code, num, src.Name)
+				failed = true
+				break
+			}
+			chunk := resp.Payload
+			if skip > 0 {
+				if skip >= len(chunk) {
+					lastErr = fmt.Errorf("coap: block %d from %s too short: %d bytes, skipping %d", num, src.Name, len(chunk), skip)
+					failed = true
+					break
+				}
+				chunk = chunk[skip:]
+			}
+			if len(chunk) == 0 {
+				lastErr = fmt.Errorf("coap: empty block %d from %s", num, src.Name)
+				failed = true
+				break
+			}
+			if offset+len(chunk) > total {
+				chunk = chunk[:total-offset]
+			}
+			status, err := c.Agent.Receive(chunk)
+			if err != nil {
+				// The agent rejected the data and has already cleaned
+				// itself up (slot + journal invalidated). The rejection
+				// is pinned on this source; the caller retries without it.
+				return false, &SourceError{Source: si, Name: src.Name,
+					Err: fmt.Errorf("coap: firmware rejected: %w", err)}
+			}
+			if collecting {
+				collect = append(collect, chunk...)
+			}
+			offset += len(chunk)
+			if offset == total {
+				if status != agent.StatusUpdateReady {
+					c.Agent.Abort()
+					return false, fmt.Errorf("coap: transfer ended but agent status is %v", status)
+				}
+				if collecting {
+					c.PayloadSink(collect)
+				}
+				return true, nil
+			}
+		}
+		if failed {
+			c.Events.Emit(events.KindSourceFailover, 0,
+				fmt.Sprintf("%s: %v", src.Name, lastErr))
+			continue
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("coap: no live block sources")
+	}
+	if retryableTransport(lastErr) {
+		// Transport trouble on every remaining source; keep the journal
+		// so the next cycle resumes at offset.
+		_ = c.Agent.Suspend()
+	} else {
+		c.Agent.Abort()
+	}
+	return false, lastErr
 }

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// The proxy-tier block cache.
+//
+// A caching proxy sits between a fleet and the origin: every device in
+// a wave asks for the same named blocks, so the cache fetches each
+// block from upstream once and serves the rest from memory. The
+// discipline mirrors the update server's patch cache (PR 1): LRU by
+// bytes, and a singleflight table so concurrent first requests for a
+// cold block trigger exactly one upstream fetch while the rest wait on
+// its result — a 1k-device wave costs one origin fetch per block.
+//
+// Internally the cache stores canonical chunks of ChunkBytes (1024 by
+// default, the largest Block2 size) and carves requested blocks out of
+// them: every RFC 7959 block size divides 1024, so any requested block
+// lies within one chunk, and devices pulling 64-byte radio blocks share
+// chunks with proxies pulling 1024-byte ones.
+
+// DefaultChunkBytes is the canonical cached-chunk size: the largest
+// CoAP Block2 size (SZX 6), which every smaller SZX divides.
+const DefaultChunkBytes = 1024
+
+// DefaultCacheBytes bounds a CachingSource constructed with maxBytes
+// <= 0.
+const DefaultCacheBytes = 8 << 20
+
+// chunkOverhead approximates per-chunk bookkeeping bytes.
+const chunkOverhead = 96
+
+// CacheStats is a snapshot of a CachingSource's counters.
+type CacheStats struct {
+	// Hits counts requests served from a cached chunk.
+	Hits uint64 `json:"hits"`
+	// Misses counts requests whose chunk was absent (or uncacheable)
+	// and went upstream.
+	Misses uint64 `json:"misses"`
+	// Fills counts successful upstream chunk fetches; under concurrency
+	// the singleflight invariant is Fills == distinct chunks fetched.
+	Fills uint64 `json:"fills"`
+	// Waits counts requests that piggybacked on an in-flight fill.
+	Waits uint64 `json:"waits"`
+	// Evictions counts chunks dropped by the LRU size bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries and Bytes describe the current cache contents.
+	Entries int `json:"entries"`
+	Bytes   int `json:"bytes"`
+}
+
+// chunkKey identifies one canonical chunk of one named payload.
+type chunkKey struct {
+	name Name
+	num  uint32
+}
+
+// chunk is one cached canonical chunk: its bytes and whether the
+// payload continues past it.
+type chunk struct {
+	data []byte
+	more bool
+}
+
+func (c chunk) size() int { return len(c.data) + chunkOverhead }
+
+// inflightChunk is one in-progress upstream fetch other requests wait
+// on. res and err are written exactly once, before done is closed.
+type inflightChunk struct {
+	done chan struct{}
+	res  chunk
+	err  error
+}
+
+// cacheElem is one LRU element.
+type cacheElem struct {
+	key chunkKey
+	res chunk
+}
+
+// CachingSource is a Source that serves blocks from an LRU-by-bytes
+// chunk cache, filling from upstream on miss with singleflight dedup.
+// It is safe for concurrent use; upstream fetches run outside the
+// cache lock.
+type CachingSource struct {
+	upstream   Source
+	chunkBytes int
+
+	mu       sync.Mutex
+	maxBytes int
+	curBytes int
+	entries  map[chunkKey]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[chunkKey]*inflightChunk
+
+	hits, misses, fills, waits, evictions uint64
+}
+
+// NewCachingSource creates a cache over upstream bounded to maxBytes
+// (<= 0 selects DefaultCacheBytes) with canonical chunks of chunkBytes
+// (<= 0 selects DefaultChunkBytes; must be a multiple of every block
+// size it will serve).
+func NewCachingSource(upstream Source, maxBytes, chunkBytes int) *CachingSource {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	return &CachingSource{
+		upstream:   upstream,
+		chunkBytes: chunkBytes,
+		maxBytes:   maxBytes,
+		entries:    make(map[chunkKey]*list.Element),
+		lru:        list.New(),
+		inflight:   make(map[chunkKey]*inflightChunk),
+	}
+}
+
+// Block implements Source. Requests whose size does not divide the
+// chunk size (or exceeds it) bypass the cache and go straight
+// upstream.
+func (c *CachingSource) Block(name Name, num uint32, size int) ([]byte, bool, error) {
+	if size <= 0 {
+		return nil, false, fmt.Errorf("dist: invalid block size %d", size)
+	}
+	if size > c.chunkBytes || c.chunkBytes%size != 0 {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return c.upstream.Block(name, num, size)
+	}
+	// The requested block lies entirely within one canonical chunk.
+	start := int(num) * size
+	cnum := uint32(start / c.chunkBytes)
+	within := start % c.chunkBytes
+
+	res, err := c.chunk(chunkKey{name: name, num: cnum})
+	if err != nil {
+		return nil, false, err
+	}
+	if within > len(res.data) || (within == len(res.data) && within > 0) {
+		return nil, false, fmt.Errorf("%w: block %d past chunk %d end", ErrOutOfRange, num, cnum)
+	}
+	end := min(within+size, len(res.data))
+	return res.data[within:end], res.more || end < len(res.data), nil
+}
+
+// chunk returns the canonical chunk for key, fetching it upstream at
+// most once per distinct key across concurrent callers. Failed fetches
+// are not cached — the next request retries upstream.
+func (c *CachingSource) chunk(key chunkKey) (chunk, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		res := el.Value.(*cacheElem).res
+		c.mu.Unlock()
+		return res, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.waits++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.res, fl.err
+	}
+	c.misses++
+	fl := &inflightChunk{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.mu.Unlock()
+
+	data, more, err := c.upstream.Block(key.name, key.num, c.chunkBytes)
+
+	c.mu.Lock()
+	fl.res = chunk{data: data, more: more}
+	fl.err = err
+	delete(c.inflight, key)
+	if err == nil {
+		c.fills++
+		c.insertLocked(key, fl.res)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.res, fl.err
+}
+
+// insertLocked stores res under key, evicting from the cold end until
+// the size bound holds. Chunks larger than the whole bound are not
+// cached at all.
+func (c *CachingSource) insertLocked(key chunkKey, res chunk) {
+	if res.size() > c.maxBytes {
+		return
+	}
+	if el, ok := c.entries[key]; ok { // raced a concurrent insert; stay idempotent
+		c.removeLocked(el)
+	}
+	for c.curBytes+res.size() > c.maxBytes {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		c.removeLocked(back)
+		c.evictions++
+	}
+	c.entries[key] = c.lru.PushFront(&cacheElem{key: key, res: res})
+	c.curBytes += res.size()
+}
+
+// removeLocked drops one LRU element.
+func (c *CachingSource) removeLocked(el *list.Element) {
+	e := c.lru.Remove(el).(*cacheElem)
+	delete(c.entries, e.key)
+	c.curBytes -= e.res.size()
+}
+
+// Stats snapshots the cache's counters.
+func (c *CachingSource) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Fills:     c.fills,
+		Waits:     c.waits,
+		Evictions: c.evictions,
+		Entries:   c.lru.Len(),
+		Bytes:     c.curBytes,
+	}
+}

@@ -1,0 +1,29 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseName hardens the name parser: proxies and block servers feed
+// it attacker-controlled query strings, so it must never panic and must
+// round-trip exactly what it accepts.
+func FuzzParseName(f *testing.F) {
+	f.Add(NameOf([]byte("seed")).String())
+	f.Add("")
+	f.Add(strings.Repeat("0", 64))
+	f.Add(strings.Repeat("g", 64))
+	f.Add(strings.Repeat("AB", 40))
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseName(s)
+		if err != nil {
+			return
+		}
+		// Accepted names re-encode to an equivalent (lowercase hex) form
+		// that parses back to the same name.
+		back, err := ParseName(n.String())
+		if err != nil || back != n {
+			t.Fatalf("round trip broke: %q → %s → %s (%v)", s, n, back, err)
+		}
+	})
+}

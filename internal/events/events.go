@@ -62,6 +62,10 @@ const (
 	// KindKeysUpdated: the device applied a key bundle (new key records
 	// and/or a revocation list).
 	KindKeysUpdated
+	// KindSourceFailover: a block source (peer, caching proxy) timed
+	// out, refused, or served bytes the verifier rejected; the client
+	// moved on to the next source in its list.
+	KindSourceFailover
 )
 
 // String names the kind.
@@ -101,6 +105,8 @@ func (k Kind) String() string {
 		return "staged-rejected"
 	case KindKeysUpdated:
 		return "keys-updated"
+	case KindSourceFailover:
+		return "source-failover"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

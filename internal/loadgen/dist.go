@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The distribution ablation: the same campaign run over three serve
+// topologies, quantifying what the content-addressed tier buys the
+// origin. Direct is the baseline (every device pulls every byte from
+// the origin); Proxy inserts one warm caching proxy; ProxyPeer adds the
+// peer block tier on top. The headline figure is origin egress
+// reduction — with named blocks a 1k-device wave costs the origin one
+// fill per block instead of one transfer per device, so the ratio
+// should sit near the per-device transfer size over the per-device
+// control-traffic size.
+
+// Ablation is the JSON-shaped result of RunDistAblation.
+type Ablation struct {
+	Direct    *Result `json:"direct"`
+	Proxy     *Result `json:"proxy"`
+	ProxyPeer *Result `json:"proxy_peer"`
+
+	// EgressReductionProxy is Direct.OriginEgressBytes over
+	// Proxy.OriginEgressBytes — how many times less the origin sent with
+	// one caching proxy in front (likewise for ProxyPeer).
+	EgressReductionProxy     float64 `json:"egress_reduction_proxy"`
+	EgressReductionProxyPeer float64 `json:"egress_reduction_proxy_peer"`
+}
+
+// RunDistAblation campaigns cfg three times — direct, through one
+// caching proxy, and through proxy + peer tier — and reports the origin
+// egress reduction. cfg.Proxies/PeerAssist are overridden per leg;
+// everything else (fleet size, image, parallelism, seed) is held fixed.
+func RunDistAblation(cfg Config) (*Ablation, error) {
+	cfg.applyDefaults()
+	if cfg.Stack != StackFull {
+		return nil, errors.New("loadgen: dist ablation needs the full stack")
+	}
+	if cfg.Encrypted {
+		// Encrypted payloads are per-device (fresh IV), so there is
+		// nothing for the tier to share; the ablation would only measure
+		// noise.
+		return nil, errors.New("loadgen: dist ablation is for unencrypted payloads")
+	}
+
+	leg := func(proxies int, peer bool) (*Result, error) {
+		c := cfg
+		c.Proxies, c.PeerAssist = proxies, peer
+		res, err := Run(c)
+		if err != nil {
+			return res, err
+		}
+		if res.Updated != res.Devices {
+			return res, fmt.Errorf("loadgen: ablation leg (proxies=%d peer=%v): %d of %d devices failed: %v",
+				proxies, peer, res.Devices-res.Updated, res.Devices, res.Errors)
+		}
+		return res, nil
+	}
+
+	a := &Ablation{}
+	var err error
+	if a.Direct, err = leg(0, false); err != nil {
+		return nil, err
+	}
+	if a.Proxy, err = leg(1, false); err != nil {
+		return nil, err
+	}
+	if a.ProxyPeer, err = leg(1, true); err != nil {
+		return nil, err
+	}
+	if a.Proxy.OriginEgressBytes > 0 {
+		a.EgressReductionProxy = float64(a.Direct.OriginEgressBytes) / float64(a.Proxy.OriginEgressBytes)
+	}
+	if a.ProxyPeer.OriginEgressBytes > 0 {
+		a.EgressReductionProxyPeer = float64(a.Direct.OriginEgressBytes) / float64(a.ProxyPeer.OriginEgressBytes)
+	}
+	return a, nil
+}

@@ -1,0 +1,54 @@
+package loadgen
+
+import "testing"
+
+// TestDistTopologySavesOriginEgress: the same small campaign direct and
+// through one caching proxy — the proxy leg must complete every device
+// and cut origin egress by at least the wave size's worth of sharing.
+func TestDistTopologySavesOriginEgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack fleet in -short")
+	}
+	base := Config{Devices: 24, FirmwareKiB: 16, Parallelism: 8, Seed: "dist-loadgen"}
+
+	direct, err := Run(base)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	if direct.Updated != direct.Devices {
+		t.Fatalf("direct: %d/%d updated: %v", direct.Updated, direct.Devices, direct.Errors)
+	}
+	if direct.OriginEgressBytes == 0 {
+		t.Fatal("direct: no origin egress recorded")
+	}
+
+	proxied := base
+	proxied.Proxies = 1
+	viaProxy, err := Run(proxied)
+	if err != nil {
+		t.Fatalf("proxy: %v", err)
+	}
+	if viaProxy.Updated != viaProxy.Devices {
+		t.Fatalf("proxy: %d/%d updated: %v", viaProxy.Updated, viaProxy.Devices, viaProxy.Errors)
+	}
+	if viaProxy.ProxyCacheFills == 0 || viaProxy.ProxyCacheHits == 0 {
+		t.Fatalf("proxy stats = %+v: cache must fill once and then hit", viaProxy)
+	}
+	if viaProxy.OriginEgressBytes*2 >= direct.OriginEgressBytes {
+		t.Fatalf("origin egress %d via proxy vs %d direct: expected at least 2x reduction",
+			viaProxy.OriginEgressBytes, direct.OriginEgressBytes)
+	}
+
+	peered := proxied
+	peered.PeerAssist = true
+	viaPeer, err := Run(peered)
+	if err != nil {
+		t.Fatalf("proxy+peer: %v", err)
+	}
+	if viaPeer.Updated != viaPeer.Devices {
+		t.Fatalf("proxy+peer: %d/%d updated: %v", viaPeer.Updated, viaPeer.Devices, viaPeer.Errors)
+	}
+	if viaPeer.PeerBlockHits == 0 {
+		t.Fatalf("proxy+peer: no peer block hits (result %+v)", viaPeer)
+	}
+}

@@ -20,11 +20,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"upkit/internal/coap"
+	"upkit/internal/dist"
 	"upkit/internal/fleet"
 	"upkit/internal/platform"
+	"upkit/internal/proxy"
 	"upkit/internal/security"
 	"upkit/internal/testbed"
 	"upkit/internal/updateserver"
@@ -82,7 +86,22 @@ type Config struct {
 	// MaxErrors bounds Result.Errors; 0 means 16, negative disables.
 	MaxErrors int
 	// Encrypted turns on end-to-end payload encryption (StackFull).
+	// Note that encryption makes every device's payload unique (fresh
+	// IV), so the distribution tier below cannot share blocks across
+	// devices — proxies still work but stop saving origin egress.
 	Encrypted bool
+	// Proxies inserts that many caching CoAP proxies between the fleet
+	// and the origin (StackFull): devices are assigned round-robin, all
+	// traffic runs through the assigned proxy, and named blocks are
+	// served from its cache. 0 keeps the direct topology.
+	Proxies int
+	// ProxyCacheKiB bounds each proxy's block cache; 0 uses the
+	// dist package default.
+	ProxyCacheKiB int
+	// PeerAssist adds a peer block tier (StackFull): every device that
+	// completes a verified transfer admits the payload into a shared
+	// peer registry, which later devices try before the proxy/origin.
+	PeerAssist bool
 	// Seed differentiates deterministic key/nonce streams; default
 	// "loadgen".
 	Seed string
@@ -165,6 +184,19 @@ type Result struct {
 	DiffCacheHits    uint64 `json:"diff_cache_hits"`
 	DiffCacheWaits   uint64 `json:"diff_cache_waits"`
 
+	// Distribution-tier accounting. OriginEgressBytes is every response
+	// payload byte the origin pull server(s) sent — the number the
+	// content-addressed tier exists to shrink: with a warm proxy a
+	// 1k-device wave costs the origin one fill per block instead of one
+	// transfer per device.
+	Proxies           int    `json:"proxies,omitempty"`
+	PeerAssist        bool   `json:"peer_assist,omitempty"`
+	OriginEgressBytes uint64 `json:"origin_egress_bytes"`
+	ProxyCacheHits    uint64 `json:"proxy_cache_hits,omitempty"`
+	ProxyCacheMisses  uint64 `json:"proxy_cache_misses,omitempty"`
+	ProxyCacheFills   uint64 `json:"proxy_cache_fills,omitempty"`
+	PeerBlockHits     uint64 `json:"peer_block_hits,omitempty"`
+
 	// Errors samples the first MaxErrors device errors;
 	// ErrorsTruncated counts failures beyond the sample, keeping the
 	// result O(1) in fleet size even when every device fails.
@@ -183,6 +215,9 @@ type Fleet struct {
 	cfg      Config
 	updaters []fleet.Updater
 	update   *updateserver.Server
+	// Distribution tier (nil/empty for the direct topology).
+	proxies []*proxy.Cache
+	peers   *dist.Registry
 }
 
 // bedUpdater adapts a testbed deployment to fleet.Updater.
@@ -229,6 +264,31 @@ func Build(cfg Config) (*Fleet, error) {
 	v2 := testbed.DeriveAppChange(v1, cfg.EditBytes)
 
 	f := &Fleet{cfg: cfg, update: update, updaters: make([]fleet.Updater, cfg.Devices)}
+
+	// Distribution tier: one shared pull server (the proxies' origin hop
+	// must reach the same session table the devices prepare sessions in),
+	// cfg.Proxies caches in front of it, and optionally a shared peer
+	// block registry that completed devices feed.
+	var (
+		sharedPull *coap.PullServer
+		peerSrv    *coap.BlockServer
+	)
+	if cfg.Proxies > 0 || cfg.PeerAssist {
+		sharedPull = coap.NewPullServer(update)
+		for p := 0; p < cfg.Proxies; p++ {
+			f.proxies = append(f.proxies, proxy.NewCache(
+				&coap.Loopback{Handler: sharedPull.Handle},
+				proxy.CacheOptions{
+					MaxBytes:  cfg.ProxyCacheKiB * 1024,
+					Telemetry: update.Telemetry(),
+					Instance:  strconv.Itoa(p),
+				}))
+		}
+		if cfg.PeerAssist {
+			f.peers = dist.NewRegistry(0)
+			peerSrv = &coap.BlockServer{Source: f.peers}
+		}
+	}
 	workers := min(max(runtime.GOMAXPROCS(0), 1), cfg.Devices)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
@@ -247,10 +307,28 @@ func Build(cfg Config) (*Fleet, error) {
 					Seed:         fmt.Sprintf("%s-%d", cfg.Seed, i),
 					SharedVendor: vendor,
 					SharedUpdate: update,
+					SharedPull:   sharedPull,
 				}, v1)
 				if err != nil {
 					errs[w] = fmt.Errorf("loadgen: device %d: %w", i, err)
 					return
+				}
+				if sharedPull != nil {
+					var front coap.Handler
+					var routes []testbed.BlockRoute
+					if peerSrv != nil {
+						routes = append(routes, testbed.BlockRoute{Name: "peer", Handler: peerSrv.Handle})
+					}
+					if len(f.proxies) > 0 {
+						pc := f.proxies[i%len(f.proxies)]
+						front = pc.Handle
+						routes = append(routes, testbed.BlockRoute{
+							Name: fmt.Sprintf("proxy-%d", i%len(f.proxies)), Handler: pc.Handle})
+					}
+					bed.Distribute(front, routes...)
+					if f.peers != nil {
+						bed.ShareBlocks(f.peers)
+					}
 				}
 				f.updaters[i] = &bedUpdater{bed: bed, id: id}
 			}
@@ -338,6 +416,21 @@ func (f *Fleet) CampaignFrom(cp *fleet.Checkpoint) (*Result, error) {
 		res.DiffComputations = st.Computations
 		res.DiffCacheHits = st.Hits
 		res.DiffCacheWaits = st.Waits
+		// Every pull server in this run (per-bed in the direct topology,
+		// the one shared server behind proxies) charges the same counter
+		// on the shared registry.
+		res.OriginEgressBytes = coap.OriginEgressCounter(f.update.Telemetry()).Value()
+	}
+	res.Proxies = f.cfg.Proxies
+	res.PeerAssist = f.cfg.PeerAssist
+	for _, pc := range f.proxies {
+		st := pc.Stats()
+		res.ProxyCacheHits += st.Hits
+		res.ProxyCacheMisses += st.Misses
+		res.ProxyCacheFills += st.Fills
+	}
+	if f.peers != nil {
+		res.PeerBlockHits = f.peers.Stats().Hits
 	}
 	for _, e := range report.Errors {
 		res.Errors = append(res.Errors, fmt.Sprintf("device %#x: %v", e.DeviceID, e.Err))

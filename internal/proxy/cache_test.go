@@ -1,0 +1,145 @@
+package proxy_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"upkit/internal/coap"
+	"upkit/internal/dist"
+	"upkit/internal/platform"
+	"upkit/internal/proxy"
+	"upkit/internal/telemetry"
+	"upkit/internal/testbed"
+)
+
+// TestCacheFillsOnceAndServesFromMemory is the cache tier's core
+// promise: the first pass over a payload fills each chunk from the
+// origin exactly once; every later pass is served from memory.
+func TestCacheFillsOnceAndServesFromMemory(t *testing.T) {
+	payload := make([]byte, 4*dist.DefaultChunkBytes)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	reg := dist.NewRegistry(0)
+	name := reg.Put(payload)
+	origin := &coap.Loopback{Handler: (&coap.BlockServer{Source: reg}).Handle}
+	cache := proxy.NewCache(origin, proxy.CacheOptions{})
+
+	fetch := func() []byte {
+		src := &coap.ExchangerSource{Ex: &coap.Loopback{Handler: cache.Handle}}
+		var got []byte
+		for num := uint32(0); ; num++ {
+			data, more, err := src.Block(name, num, 64)
+			if err != nil {
+				t.Fatalf("block %d: %v", num, err)
+			}
+			got = append(got, data...)
+			if !more {
+				break
+			}
+		}
+		return got
+	}
+
+	if !bytes.Equal(fetch(), payload) {
+		t.Fatal("first pass: payload differs")
+	}
+	st := cache.Stats()
+	if st.Fills != 4 {
+		t.Fatalf("fills after first pass = %d, want 4 (one per chunk)", st.Fills)
+	}
+	if !bytes.Equal(fetch(), payload) {
+		t.Fatal("second pass: payload differs")
+	}
+	st = cache.Stats()
+	if st.Fills != 4 {
+		t.Fatalf("fills after second pass = %d, want still 4", st.Fills)
+	}
+	if st.Hits == 0 {
+		t.Fatal("second pass must hit the cache")
+	}
+}
+
+// TestCacheForwardsControlTraffic: everything that is not a block
+// request — version polls, session setup, name lookups — passes through
+// to the origin, so a device can run its entire update cycle against
+// the proxy address.
+func TestCacheForwardsControlTraffic(t *testing.T) {
+	b, err := testbed.New(testbed.Options{Approach: platform.Pull},
+		testbed.MakeFirmware("proxy-v1", 16*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PublishVersion(2, testbed.MakeFirmware("proxy-v2", 16*1024)); err != nil {
+		t.Fatal(err)
+	}
+	srv := coap.NewPullServer(b.Update)
+	cache := proxy.NewCache(&coap.Loopback{Handler: srv.Handle}, proxy.CacheOptions{})
+
+	// The device talks only to the proxy: control traffic over Ex,
+	// blocks from the proxy's cache.
+	client := b.PullClient()
+	client.Ex = &coap.LinkExchanger{Link: b.Link, Handler: cache.Handle}
+	client.Sources = []coap.BlockSource{{Name: "proxy", Ex: &coap.Loopback{Handler: cache.Handle}}}
+
+	staged, err := client.CheckAndUpdate()
+	if err != nil {
+		t.Fatalf("CheckAndUpdate through proxy: %v", err)
+	}
+	if !staged {
+		t.Fatal("no update staged through the proxy")
+	}
+	if st := cache.Stats(); st.Fills == 0 {
+		t.Fatalf("stats = %+v: the transfer must have filled the cache", st)
+	}
+}
+
+// errorExchanger simulates a dead origin link.
+type errorExchanger struct{}
+
+func (errorExchanger) Exchange(*coap.Message) (*coap.Message, error) {
+	return nil, coap.ErrTimeout
+}
+
+func TestCacheDeadOriginMapsToServerError(t *testing.T) {
+	cache := proxy.NewCache(errorExchanger{}, proxy.CacheOptions{})
+	req := &coap.Message{Type: coap.Confirmable, Code: coap.CodeGET}
+	req.SetPath(coap.PathVersion)
+	req.AddOption(coap.OptUriQuery, []byte("app=2a"))
+	if resp := cache.Handle(req); resp.Code != coap.CodeIntErr {
+		t.Fatalf("forwarded code = %v, want 5.00", resp.Code)
+	}
+}
+
+// TestCacheTelemetryLabels pins the scrape surface: two proxies on one
+// registry export distinguishable upkit_cache_*_total series via the
+// proxy=<instance> label.
+func TestCacheTelemetryLabels(t *testing.T) {
+	reg := dist.NewRegistry(0)
+	name := reg.Put(make([]byte, 64))
+	origin := &coap.Loopback{Handler: (&coap.BlockServer{Source: reg}).Handle}
+	tel := telemetry.NewRegistry()
+	a := proxy.NewCache(origin, proxy.CacheOptions{Telemetry: tel, Instance: "0"})
+	_ = proxy.NewCache(origin, proxy.CacheOptions{Telemetry: tel, Instance: "1"})
+
+	src := &coap.ExchangerSource{Ex: &coap.Loopback{Handler: a.Handle}}
+	if _, _, err := src.Block(name, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tel.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`upkit_cache_fill_total{proxy="0"} 1`,
+		`upkit_cache_fill_total{proxy="1"} 0`,
+		`upkit_cache_miss_total{proxy="0"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Key-file encoding used by the host-side tools (cmd/upkit-sign). The
@@ -65,7 +66,10 @@ func decodeKeyFile(wantTag string, data []byte) ([]byte, error) {
 
 // deterministicReader yields an endless SHA-256-based byte stream from a
 // seed. It exists so tests and examples can generate stable key pairs.
+// Reads are serialized: an update server shares one IV stream across
+// concurrent PrepareUpdate calls.
 type deterministicReader struct {
+	mu    sync.Mutex
 	state [32]byte
 	buf   []byte
 }
@@ -77,6 +81,8 @@ func NewDeterministicReader(seed string) *deterministicReader {
 }
 
 func (r *deterministicReader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for len(r.buf) < len(p) {
 		r.state = sha256.Sum256(r.state[:])
 		r.buf = append(r.buf, r.state[:]...)

@@ -14,6 +14,7 @@ import (
 	"upkit/internal/bootloader"
 	"upkit/internal/coap"
 	"upkit/internal/device"
+	"upkit/internal/dist"
 	"upkit/internal/manifest"
 	"upkit/internal/platform"
 	"upkit/internal/proxy"
@@ -65,6 +66,13 @@ type Options struct {
 	// bed no longer mutates servers it does not own.
 	SharedVendor *vendorserver.Server
 	SharedUpdate *updateserver.Server
+	// SharedPull, when set, reuses an existing CoAP pull server instead
+	// of creating a per-bed one. Distribution topologies need this: a
+	// caching proxy's origin hop must reach the same session table the
+	// devices established their sessions in, so every bed behind one
+	// proxy shares one pull server. Requires SharedUpdate (the pull
+	// server serves that update server's state).
+	SharedPull *coap.PullServer
 	// Telemetry overrides the metrics registry the whole bed reports
 	// into. Nil selects the update server's own registry, so beds
 	// sharing a server aggregate into one scrape.
@@ -105,6 +113,14 @@ type Bed struct {
 	// survive across PullClient calls so a device resuming after a power
 	// cycle re-joins the same prepared session (same payload bytes).
 	pull *coap.PullServer
+
+	// Distribution topology (see Distribute/ShareBlocks): front replaces
+	// the origin as the device's control-traffic endpoint, routes are the
+	// block sources tried before the origin, and sink receives verified
+	// payloads for peer-assisted serving.
+	front  coap.Handler
+	routes []BlockRoute
+	sink   func(payload []byte)
 
 	// Key-lifecycle state: the signing keys currently in service, the
 	// issued records (re-published in every bundle), and the cumulative
@@ -259,7 +275,11 @@ func New(opts Options, factoryFirmware []byte) (*Bed, error) {
 		return nil, err
 	}
 	b.Device = dev
-	b.pull = coap.NewPullServer(update)
+	if opts.SharedPull != nil {
+		b.pull = opts.SharedPull
+	} else {
+		b.pull = coap.NewPullServer(update)
+	}
 	switch opts.Approach {
 	case platform.Push:
 		b.Link = transport.BLE(dev.Clock, dev.Meter)
@@ -425,19 +445,78 @@ func (b *Bed) Smartphone() *proxy.Smartphone {
 	}
 }
 
+// BlockRoute is one block source in a bed's distribution topology.
+type BlockRoute struct {
+	// Name labels the source in events and errors ("peer", "proxy").
+	Name string
+	// Handler answers GET /upkit/blocks for this source; the bed wires
+	// it to the device through its radio link.
+	Handler coap.Handler
+	// BlockSize overrides the client's Block2 size toward this source
+	// (0 inherits).
+	BlockSize int
+}
+
+// Distribute switches the bed's pull clients to the content-addressed
+// serve path: control traffic (polls, session setup, name lookups) goes
+// to front when non-nil — typically a caching proxy that forwards it to
+// the origin — and image blocks are pulled from routes in order, with
+// the origin appended as the source of last resort. Every hop still
+// crosses the device's radio link, so energy and latency accounting are
+// unchanged.
+func (b *Bed) Distribute(front coap.Handler, routes ...BlockRoute) {
+	b.front = front
+	b.routes = routes
+}
+
+// ShareBlocks makes the bed's device a block peer: after each completed
+// multi-source transfer the verified payload is admitted into reg under
+// its content name, where a BlockServer over reg can serve it to other
+// devices. Only meaningful after Distribute.
+func (b *Bed) ShareBlocks(reg *dist.Registry) {
+	b.sink = func(p []byte) { reg.Put(p) }
+}
+
+// PullHandler exposes the bed's pull server as a CoAP handler — what a
+// caching proxy or a UDP front-end mounts as its origin.
+func (b *Bed) PullHandler() coap.Handler { return b.pull.Handle }
+
 // PullClient returns a CoAP pull client connected to the update server
 // through the device's 802.15.4 link (via a border router). Clients
 // share the bed's pull server, so a client created after a (simulated)
 // device reboot can resume the session an earlier client established.
 // Transfer-level retry backoff advances the device clock.
+//
+// After Distribute, the client's control traffic goes through the
+// configured front and its image transfer runs over the block-source
+// list (routes, then origin).
 func (b *Bed) PullClient() *coap.PullClient {
+	handler := b.pull.Handle
+	if b.front != nil {
+		handler = b.front
+	}
 	c := &coap.PullClient{
-		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: b.pull.Handle, Telemetry: b.tel},
+		Ex:    &coap.LinkExchanger{Link: b.Link, Handler: handler, Telemetry: b.tel},
 		Agent: b.Device.Agent,
 		AppID: b.opts.AppID,
 		Backoff: func(attempt int) {
 			b.Device.Clock.Advance(2 * time.Second << uint(attempt-1))
 		},
+	}
+	if b.front != nil || len(b.routes) > 0 {
+		for _, r := range b.routes {
+			c.Sources = append(c.Sources, coap.BlockSource{
+				Name:      r.Name,
+				Ex:        &coap.LinkExchanger{Link: b.Link, Handler: r.Handler, Telemetry: b.tel},
+				BlockSize: r.BlockSize,
+			})
+		}
+		c.Sources = append(c.Sources, coap.BlockSource{
+			Name: "origin",
+			Ex:   &coap.LinkExchanger{Link: b.Link, Handler: b.pull.Handle, Telemetry: b.tel},
+		})
+		c.PayloadSink = b.sink
+		c.Events = b.Device.Events
 	}
 	if b.Keystore != nil {
 		c.Keys = b.Keystore

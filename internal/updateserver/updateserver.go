@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"upkit/internal/announce"
+	"upkit/internal/dist"
 	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
 	"upkit/internal/security"
@@ -55,6 +56,13 @@ type Update struct {
 	Differential bool
 	// Encrypted reports whether Payload is AES-CTR ciphertext.
 	Encrypted bool
+	// PayloadName is the content address of Payload in the server's
+	// block registry: any node holding bytes with this name — origin,
+	// caching proxy, updated peer — can serve the transfer. Unencrypted
+	// payloads are byte-identical across devices asking for the same
+	// version pair, so their names coincide and caches share them;
+	// encrypted payloads carry a fresh IV per device and stay private.
+	PayloadName dist.Name
 }
 
 // TotalSize is the number of bytes that travel to the device.
@@ -103,6 +111,11 @@ type Server struct {
 	// independent of the store's locks.
 	cache *patchCache
 
+	// blocks content-addresses every prepared payload so the named-block
+	// serve path (CoAP /upkit/blocks, caching proxies, peers) can serve
+	// it by name; see internal/dist.
+	blocks *dist.Registry
+
 	// tel is never nil: New attaches a private registry unless
 	// WithTelemetry injects a shared one. met holds the pre-resolved
 	// handles for the request hot path.
@@ -134,6 +147,15 @@ type Option func(*Server)
 // default is DefaultPatchCacheBytes.
 func WithPatchCacheSize(n int) Option {
 	return func(s *Server) { s.cache.setMaxBytes(n) }
+}
+
+// WithBlockStoreSize bounds the named-block registry to n bytes
+// (DefaultRegistryBytes when unset). The registry keeps prepared
+// payloads addressable by content name for the block serve path; the
+// LRU bound never drops the most recently prepared payload, so the
+// origin can always serve what it just signed.
+func WithBlockStoreSize(n int) Option {
+	return func(s *Server) { s.blocks = dist.NewRegistry(n) }
 }
 
 // WithRetention bounds the number of releases kept per app; 0 (the
@@ -222,6 +244,11 @@ func (s *Server) Stats() CacheStats { return s.cache.stats() }
 // half of the server, useful for admin surfaces and close-on-shutdown.
 func (s *Server) Store() ReleaseStore { return s.store }
 
+// Blocks returns the server's named-block registry (never nil): the
+// dist.Source behind the origin's block server, and the upstream that
+// caching proxies fill from.
+func (s *Server) Blocks() *dist.Registry { return s.blocks }
+
 // Telemetry returns the server's metrics registry (never nil). Shared
 // deployments inject one registry via WithTelemetry so transports,
 // agents, and campaigns land in the same scrape.
@@ -243,6 +270,9 @@ func New(suite security.Suite, key *security.PrivateKey, opts ...Option) *Server
 	}
 	if s.store == nil {
 		s.store = NewMemStore(s.shards)
+	}
+	if s.blocks == nil {
+		s.blocks = dist.NewRegistry(0)
 	}
 	s.initTelemetry()
 	return s
@@ -275,6 +305,12 @@ func (s *Server) initTelemetry() {
 	reg.CounterFunc("upkit_patch_cache_invalidations_total", "Entries dropped by Publish or retention pruning.", stat(func(c CacheStats) float64 { return float64(c.Invalidations) }))
 	reg.GaugeFunc("upkit_patch_cache_entries", "Current cached patches.", stat(func(c CacheStats) float64 { return float64(c.Entries) }))
 	reg.GaugeFunc("upkit_patch_cache_bytes", "Current cached patch bytes.", stat(func(c CacheStats) float64 { return float64(c.Bytes) }))
+
+	bstat := func(read func(dist.RegistryStats) float64) func() float64 {
+		return func() float64 { return read(s.blocks.Stats()) }
+	}
+	reg.GaugeFunc("upkit_blockstore_entries", "Named payloads in the block registry.", bstat(func(st dist.RegistryStats) float64 { return float64(st.Entries) }))
+	reg.GaugeFunc("upkit_blockstore_bytes", "Payload bytes in the block registry.", bstat(func(st dist.RegistryStats) float64 { return float64(st.Bytes) }))
 
 	sstat := func(read func(StoreStats) float64) func() float64 {
 		return func() float64 { return read(s.store.Stats()) }
@@ -495,6 +531,11 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 		u.Payload = enc
 		u.Encrypted = true
 	}
+	// Register the final wire payload under its content name so the
+	// block serve path can answer for it. Encryption (fresh IV per
+	// device) has already run, so the name addresses exactly the bytes
+	// that travel.
+	u.PayloadName = s.blocks.Put(u.Payload)
 	if err := m.SignServer(s.suite, key); err != nil {
 		s.met.reqError.Inc()
 		return nil, fmt.Errorf("updateserver: %w", err)

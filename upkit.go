@@ -46,6 +46,7 @@ import (
 	"upkit/internal/coap"
 	"upkit/internal/controlplane"
 	"upkit/internal/device"
+	"upkit/internal/dist"
 	"upkit/internal/events"
 	"upkit/internal/experiments"
 	"upkit/internal/flash"
@@ -386,7 +387,73 @@ const (
 	EventRolledBack       = events.KindRolledBack
 	EventSwapResumed      = events.KindSwapResumed
 	EventBootFailed       = events.KindBootFailed
+	EventSourceFailover   = events.KindSourceFailover
 )
+
+// Content-addressed distribution: prepared payloads are exposed as
+// immutable named blocks (the name is the SHA-256 of the payload
+// bytes), so any untrusted middlebox — a caching proxy, a peer device —
+// can serve them. The double signature travels in the manifest; a wrong
+// byte from any source is a digest failure and a failover, never an
+// installed image.
+
+type (
+	// BlockName is a payload's content address.
+	BlockName = dist.Name
+	// BlockSource serves fixed-size blocks of named payloads — the seam
+	// the origin, proxies, and peers all implement.
+	BlockSource = dist.Source
+	// BlockRegistry is an in-memory named-payload store with LRU
+	// eviction: the origin's block store, or a peer's share cache.
+	BlockRegistry = dist.Registry
+	// BlockRegistryStats snapshots a registry (BlockRegistry.Stats).
+	BlockRegistryStats = dist.RegistryStats
+	// BlockCacheStats snapshots a caching tier (ProxyCache.Stats).
+	BlockCacheStats = dist.CacheStats
+	// BlockServer answers CoAP GET /upkit/blocks from a BlockSource —
+	// mount its Handle to serve blocks (e.g. as a peer).
+	BlockServer = coap.BlockServer
+	// ProxyCache is the caching CoAP proxy tier: named blocks from an
+	// LRU cache with singleflight origin fill, everything else forwarded.
+	ProxyCache = proxy.Cache
+	// ProxyCacheOptions configures a ProxyCache.
+	ProxyCacheOptions = proxy.CacheOptions
+	// PullSource is one named-block source a PullClient tries in order
+	// (peer, proxy, origin) before the session transfer path.
+	PullSource = coap.BlockSource
+	// DistributionRoute is one block source in a Deployment's serve
+	// topology (Deployment.Distribute).
+	DistributionRoute = testbed.BlockRoute
+	// CoAPExchanger performs one confirmable CoAP exchange — how a
+	// ProxyCache reaches its origin.
+	CoAPExchanger = coap.Exchanger
+	// CoAPLoopback adapts an in-process CoAP handler into a
+	// CoAPExchanger, running the full codec round trip.
+	CoAPLoopback = coap.Loopback
+	// CoAPMessage is one CoAP message (for custom middleboxes).
+	CoAPMessage = coap.Message
+)
+
+// BlockNameOf computes the content address of a payload.
+func BlockNameOf(payload []byte) BlockName { return dist.NameOf(payload) }
+
+// ParseBlockName decodes a hex content address.
+func ParseBlockName(s string) (BlockName, error) { return dist.ParseName(s) }
+
+// NewBlockRegistry creates a named-payload store bounded to maxBytes
+// (a package default when <= 0).
+func NewBlockRegistry(maxBytes int) *BlockRegistry { return dist.NewRegistry(maxBytes) }
+
+// NewProxyCache creates a caching proxy whose origin is reached over
+// origin — a CoAPLoopback in simulations, a UDP exchanger in
+// cmd/upkit-proxy.
+func NewProxyCache(origin CoAPExchanger, opts ProxyCacheOptions) *ProxyCache {
+	return proxy.NewCache(origin, opts)
+}
+
+// WithBlockStoreSize bounds the update server's named-block store to n
+// bytes (a package default when <= 0).
+func WithBlockStoreSize(n int) UpdateServerOption { return updateserver.WithBlockStoreSize(n) }
 
 // Fleet campaigns.
 
