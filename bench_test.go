@@ -167,9 +167,19 @@ func BenchmarkPortability(b *testing.B) {
 // per-request ECDSA signature over sharded read locks, so throughput
 // should scale with cores; run with -cpu 1,2,4 to see it.
 func BenchmarkPrepareUpdateParallel(b *testing.B) {
+	b.Run("inline-signing", func(b *testing.B) {
+		benchPrepareParallel(b)
+	})
+	b.Run("signer-pool", func(b *testing.B) {
+		benchPrepareParallel(b, upkit.WithSigners(0)) // GOMAXPROCS workers
+	})
+}
+
+func benchPrepareParallel(b *testing.B, opts ...upkit.UpdateServerOption) {
 	suite := upkit.NewTinyCrypt()
 	vendor := upkit.NewVendorServer(suite, upkit.MustGenerateKey("bench-vendor"))
-	server := upkit.NewUpdateServer(suite, upkit.MustGenerateKey("bench-server"))
+	server := upkit.NewUpdateServer(suite, upkit.MustGenerateKey("bench-server"), opts...)
+	defer server.Close()
 
 	v1 := upkit.MakeFirmware("bench-base", 64*1024)
 	v2 := upkit.DeriveAppChange(v1, 1000)

@@ -78,6 +78,16 @@ func run() error {
 	flag.StringVar(&cfg.Seed, "seed", "loadgen", "deterministic seed")
 	distAblation := flag.Bool("dist-ablation", false, "run the direct / proxy / proxy+peer egress ablation and emit an Ablation JSON")
 	minEgress := flag.Float64("min-egress-reduction", 0, "with -dist-ablation, fail unless the proxy leg cuts origin egress by at least this factor")
+	prepare := flag.Bool("prepare", false, "hammer PrepareUpdate server-side instead of running a device campaign")
+	prepareAblation := flag.Bool("prepare-ablation", false, "run the cold / farm-warmed / restart prepare ablation and emit a PrepareAblation JSON")
+	pcfg := loadgen.PrepareConfig{}
+	flag.IntVar(&pcfg.Requests, "requests", 0, "prepare hammer: total PrepareUpdate calls (0 = default)")
+	flag.IntVar(&pcfg.Versions, "versions", 0, "prepare hammer: distinct stored base versions (0 = default)")
+	flag.IntVar(&pcfg.Signers, "signers", 0, "prepare hammer: server signing-pool size (0 = GOMAXPROCS, negative = inline)")
+	flag.IntVar(&pcfg.FarmWorkers, "farm-workers", 0, "prepare hammer: patch-farm worker count for the warm leg (0 = GOMAXPROCS)")
+	flag.StringVar(&pcfg.StateDir, "patch-state", "", "prepare hammer: patch store directory (empty = temp dir)")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -prepare-ablation, fail unless warm throughput beats cold by this factor")
+	maxP99Frac := flag.Float64("max-p99-frac", 0, "with -prepare-ablation, fail unless warm p99 is at most this fraction of cold p99")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resumed from if present, written on abort")
 	out := flag.String("o", "-", "output path for the JSON result (- for stdout)")
 	api := flag.Bool("api", false, "drive the campaign over the HTTP control plane instead of in-process")
@@ -92,6 +102,16 @@ func run() error {
 	}
 	if *distAblation {
 		return runDistAblation(cfg, *out, *minEgress)
+	}
+	if *prepare || *prepareAblation {
+		pcfg.FirmwareKiB = cfg.FirmwareKiB
+		pcfg.EditBytes = cfg.EditBytes
+		pcfg.Parallelism = cfg.Parallelism
+		pcfg.Seed = cfg.Seed
+		if *prepareAblation {
+			return runPrepareAblation(pcfg, *out, *minSpeedup, *maxP99Frac)
+		}
+		return runPrepare(pcfg, *out)
 	}
 	if *api {
 		return runAPI(loadgen.APIConfig{
@@ -178,6 +198,53 @@ func runDistAblation(cfg loadgen.Config, out string, minReduction float64) error
 			a.EgressReductionProxy, minReduction)
 	}
 	return nil
+}
+
+// runPrepare is the -prepare path: one cold server-side PrepareUpdate
+// hammer leg, reported as JSON.
+func runPrepare(cfg loadgen.PrepareConfig, out string) error {
+	res, err := loadgen.RunPrepare(cfg)
+	if err != nil {
+		return err
+	}
+	return writeJSON(res, out)
+}
+
+// runPrepareAblation is the -prepare-ablation path: cold, farm-warmed,
+// and restart legs over one patch store, reported as one
+// PrepareAblation JSON. -min-speedup and -max-p99-frac turn the
+// warm-vs-cold comparison into CI gates.
+func runPrepareAblation(cfg loadgen.PrepareConfig, out string, minSpeedup, maxP99Frac float64) error {
+	a, err := loadgen.RunPrepareAblation(cfg)
+	if err != nil {
+		return err
+	}
+	if err := writeJSON(a, out); err != nil {
+		return err
+	}
+	if minSpeedup > 0 && a.Speedup < minSpeedup {
+		return fmt.Errorf("warm throughput %.1fx cold, below the required %.1fx",
+			a.Speedup, minSpeedup)
+	}
+	if maxP99Frac > 0 && a.P99Ratio > maxP99Frac {
+		return fmt.Errorf("warm p99 is %.2fx cold p99, above the allowed %.2fx",
+			a.P99Ratio, maxP99Frac)
+	}
+	return nil
+}
+
+// writeJSON marshals v indented to out ("-" for stdout).
+func writeJSON(v any, out string) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(out, blob, 0o644)
 }
 
 // runAPI is the -api path: campaign over HTTP, report as JSON. The

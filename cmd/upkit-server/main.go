@@ -17,6 +17,13 @@
 // rollout from a device census and policy, GET polls its live
 // progress, and pause/resume/abort manage it — see internal/
 // controlplane and the README's "Operating a rollout" section.
+//
+// Serve-path scaling flags: -patch-state <dir> persists computed
+// differential patches across restarts, -farm precomputes them off the
+// request path (auto-warming observed version pairs on each publish,
+// with admin endpoints under /api/v1/patchfarm), and -signers N bounds
+// per-request ECDSA signing to a worker pool — see the README's
+// "Scaling the update server" section.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"upkit/internal/coap"
 	"upkit/internal/controlplane"
 	"upkit/internal/manifest"
+	"upkit/internal/patchfarm"
 	"upkit/internal/security"
 	"upkit/internal/updateserver"
 	"upkit/internal/vendorserver"
@@ -65,6 +73,10 @@ func run() error {
 	stateDir := flag.String("state", "", "directory for the durable release store; empty keeps releases in memory only")
 	campaigns := flag.Bool("campaigns", false, "serve the campaign control plane under /api/v1/campaigns (requires -http)")
 	campaignDir := flag.String("campaigns-state", "", "persistence directory for campaigns; empty keeps them in memory only")
+	patchDir := flag.String("patch-state", "", "directory for the durable patch store; empty recomputes patches after every restart")
+	farm := flag.Bool("farm", false, "run the patch farm: auto-warm differentials on publish, admin endpoints under /api/v1/patchfarm (with -http)")
+	farmWorkers := flag.Int("farm-workers", 0, "patch-farm worker count (0 = GOMAXPROCS)")
+	signers := flag.Int("signers", 0, "parallel manifest-signing pool size (0 disables the pool, negative = GOMAXPROCS)")
 	var images imageList
 	flag.Var(&images, "image", "vendor-signed image file (.upk); repeatable")
 	keysPath := flag.String("keys", "", "key bundle file (.ukb) served at /api/v1/keys and /upkit/keys")
@@ -115,6 +127,26 @@ func run() error {
 		serverOpts = append(serverOpts, updateserver.WithStore(store))
 	}
 
+	if *patchDir != "" {
+		ps, err := updateserver.OpenPatchStore(*patchDir, 0)
+		if err != nil {
+			return err
+		}
+		// Closed after the server (defers run LIFO): the server's last
+		// in-flight computations may still persist their results.
+		defer ps.Close()
+		st := ps.Stats()
+		fmt.Printf("patch store %s: %d patches, %d bytes", *patchDir, st.Entries, st.Bytes)
+		if st.TornTails > 0 {
+			fmt.Printf(", %d torn log tail(s) truncated", st.TornTails)
+		}
+		fmt.Println()
+		serverOpts = append(serverOpts, updateserver.WithPatchStore(ps))
+	}
+	if *signers != 0 {
+		serverOpts = append(serverOpts, updateserver.WithSigners(*signers))
+	}
+
 	if *campaigns {
 		mgr, err := controlplane.NewManager(controlplane.Config{Dir: *campaignDir})
 		if err != nil {
@@ -132,6 +164,16 @@ func run() error {
 	}
 
 	server := updateserver.New(suite, key, serverOpts...)
+	defer server.Close()
+	if *farm {
+		f := patchfarm.New(server, patchfarm.Config{
+			Workers:  *farmWorkers,
+			AutoWarm: true,
+		})
+		defer f.Close()
+		server.Mount(f.Register)
+		fmt.Println("patch farm running (warm/stats under /api/v1/patchfarm)")
+	}
 	if *keysPath != "" {
 		bundle, err := os.ReadFile(*keysPath)
 		if err != nil {

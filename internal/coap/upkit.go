@@ -124,7 +124,10 @@ func NewPullServer(updates *updateserver.Server) *PullServer {
 	s.blocks = reg.Counter("upkit_coap_blocks_total", "Block2 payload blocks served.")
 	s.egress = OriginEgressCounter(reg)
 	if updates != nil {
-		s.blockSrv = &BlockServer{Source: updates.Blocks(), Blocks: s.blocks}
+		// BlockSource chains the fleet-shared registry with the private
+		// per-device encrypted one, so encrypted pulls keep working now
+		// that ciphertext no longer pollutes the shared registry.
+		s.blockSrv = &BlockServer{Source: updates.BlockSource(), Blocks: s.blocks}
 	}
 	return s
 }

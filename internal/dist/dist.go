@@ -76,6 +76,26 @@ type Source interface {
 	Block(name Name, num uint32, size int) (data []byte, more bool, err error)
 }
 
+// MultiSource chains sources: Block asks each in order and serves from
+// the first that knows the name. Sources that hold disjoint payload
+// populations — the origin's fleet-shared registry and its per-device
+// private registry — compose into one serve surface this way. Errors
+// other than ErrUnknownName stop the chain (the source knows the name
+// but cannot serve the block, e.g. ErrOutOfRange).
+func MultiSource(srcs ...Source) Source { return multiSource(srcs) }
+
+type multiSource []Source
+
+func (m multiSource) Block(name Name, num uint32, size int) ([]byte, bool, error) {
+	for _, s := range m {
+		data, more, err := s.Block(name, num, size)
+		if err == nil || !errors.Is(err, ErrUnknownName) {
+			return data, more, err
+		}
+	}
+	return nil, false, ErrUnknownName
+}
+
 // registryOverhead approximates the bookkeeping bytes charged per
 // stored payload on top of the payload itself.
 const registryOverhead = 96

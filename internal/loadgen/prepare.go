@@ -1,0 +1,384 @@
+package loadgen
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"upkit/internal/manifest"
+	"upkit/internal/patchfarm"
+	"upkit/internal/security"
+	"upkit/internal/testbed"
+	"upkit/internal/updateserver"
+	"upkit/internal/vendorserver"
+)
+
+// The server-side prepare hammer: where the fleet harness measures the
+// whole pull pipeline per device, this one hammers PrepareUpdate alone
+// — the serve-path hot loop — and quantifies what the patch farm buys.
+// The cold leg pays one bsdiff per distinct (from → latest) pair right
+// inside request latency; the warm leg runs after the farm precomputed
+// every pair, so requests only pay the per-request ECDSA signature;
+// the restart leg reopens the durable patch store under a fresh server
+// and must serve every pair without a single recomputation.
+
+// PrepareConfig shapes a prepare hammer run.
+type PrepareConfig struct {
+	// Requests is the total number of PrepareUpdate calls.
+	Requests int
+	// Versions is the number of stored base versions; the hammer
+	// spreads requests round-robin across the (v → latest) pairs for
+	// v in 1..Versions, with version Versions+1 as the published latest.
+	Versions int
+	// FirmwareKiB sizes each release; EditBytes is the localized change
+	// between consecutive versions.
+	FirmwareKiB int
+	EditBytes   int
+	// Parallelism is the number of concurrent requesting goroutines.
+	Parallelism int
+	// Signers sizes the server's parallel signing pool (0 = GOMAXPROCS,
+	// negative = inline signing).
+	Signers int
+	// FarmWorkers sizes the patch farm warming the warm leg
+	// (0 = GOMAXPROCS).
+	FarmWorkers int
+	// StateDir is the patch store directory; empty uses a temp dir
+	// (removed afterwards).
+	StateDir string
+	// Seed makes firmware contents deterministic.
+	Seed string
+}
+
+func (c *PrepareConfig) applyDefaults() {
+	// Versions is deliberately > 1% of Requests: the cold leg's p99 must
+	// capture the per-pair diff latency (one slow request per distinct
+	// pair at minimum), or the warm-vs-cold p99 comparison measures
+	// nothing.
+	if c.Requests <= 0 {
+		c.Requests = 2000
+	}
+	if c.Versions <= 0 {
+		c.Versions = 32
+	}
+	if c.FirmwareKiB <= 0 {
+		c.FirmwareKiB = 96
+	}
+	if c.EditBytes <= 0 {
+		c.EditBytes = 512
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 64
+	}
+	if c.Seed == "" {
+		c.Seed = "prepare"
+	}
+}
+
+// PrepareResult is one hammer leg's outcome.
+type PrepareResult struct {
+	Requests    int     `json:"requests"`
+	Versions    int     `json:"versions"`
+	Parallelism int     `json:"parallelism"`
+	Errors      int     `json:"errors"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// RequestsPerSecond is the headline throughput; P50/P99 are
+	// per-request latency percentiles.
+	RequestsPerSecond float64 `json:"requests_per_second"`
+	P50Millis         float64 `json:"p50_ms"`
+	P99Millis         float64 `json:"p99_ms"`
+	// Cache counters delta over the leg.
+	DiffComputations uint64 `json:"diff_computations"`
+	CacheHits        uint64 `json:"diff_cache_hits"`
+	CacheWaits       uint64 `json:"diff_cache_waits"`
+	DiskHits         uint64 `json:"disk_hits"`
+	// FarmWarmed is how many pairs the farm made resident before the
+	// leg (warm leg only).
+	FarmWarmed uint64 `json:"farm_warmed,omitempty"`
+}
+
+// PrepareAblation is the cold / warm / restart comparison emitted as
+// BENCH_10.json.
+type PrepareAblation struct {
+	Cold    *PrepareResult `json:"cold"`
+	Warm    *PrepareResult `json:"warm"`
+	Restart *PrepareResult `json:"restart"`
+
+	// Speedup is warm over cold throughput; P99Ratio is warm over cold
+	// p99 latency (small is good).
+	Speedup  float64 `json:"speedup"`
+	P99Ratio float64 `json:"p99_ratio"`
+}
+
+// prepareImages builds the deterministic release chain v1..Versions+1.
+func prepareImages(cfg PrepareConfig, vendor *vendorserver.Server) ([]*vendorserver.Image, error) {
+	fw := testbed.MakeFirmware(cfg.Seed+"-prep", cfg.FirmwareKiB*1024)
+	images := make([]*vendorserver.Image, 0, cfg.Versions+1)
+	for v := 1; v <= cfg.Versions+1; v++ {
+		img, err := vendor.BuildImage(vendorserver.Release{
+			AppID: prepareAppID, Version: uint16(v), LinkOffset: 0xFFFFFFFF, Firmware: fw,
+		})
+		if err != nil {
+			return nil, err
+		}
+		images = append(images, img)
+		fw = testbed.DeriveAppChange(fw, cfg.EditBytes)
+	}
+	return images, nil
+}
+
+const prepareAppID = uint32(0x9E9A)
+
+// prepareServer builds an update server over the shared release chain,
+// optionally backed by the patch store at dir.
+func prepareServer(cfg PrepareConfig, images []*vendorserver.Image, dir string) (*updateserver.Server, *updateserver.PatchStore, error) {
+	opts := []updateserver.Option{updateserver.WithSigners(cfg.Signers)}
+	if cfg.Signers < 0 {
+		opts = nil // inline signing
+	}
+	var ps *updateserver.PatchStore
+	if dir != "" {
+		var err error
+		if ps, err = updateserver.OpenPatchStore(dir, 0); err != nil {
+			return nil, nil, err
+		}
+		opts = append(opts, updateserver.WithPatchStore(ps))
+	}
+	suite, err := security.SuiteByName("tinycrypt", nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := updateserver.New(suite, security.MustGenerateKey(cfg.Seed+"-server"), opts...)
+	for _, img := range images {
+		if err := srv.Publish(img); err != nil {
+			srv.Close()
+			if ps != nil {
+				ps.Close()
+			}
+			return nil, nil, err
+		}
+	}
+	return srv, ps, nil
+}
+
+// hammer fires cfg.Requests PrepareUpdate calls at srv from
+// cfg.Parallelism goroutines, round-robin across the version pairs,
+// and reports throughput, latency percentiles, and the cache-counter
+// delta.
+func hammer(cfg PrepareConfig, srv *updateserver.Server) (*PrepareResult, error) {
+	before := srv.Stats()
+	lat := make([]float64, cfg.Requests)
+	var next, failed atomic.Int64
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	begin := time.Now()
+	for w := 0; w < cfg.Parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start.Wait()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					return
+				}
+				tok := manifest.DeviceToken{
+					DeviceID:       uint32(0xA000 + i),
+					Nonce:          uint32(i + 1),
+					CurrentVersion: uint16(1 + i%cfg.Versions),
+				}
+				t0 := time.Now()
+				_, err := srv.PrepareUpdate(prepareAppID, tok)
+				lat[i] = time.Since(t0).Seconds()
+				if err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	start.Done()
+	wg.Wait()
+	wall := time.Since(begin).Seconds()
+	after := srv.Stats()
+
+	sort.Float64s(lat)
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)))
+		if idx >= len(lat) {
+			idx = len(lat) - 1
+		}
+		return lat[idx] * 1000
+	}
+	res := &PrepareResult{
+		Requests:          cfg.Requests,
+		Versions:          cfg.Versions,
+		Parallelism:       cfg.Parallelism,
+		Errors:            int(failed.Load()),
+		WallSeconds:       wall,
+		RequestsPerSecond: float64(cfg.Requests) / wall,
+		P50Millis:         pct(0.50),
+		P99Millis:         pct(0.99),
+		DiffComputations:  after.Computations - before.Computations,
+		CacheHits:         after.Hits - before.Hits,
+		CacheWaits:        after.Waits - before.Waits,
+		DiskHits:          after.DiskHits - before.DiskHits,
+	}
+	if res.Errors > 0 {
+		return res, fmt.Errorf("loadgen: prepare hammer: %d of %d requests failed", res.Errors, cfg.Requests)
+	}
+	return res, nil
+}
+
+// RunPrepare runs one cold hammer leg: fresh server, optional durable
+// patch store, no pre-warming.
+func RunPrepare(cfg PrepareConfig) (*PrepareResult, error) {
+	cfg.applyDefaults()
+	suite, err := security.SuiteByName("tinycrypt", nil)
+	if err != nil {
+		return nil, err
+	}
+	vendor := vendorserver.New(suite, security.MustGenerateKey(cfg.Seed+"-vendor"))
+	images, err := prepareImages(cfg, vendor)
+	if err != nil {
+		return nil, err
+	}
+	srv, ps, err := prepareServer(cfg, images, cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	if ps != nil {
+		defer ps.Close()
+	}
+	return hammer(cfg, srv)
+}
+
+// warmFarm precomputes every (v → latest) pair through a patch farm
+// and waits for the queue to drain.
+func warmFarm(cfg PrepareConfig, srv *updateserver.Server) (uint64, error) {
+	farm := patchfarm.New(srv, patchfarm.Config{Workers: cfg.FarmWorkers})
+	defer farm.Close()
+	pairs := make([]updateserver.VersionPair, 0, cfg.Versions)
+	for v := 1; v <= cfg.Versions; v++ {
+		pairs = append(pairs, updateserver.VersionPair{
+			AppID: prepareAppID, From: uint16(v),
+			Requests: uint64(cfg.Versions - v + 1), // hottest first, arbitrarily
+		})
+	}
+	if n := farm.Enqueue(pairs...); n != len(pairs) {
+		return 0, fmt.Errorf("loadgen: farm accepted %d of %d pairs", n, len(pairs))
+	}
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		st := farm.Stats()
+		if st.Warmed+st.AlreadyResident+st.Errors >= uint64(len(pairs)) {
+			if st.Errors > 0 {
+				return st.Warmed, fmt.Errorf("loadgen: farm hit %d warm errors", st.Errors)
+			}
+			return st.Warmed, nil
+		}
+		if time.Now().After(deadline) {
+			return st.Warmed, errors.New("loadgen: farm did not drain in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// RunPrepareAblation measures the three serve-path regimes over one
+// shared release chain and state directory:
+//
+//   - cold: fresh server, empty patch store — every distinct pair pays
+//     its bsdiff inside request latency;
+//   - warm: fresh server over the same store, every pair precomputed
+//     by the patch farm before the first request;
+//   - restart: another fresh server reopening the store, no warming —
+//     patches must come back from disk with zero recomputations.
+func RunPrepareAblation(cfg PrepareConfig) (*PrepareAblation, error) {
+	cfg.applyDefaults()
+	dir := cfg.StateDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "upkit-prepare-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	suite, err := security.SuiteByName("tinycrypt", nil)
+	if err != nil {
+		return nil, err
+	}
+	vendor := vendorserver.New(suite, security.MustGenerateKey(cfg.Seed+"-vendor"))
+	images, err := prepareImages(cfg, vendor)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &PrepareAblation{}
+
+	// Cold leg: empty store, no warming.
+	srv, ps, err := prepareServer(cfg, images, dir)
+	if err != nil {
+		return nil, err
+	}
+	a.Cold, err = hammer(cfg, srv)
+	srv.Close()
+	ps.Close()
+	if err != nil {
+		return nil, err
+	}
+	if a.Cold.DiffComputations != uint64(cfg.Versions) {
+		return nil, fmt.Errorf("loadgen: cold leg computed %d diffs, want %d",
+			a.Cold.DiffComputations, cfg.Versions)
+	}
+
+	// Warm leg: fresh server (cold memory), same store, farm-warmed.
+	// The farm pulls every pair up from disk into the memory tier, so
+	// the hammer itself never leaves the LRU.
+	srv, ps, err = prepareServer(cfg, images, dir)
+	if err != nil {
+		return nil, err
+	}
+	warmed, err := warmFarm(cfg, srv)
+	if err == nil {
+		a.Warm, err = hammer(cfg, srv)
+	}
+	srv.Close()
+	ps.Close()
+	if err != nil {
+		return nil, err
+	}
+	a.Warm.FarmWarmed = warmed
+	if a.Warm.DiffComputations != 0 {
+		return nil, fmt.Errorf("loadgen: warm leg recomputed %d diffs", a.Warm.DiffComputations)
+	}
+
+	// Restart leg: kill → reopen → serve, no warming at all. The first
+	// request per pair must be a disk hit, never a recomputation.
+	srv, ps, err = prepareServer(cfg, images, dir)
+	if err != nil {
+		return nil, err
+	}
+	a.Restart, err = hammer(cfg, srv)
+	srv.Close()
+	ps.Close()
+	if err != nil {
+		return nil, err
+	}
+	if a.Restart.DiffComputations != 0 {
+		return nil, fmt.Errorf("loadgen: restart leg recomputed %d diffs", a.Restart.DiffComputations)
+	}
+	if a.Restart.DiskHits == 0 {
+		return nil, errors.New("loadgen: restart leg never hit the durable tier")
+	}
+
+	a.Speedup = a.Warm.RequestsPerSecond / a.Cold.RequestsPerSecond
+	if a.Cold.P99Millis > 0 {
+		a.P99Ratio = a.Warm.P99Millis / a.Cold.P99Millis
+	}
+	return a, nil
+}

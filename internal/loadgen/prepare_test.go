@@ -1,0 +1,47 @@
+package loadgen
+
+import "testing"
+
+func TestRunPrepare(t *testing.T) {
+	res, err := RunPrepare(PrepareConfig{
+		Requests: 64, Versions: 4, FirmwareKiB: 8, Parallelism: 8,
+		StateDir: t.TempDir(), Seed: "prep-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 || res.Requests != 64 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.DiffComputations != 4 {
+		t.Fatalf("computed %d diffs, want 4 (one per pair)", res.DiffComputations)
+	}
+	if res.RequestsPerSecond <= 0 || res.P99Millis < res.P50Millis {
+		t.Fatalf("nonsense latency figures: %+v", res)
+	}
+}
+
+func TestRunPrepareAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three hammer legs")
+	}
+	a, err := RunPrepareAblation(PrepareConfig{
+		Requests: 128, Versions: 4, FirmwareKiB: 16, Parallelism: 8,
+		Seed: "prep-ablation-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RunPrepareAblation already asserts the leg invariants (cold
+	// computes once per pair, warm and restart never compute, restart
+	// hits disk); here only the comparison fields need checking.
+	if a.Speedup <= 1 {
+		t.Fatalf("warm leg no faster than cold: speedup=%.2f", a.Speedup)
+	}
+	if a.Warm.FarmWarmed != 4 {
+		t.Fatalf("farm warmed %d pairs, want 4", a.Warm.FarmWarmed)
+	}
+	if a.Restart.DiskHits != 4 {
+		t.Fatalf("restart leg disk hits = %d, want 4", a.Restart.DiskHits)
+	}
+}

@@ -1,0 +1,379 @@
+// Package patchfarm precomputes differential patches so devices never
+// pay for a cold bsdiff on the request path.
+//
+// The update server's patch cache already guarantees a campaign costs
+// one diff per (from → to) pair — but that one diff lands on whichever
+// device asks first, right inside its request latency, and after a
+// restart it lands again. The farm moves that work off the serve path:
+// a bounded worker pool drains a queue of version pairs through
+// Server.WarmPatch, which computes each differential through the same
+// singleflight path requests use and parks the result in both cache
+// tiers (memory LRU + durable patch store). A pair the farm warmed is
+// a pure cache hit for every device that later asks, across restarts.
+//
+// Pairs reach the queue three ways:
+//
+//   - Auto-warm: the farm subscribes to the server's publish
+//     announcements; each new release re-warms the observed hot pairs
+//     (Server.HotPairs) against the new latest version, so the window
+//     between "v5 published" and "fleet asks for v4→v5" is when the
+//     diff gets computed — not during the first device's request.
+//   - Census warming: the campaign control plane (or an operator) POSTs
+//     the fleet census to /api/v1/patchfarm/warm before a rollout —
+//     "12000 devices on v3, 800 on v2" — and the farm warms v3→latest
+//     and v2→latest, hottest first.
+//   - Explicit pairs: the same endpoint accepts exact (from, to) pairs
+//     for surgical pre-warming.
+//
+// The queue is deduplicated (a pair already enqueued is not enqueued
+// again) and bounded; when full, new pairs are dropped and counted —
+// warming is an optimization, never worth blocking a caller.
+package patchfarm
+
+import (
+	"errors"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+
+	"upkit/internal/httpapi"
+	"upkit/internal/updateserver"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultQueueDepth bounds the pending-pair queue.
+	DefaultQueueDepth = 256
+	// DefaultAutoWarmMax bounds how many hot pairs one publish
+	// announcement re-warms.
+	DefaultAutoWarmMax = 64
+	// maxWarmBody bounds the warm-request JSON body.
+	maxWarmBody = 1 << 20
+)
+
+// Config shapes a Farm.
+type Config struct {
+	// Workers is the number of concurrent warming goroutines; <= 0
+	// selects GOMAXPROCS. Each worker runs one bsdiff at a time, so
+	// this bounds how much CPU warming can steal from the serve path.
+	Workers int
+	// QueueDepth bounds pending pairs; <= 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// AutoWarm, when true, subscribes to the server's publish
+	// announcements and re-warms observed hot pairs after each release.
+	AutoWarm bool
+	// AutoWarmMax bounds pairs enqueued per announcement; <= 0 selects
+	// DefaultAutoWarmMax.
+	AutoWarmMax int
+}
+
+// Farm is the precompute worker pool over one update server.
+type Farm struct {
+	srv  *updateserver.Server
+	cfg  Config
+	work chan updateserver.VersionPair
+	quit chan struct{}
+	wg   sync.WaitGroup
+	ann  <-chan updateserver.Announcement
+
+	mu       sync.Mutex
+	queued   map[updateserver.VersionPair]struct{} // enqueued, not yet warmed
+	closed   bool
+	enqueued uint64
+	dropped  uint64
+	warmed   uint64 // computed (or pulled up from disk) by a worker
+	noops    uint64 // already resident in the memory tier
+	errors   uint64
+}
+
+// ErrFarmClosed reports an enqueue after Close.
+var ErrFarmClosed = errors.New("patchfarm: farm is closed")
+
+// New starts a farm warming srv. Close it to stop the workers.
+func New(srv *updateserver.Server, cfg Config) *Farm {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.AutoWarmMax <= 0 {
+		cfg.AutoWarmMax = DefaultAutoWarmMax
+	}
+	f := &Farm{
+		srv:    srv,
+		cfg:    cfg,
+		work:   make(chan updateserver.VersionPair, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+		queued: make(map[updateserver.VersionPair]struct{}),
+	}
+	f.wg.Add(cfg.Workers)
+	for range cfg.Workers {
+		go f.worker()
+	}
+	if cfg.AutoWarm {
+		f.ann = srv.Subscribe()
+		f.wg.Add(1)
+		go f.autoWarm()
+	}
+	f.initTelemetry()
+	return f
+}
+
+func (f *Farm) initTelemetry() {
+	tel := f.srv.Telemetry()
+	stat := func(pick func(FarmStats) uint64) func() float64 {
+		return func() float64 { return float64(pick(f.Stats())) }
+	}
+	tel.CounterFunc("upkit_patchfarm_warmed_total",
+		"Version pairs warmed into the cache tiers by farm workers.",
+		stat(func(s FarmStats) uint64 { return s.Warmed }))
+	tel.CounterFunc("upkit_patchfarm_noops_total",
+		"Warm requests that found the pair already resident.",
+		stat(func(s FarmStats) uint64 { return s.AlreadyResident }))
+	tel.CounterFunc("upkit_patchfarm_errors_total",
+		"Warm attempts that failed (unknown app, unstored version).",
+		stat(func(s FarmStats) uint64 { return s.Errors }))
+	tel.CounterFunc("upkit_patchfarm_dropped_total",
+		"Pairs dropped because the warm queue was full.",
+		stat(func(s FarmStats) uint64 { return s.Dropped }))
+	tel.GaugeFunc("upkit_patchfarm_queue_depth",
+		"Pairs waiting for a farm worker.",
+		func() float64 { return float64(len(f.work)) })
+}
+
+// worker drains the queue through WarmPatch.
+func (f *Farm) worker() {
+	defer f.wg.Done()
+	for {
+		select {
+		case p := <-f.work:
+			f.warmOne(p)
+		case <-f.quit:
+			// Drain what is already queued — each pair was accepted.
+			for {
+				select {
+				case p := <-f.work:
+					f.warmOne(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (f *Farm) warmOne(p updateserver.VersionPair) {
+	res, err := f.srv.WarmPatch(p.AppID, p.From, p.To)
+	f.mu.Lock()
+	delete(f.queued, p)
+	switch {
+	case err != nil:
+		f.errors++
+	case res.AlreadyResident:
+		f.noops++
+	default:
+		f.warmed++
+	}
+	f.mu.Unlock()
+}
+
+// autoWarm re-warms the observed hot pairs after each publish: the new
+// release just invalidated the memory tier for its app, and the pairs
+// devices were asking for now resolve to the new latest version.
+func (f *Farm) autoWarm() {
+	defer f.wg.Done()
+	for {
+		select {
+		case a := <-f.ann:
+			pairs := f.srv.HotPairs(f.cfg.AutoWarmMax)
+			// Only this app's pairs went cold; other apps stay warm.
+			n := 0
+			for _, p := range pairs {
+				if p.AppID == a.AppID {
+					pairs[n] = p
+					n++
+				}
+			}
+			f.Enqueue(pairs[:n]...)
+		case <-f.quit:
+			return
+		}
+	}
+}
+
+// Enqueue queues pairs for warming, hottest (highest Requests) first,
+// and returns how many were accepted. Pairs already queued are skipped
+// (not counted as dropped); pairs beyond the queue bound are dropped
+// and counted. A pair's To may be zero, meaning the latest version at
+// warm time.
+func (f *Farm) Enqueue(pairs ...updateserver.VersionPair) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	sorted := make([]updateserver.VersionPair, len(pairs))
+	copy(sorted, pairs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].Requests > sorted[j].Requests
+	})
+	accepted := 0
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return 0
+	}
+	for _, p := range sorted {
+		p.Requests = 0 // weight ordered the queue; it is not identity
+		if _, dup := f.queued[p]; dup {
+			continue
+		}
+		select {
+		case f.work <- p:
+			f.queued[p] = struct{}{}
+			f.enqueued++
+			accepted++
+		default:
+			f.dropped++
+		}
+	}
+	return accepted
+}
+
+// FarmStats is a snapshot of the farm's counters, served by the stats
+// endpoint.
+type FarmStats struct {
+	// Workers and QueueDepth echo the configuration; Queued is the
+	// current backlog.
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queueDepth"`
+	Queued     int `json:"queued"`
+	// Enqueued counts accepted pairs; Dropped counts pairs rejected by
+	// the full queue.
+	Enqueued uint64 `json:"enqueued"`
+	Dropped  uint64 `json:"dropped"`
+	// Warmed counts pairs a worker made resident (fresh diff or disk
+	// pull-up); AlreadyResident counts no-op warms; Errors counts
+	// failed warms.
+	Warmed          uint64 `json:"warmed"`
+	AlreadyResident uint64 `json:"alreadyResident"`
+	Errors          uint64 `json:"errors"`
+}
+
+// Stats snapshots the farm's counters.
+func (f *Farm) Stats() FarmStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FarmStats{
+		Workers:         f.cfg.Workers,
+		QueueDepth:      f.cfg.QueueDepth,
+		Queued:          len(f.work),
+		Enqueued:        f.enqueued,
+		Dropped:         f.dropped,
+		Warmed:          f.warmed,
+		AlreadyResident: f.noops,
+		Errors:          f.errors,
+	}
+}
+
+// Close stops the workers after they drain the queue, and detaches the
+// announcement subscription. Idempotent.
+func (f *Farm) Close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	f.mu.Unlock()
+	close(f.quit)
+	f.wg.Wait()
+	if f.ann != nil {
+		f.srv.Unsubscribe(f.ann)
+	}
+}
+
+// censusJSON is one fleet population in a warm request: Devices
+// machines still on From, all destined for the current latest.
+type censusJSON struct {
+	AppID   uint32 `json:"app"`
+	From    uint16 `json:"from"`
+	Devices uint64 `json:"devices"`
+}
+
+// warmRequestJSON is the body of POST /api/v1/patchfarm/warm.
+type warmRequestJSON struct {
+	// Pairs are explicit (from → to) pairs; To zero means the latest
+	// at warm time.
+	Pairs []updateserver.VersionPair `json:"pairs,omitempty"`
+	// Census entries warm (From → latest) weighted by device count —
+	// the control plane posts its fleet census here before a rollout.
+	Census []censusJSON `json:"census,omitempty"`
+	// Hot, when > 0, additionally enqueues up to Hot of the server's
+	// observed hot pairs.
+	Hot int `json:"hot,omitempty"`
+}
+
+// warmResponseJSON reports what the warm request enqueued.
+type warmResponseJSON struct {
+	Accepted int `json:"accepted"`
+	Queued   int `json:"queued"`
+}
+
+// statsJSON is the GET /api/v1/patchfarm/stats response: the farm's
+// counters, the cache tiers behind it, and the current hot pairs.
+type statsJSON struct {
+	Farm     FarmStats                     `json:"farm"`
+	Cache    updateserver.CacheStats       `json:"cache"`
+	Store    *updateserver.PatchStoreStats `json:"store,omitempty"`
+	HotPairs []updateserver.VersionPair    `json:"hotPairs,omitempty"`
+}
+
+// Register mounts the farm's admin endpoints onto an httpapi table —
+// pass it to Server.Mount (or updateserver.WithRoutes at construction):
+//
+//	POST /api/v1/patchfarm/warm   body: {"pairs":[...],"census":[...],"hot":n}
+//	                              → {"accepted":n,"queued":n}
+//	GET  /api/v1/patchfarm/stats  → farm + cache + store counters
+func (f *Farm) Register(t *httpapi.Table) {
+	t.HandleFunc(http.MethodPost, "/api/v1/patchfarm/warm", f.handleWarm)
+	t.HandleFunc(http.MethodGet, "/api/v1/patchfarm/stats", f.handleStats)
+}
+
+func (f *Farm) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var req warmRequestJSON
+	if !httpapi.DecodeJSON(w, r, maxWarmBody, &req) {
+		return
+	}
+	pairs := make([]updateserver.VersionPair, 0, len(req.Pairs)+len(req.Census))
+	pairs = append(pairs, req.Pairs...)
+	for _, c := range req.Census {
+		pairs = append(pairs, updateserver.VersionPair{
+			AppID: c.AppID, From: c.From, Requests: c.Devices,
+		})
+	}
+	if req.Hot > 0 {
+		pairs = append(pairs, f.srv.HotPairs(req.Hot)...)
+	}
+	accepted := f.Enqueue(pairs...)
+	st := f.Stats()
+	f.srv.Telemetry().Counter("upkit_patchfarm_warm_requests_total",
+		"Warm requests accepted by the patch-farm endpoint.").Inc()
+	httpapi.WriteJSON(w, http.StatusAccepted, warmResponseJSON{
+		Accepted: accepted,
+		Queued:   st.Queued,
+	})
+}
+
+func (f *Farm) handleStats(w http.ResponseWriter, _ *http.Request) {
+	out := statsJSON{
+		Farm:     f.Stats(),
+		Cache:    f.srv.Stats(),
+		HotPairs: f.srv.HotPairs(32),
+	}
+	if ps := f.srv.PatchStore(); ps != nil {
+		st := ps.Stats()
+		out.Store = &st
+	}
+	httpapi.WriteJSON(w, http.StatusOK, out)
+}

@@ -6,6 +6,7 @@ import (
 
 	"upkit/internal/bsdiff"
 	"upkit/internal/lzss"
+	"upkit/internal/security"
 )
 
 // The differential-patch cache.
@@ -59,6 +60,11 @@ type CacheStats struct {
 	// Invalidations counts entries dropped by Publish or retention
 	// pruning.
 	Invalidations uint64 `json:"invalidations"`
+	// DiskHits counts cold in-memory lookups answered by the durable
+	// patch store without a recomputation; DiskMisses counts the ones
+	// that had to compute despite a disk tier being attached.
+	DiskHits   uint64 `json:"diskHits"`
+	DiskMisses uint64 `json:"diskMisses"`
 	// Entries and Bytes describe the current cache contents.
 	Entries int `json:"entries"`
 	Bytes   int `json:"bytes"`
@@ -117,7 +123,19 @@ type patchCache struct {
 	inflight map[patchKey]*inflightPatch
 	gens     map[uint32]uint64 // per-app invalidation generation
 
-	hits, misses, waits, computations, evictions, invalidations uint64
+	// disk, when set, is the durable tier behind the LRU: memory misses
+	// probe it before diffing, and fresh computations are persisted to
+	// it, so warm patches survive a server restart. Records are pinned
+	// to the firmware digests they were computed from, so the disk tier
+	// needs no generation bookkeeping — a stale record simply fails its
+	// digest check. Publish-time invalidation deliberately leaves the
+	// disk tier alone: a restarted server republishing the same images
+	// must find its warm set intact, and records for superseded version
+	// pairs are unreachable garbage that the store's size bound
+	// reclaims.
+	disk *PatchStore
+
+	hits, misses, waits, computations, evictions, invalidations, diskHits, diskMisses uint64
 }
 
 func newPatchCache(maxBytes int) *patchCache {
@@ -132,48 +150,90 @@ func newPatchCache(maxBytes int) *patchCache {
 
 // payload returns the differential payload for key, computing it from
 // (base, target) at most once per distinct key across concurrent
-// callers. Callers must not mutate the returned patch — clone before
-// handing it out.
-func (c *patchCache) payload(key patchKey, base, target []byte) patchResult {
+// callers. baseDig and targetDig are the firmware digests the durable
+// tier pins its records to. Callers must not mutate the returned patch
+// — clone before handing it out.
+func (c *patchCache) payload(key patchKey, baseDig, targetDig security.Digest, base, target []byte) patchResult {
+	res, _ := c.resolve(key, baseDig, targetDig, base, target)
+	return res
+}
+
+// warm is payload for the patch farm: it additionally reports whether
+// the result was already resident in the memory tier, so the farm can
+// tell precomputation work from no-ops.
+func (c *patchCache) warm(key patchKey, baseDig, targetDig security.Digest, base, target []byte) (patchResult, bool) {
+	return c.resolve(key, baseDig, targetDig, base, target)
+}
+
+// resolve is the cache's single lookup-or-compute path: memory LRU,
+// then singleflight, then the durable tier, then bsdiff+LZSS. The
+// singleflight dedup runs even with the memory cache disabled
+// (maxBytes <= 0): a thundering herd on one cold pair must cost one
+// diff, not N — disabling *retention* must not disable *dedup*. The
+// disabled path only skips memoisation.
+func (c *patchCache) resolve(key patchKey, baseDig, targetDig security.Digest, base, target []byte) (patchResult, bool) {
 	c.mu.Lock()
-	if c.maxBytes <= 0 {
-		// Cache disabled: no memoisation and no dedup — this is the
-		// reference path the benchmarks compare against.
-		c.computations++
-		c.mu.Unlock()
-		return computePatch(base, target)
-	}
-	if el, ok := c.entries[key]; ok {
-		c.hits++
-		c.lru.MoveToFront(el)
-		res := el.Value.(*cacheEntry).res
-		c.mu.Unlock()
-		return res
+	if c.maxBytes > 0 {
+		if el, ok := c.entries[key]; ok {
+			c.hits++
+			c.lru.MoveToFront(el)
+			res := el.Value.(*cacheEntry).res
+			c.mu.Unlock()
+			return res, true
+		}
 	}
 	if fl, ok := c.inflight[key]; ok {
 		c.waits++
 		c.mu.Unlock()
 		<-fl.done
-		return fl.res
+		return fl.res, false
 	}
 	c.misses++
-	c.computations++
 	gen := c.gens[key.appID]
+	disk := c.disk
 	fl := &inflightPatch{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.mu.Unlock()
 
-	res := computePatch(base, target)
+	var res patchResult
+	fromDisk := false
+	if disk != nil {
+		res, fromDisk = disk.Get(key, baseDig, targetDig)
+	}
+	if !fromDisk {
+		res = computePatch(base, target)
+	}
 
 	c.mu.Lock()
+	if fromDisk {
+		c.diskHits++
+	} else {
+		c.computations++
+		if disk != nil {
+			c.diskMisses++
+		}
+	}
 	fl.res = res
 	delete(c.inflight, key)
-	if c.gens[key.appID] == gen {
+	if c.maxBytes > 0 && c.gens[key.appID] == gen {
 		c.insertLocked(key, res)
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return res
+	if !fromDisk && disk != nil {
+		// Persist after the waiters are released: disk latency must not
+		// extend the herd's wait. A failed append only costs durability
+		// of this one patch.
+		_ = disk.Put(key, baseDig, targetDig, res)
+	}
+	return res, false
+}
+
+// setDisk attaches the durable tier (construction time only).
+func (c *patchCache) setDisk(ps *PatchStore) {
+	c.mu.Lock()
+	c.disk = ps
+	c.mu.Unlock()
 }
 
 // insertLocked stores res under key and evicts from the cold end until
@@ -249,6 +309,8 @@ func (c *patchCache) stats() CacheStats {
 		Computations:  c.computations,
 		Evictions:     c.evictions,
 		Invalidations: c.invalidations,
+		DiskHits:      c.diskHits,
+		DiskMisses:    c.diskMisses,
 		Entries:       c.lru.Len(),
 		Bytes:         c.curBytes,
 	}

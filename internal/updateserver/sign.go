@@ -1,0 +1,148 @@
+package updateserver
+
+import (
+	"runtime"
+	"sync"
+
+	"upkit/internal/manifest"
+	"upkit/internal/security"
+)
+
+// signManifest applies the update server's signature to m with key —
+// through the parallel signing pool when WithSigners armed one, inline
+// otherwise. The digest over the server signing bytes is computed on
+// the request goroutine either way; only the ECDSA scalar work moves.
+func (s *Server) signManifest(m *manifest.Manifest, key *security.PrivateKey) error {
+	if s.signers == nil {
+		return m.SignServer(s.suite, key)
+	}
+	sig, err := s.signers.sign(key, s.suite.Digest(m.ServerSigningBytes()))
+	if err != nil {
+		return err
+	}
+	m.ServerSig = sig
+	return nil
+}
+
+// Parallel manifest signing.
+//
+// The second ECDSA signature is the one per-request cost PrepareUpdate
+// cannot cache away: it binds the device ID and nonce, so it is
+// different for every request by design (§III-B). Under heavy
+// concurrent traffic the naive arrangement — every request goroutine
+// carrying its own ECDSA computation — oversubscribes the CPUs: with
+// thousands of in-flight HTTP handlers the scheduler round-robins
+// P-256 scalar multiplications across far more goroutines than cores,
+// trashing caches and inflating tail latency.
+//
+// signerPool bounds the concurrency instead: a fixed set of worker
+// goroutines (defaulting to GOMAXPROCS) owns all signing work, fed by
+// a buffered queue. The queue is the batching mechanism — a worker
+// that finishes one signature immediately picks up the next without
+// parking, so bursts are signed back-to-back on a warm cache while
+// request goroutines merely block on their reply. Request frames are
+// recycled through a sync.Pool so the steady state allocates nothing
+// per signature.
+//
+// The pool is optional (WithSigners); without it PrepareUpdate signs
+// inline, which remains the right call for low-concurrency callers.
+
+// signReq is one signing request; done is buffered so the worker's
+// reply never blocks.
+type signReq struct {
+	key    *security.PrivateKey
+	digest security.Digest
+	sig    security.Signature
+	err    error
+	done   chan struct{}
+}
+
+// signerPool is the bounded signing worker pool.
+type signerPool struct {
+	suite security.Suite
+	reqs  chan *signReq
+	quit  chan struct{}
+	wg    sync.WaitGroup
+	free  sync.Pool
+
+	// mu's read side brackets every enqueue, so Close's write lock
+	// guarantees no send can race the quit broadcast: once closed is
+	// observed, callers sign inline.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// newSignerPool starts workers signing under suite; n <= 0 selects
+// GOMAXPROCS.
+func newSignerPool(suite security.Suite, n int) *signerPool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &signerPool{
+		suite: suite,
+		reqs:  make(chan *signReq, 4*n),
+		quit:  make(chan struct{}),
+	}
+	p.free.New = func() any { return &signReq{done: make(chan struct{}, 1)} }
+	p.wg.Add(n)
+	for range n {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *signerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case req := <-p.reqs:
+			req.sig, req.err = p.suite.Sign(req.key, req.digest)
+			req.done <- struct{}{}
+		case <-p.quit:
+			// Drain what was queued before the shutdown: every enqueued
+			// request has a caller blocked on its reply.
+			for {
+				select {
+				case req := <-p.reqs:
+					req.sig, req.err = p.suite.Sign(req.key, req.digest)
+					req.done <- struct{}{}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// sign dispatches one digest to the pool and blocks for the signature.
+// After Close it degrades to inline signing, so no caller is ever
+// stranded.
+func (p *signerPool) sign(key *security.PrivateKey, digest security.Digest) (security.Signature, error) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return p.suite.Sign(key, digest)
+	}
+	req := p.free.Get().(*signReq)
+	req.key, req.digest = key, digest
+	p.reqs <- req
+	p.mu.RUnlock()
+	<-req.done
+	sig, err := req.sig, req.err
+	req.key = nil
+	p.free.Put(req)
+	return sig, err
+}
+
+// Close stops the workers after they drain the queue. Idempotent.
+func (p *signerPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.quit)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

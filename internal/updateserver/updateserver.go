@@ -111,10 +111,29 @@ type Server struct {
 	// independent of the store's locks.
 	cache *patchCache
 
-	// blocks content-addresses every prepared payload so the named-block
-	// serve path (CoAP /upkit/blocks, caching proxies, peers) can serve
-	// it by name; see internal/dist.
-	blocks *dist.Registry
+	// patchStore, when non-nil, is the durable tier behind the patch
+	// cache (WithPatchStore); the cache holds the same pointer. The
+	// injector keeps ownership and closes it on shutdown.
+	patchStore *PatchStore
+
+	// pairs tracks the (app, fromVersion) population behind observed
+	// differential requests — the census the patch farm warms from.
+	pairs pairTracker
+
+	// signers, when non-nil, is the bounded parallel signing pool
+	// (WithSigners); nil signs inline on the request goroutine.
+	signers *signerPool
+	// signerCount holds WithSigners' argument until New builds the pool.
+	signerCount int
+
+	// blocks content-addresses every prepared *fleet-shared* payload so
+	// the named-block serve path (CoAP /upkit/blocks, caching proxies,
+	// peers) can serve it by name; see internal/dist. privBlocks holds
+	// per-device encrypted payloads: each is a unique, single-consumer
+	// name, so segregating them keeps an encrypted prepare storm from
+	// evicting the blocks a whole unencrypted fleet shares.
+	blocks     *dist.Registry
+	privBlocks *dist.Registry
 
 	// tel is never nil: New attaches a private registry unless
 	// WithTelemetry injects a shared one. met holds the pre-resolved
@@ -156,6 +175,45 @@ func WithPatchCacheSize(n int) Option {
 // origin can always serve what it just signed.
 func WithBlockStoreSize(n int) Option {
 	return func(s *Server) { s.blocks = dist.NewRegistry(n) }
+}
+
+// WithPrivateBlockStoreSize bounds the registry of per-device
+// encrypted payloads to n bytes (DefaultPrivateRegistryBytes when
+// unset). Encrypted prepares produce a fresh, never-shared name per
+// device, so they live in their own small LRU instead of churning the
+// fleet-shared block registry.
+func WithPrivateBlockStoreSize(n int) Option {
+	return func(s *Server) { s.privBlocks = dist.NewRegistry(n) }
+}
+
+// WithPatchStore attaches a durable patch store behind the in-memory
+// patch cache: memory misses probe it before diffing, fresh
+// computations are persisted to it, and a restarted server given the
+// same store serves warm patches without redoing a single bsdiff. The
+// caller keeps ownership and closes the store on shutdown, mirroring
+// WithStore.
+func WithPatchStore(ps *PatchStore) Option {
+	return func(s *Server) {
+		if ps != nil {
+			s.patchStore = ps
+			s.cache.setDisk(ps)
+		}
+	}
+}
+
+// WithSigners arms a pool of n parallel manifest signers (n <= 0
+// selects GOMAXPROCS): per-request ECDSA signatures are computed by a
+// bounded worker set fed from a buffered queue instead of on every
+// request goroutine's stack, which keeps tail latency flat when
+// thousands of prepares are in flight. Call Close on shutdown to stop
+// the workers.
+func WithSigners(n int) Option {
+	return func(s *Server) {
+		if n <= 0 {
+			n = -1 // explicit "use GOMAXPROCS"
+		}
+		s.signerCount = n
+	}
 }
 
 // WithRetention bounds the number of releases kept per app; 0 (the
@@ -244,10 +302,48 @@ func (s *Server) Stats() CacheStats { return s.cache.stats() }
 // half of the server, useful for admin surfaces and close-on-shutdown.
 func (s *Server) Store() ReleaseStore { return s.store }
 
-// Blocks returns the server's named-block registry (never nil): the
-// dist.Source behind the origin's block server, and the upstream that
-// caching proxies fill from.
+// Blocks returns the server's fleet-shared named-block registry (never
+// nil): the store behind the origin's block server for unencrypted
+// payloads, and the upstream that caching proxies fill from.
 func (s *Server) Blocks() *dist.Registry { return s.blocks }
+
+// PrivateBlocks returns the registry of per-device encrypted payloads
+// (never nil). It is deliberately separate from Blocks: single-consumer
+// ciphertext must not evict fleet-shared plaintext blocks.
+func (s *Server) PrivateBlocks() *dist.Registry { return s.privBlocks }
+
+// BlockSource returns the origin's complete block serve surface:
+// fleet-shared payloads first, then per-device encrypted ones. This is
+// what the CoAP block server should serve from.
+func (s *Server) BlockSource() dist.Source {
+	return dist.MultiSource(s.blocks, s.privBlocks)
+}
+
+// PatchStore returns the durable patch store attached via
+// WithPatchStore, or nil.
+func (s *Server) PatchStore() *PatchStore { return s.patchStore }
+
+// Mount registers an additional route set onto the server's HTTP route
+// table after construction — the post-construction twin of WithRoutes,
+// for components (like the patch farm) that need the Server to exist
+// before they can be built. Call before Handler.
+func (s *Server) Mount(register func(*httpapi.Table)) {
+	if register != nil {
+		s.mounts = append(s.mounts, register)
+	}
+}
+
+// Close stops the server's background machinery — today the parallel
+// signing pool, when WithSigners armed one. Injected stores (release
+// store, patch store) are owned by whoever opened them and are not
+// closed here. Safe to call more than once; a closed server keeps
+// serving, signing inline.
+func (s *Server) Close() error {
+	if s.signers != nil {
+		s.signers.Close()
+	}
+	return nil
+}
 
 // Telemetry returns the server's metrics registry (never nil). Shared
 // deployments inject one registry via WithTelemetry so transports,
@@ -274,9 +370,21 @@ func New(suite security.Suite, key *security.PrivateKey, opts ...Option) *Server
 	if s.blocks == nil {
 		s.blocks = dist.NewRegistry(0)
 	}
+	if s.privBlocks == nil {
+		s.privBlocks = dist.NewRegistry(DefaultPrivateRegistryBytes)
+	}
+	if s.signerCount != 0 {
+		s.signers = newSignerPool(suite, s.signerCount)
+	}
 	s.initTelemetry()
 	return s
 }
+
+// DefaultPrivateRegistryBytes bounds the per-device encrypted payload
+// registry unless WithPrivateBlockStoreSize overrides it. It only
+// needs to cover payloads between prepare and transfer, not a fleet
+// working set.
+const DefaultPrivateRegistryBytes = 4 << 20
 
 // initTelemetry resolves the hot-path handles and bridges the patch
 // cache's and the release store's own counters onto the registry,
@@ -305,12 +413,27 @@ func (s *Server) initTelemetry() {
 	reg.CounterFunc("upkit_patch_cache_invalidations_total", "Entries dropped by Publish or retention pruning.", stat(func(c CacheStats) float64 { return float64(c.Invalidations) }))
 	reg.GaugeFunc("upkit_patch_cache_entries", "Current cached patches.", stat(func(c CacheStats) float64 { return float64(c.Entries) }))
 	reg.GaugeFunc("upkit_patch_cache_bytes", "Current cached patch bytes.", stat(func(c CacheStats) float64 { return float64(c.Bytes) }))
+	reg.CounterFunc("upkit_patch_disk_hits_total", "Memory-tier misses served by the durable patch store.", stat(func(c CacheStats) float64 { return float64(c.DiskHits) }))
+	reg.CounterFunc("upkit_patch_disk_misses_total", "Diffs computed despite an attached patch store.", stat(func(c CacheStats) float64 { return float64(c.DiskMisses) }))
+	if s.patchStore != nil {
+		pstat := func(read func(PatchStoreStats) float64) func() float64 {
+			return func() float64 { return read(s.patchStore.Stats()) }
+		}
+		reg.GaugeFunc("upkit_patch_store_entries", "Patches indexed in the durable patch store.", pstat(func(st PatchStoreStats) float64 { return float64(st.Entries) }))
+		reg.GaugeFunc("upkit_patch_store_bytes", "Live patch bytes in the durable patch store.", pstat(func(st PatchStoreStats) float64 { return float64(st.Bytes) }))
+		reg.GaugeFunc("upkit_patch_store_file_bytes", "Patch log size on disk, dead records included.", pstat(func(st PatchStoreStats) float64 { return float64(st.FileBytes) }))
+	}
 
 	bstat := func(read func(dist.RegistryStats) float64) func() float64 {
 		return func() float64 { return read(s.blocks.Stats()) }
 	}
 	reg.GaugeFunc("upkit_blockstore_entries", "Named payloads in the block registry.", bstat(func(st dist.RegistryStats) float64 { return float64(st.Entries) }))
 	reg.GaugeFunc("upkit_blockstore_bytes", "Payload bytes in the block registry.", bstat(func(st dist.RegistryStats) float64 { return float64(st.Bytes) }))
+	vstat := func(read func(dist.RegistryStats) float64) func() float64 {
+		return func() float64 { return read(s.privBlocks.Stats()) }
+	}
+	reg.GaugeFunc("upkit_blockstore_private_entries", "Per-device encrypted payloads in the private registry.", vstat(func(st dist.RegistryStats) float64 { return float64(st.Entries) }))
+	reg.GaugeFunc("upkit_blockstore_private_bytes", "Per-device encrypted payload bytes in the private registry.", vstat(func(st dist.RegistryStats) float64 { return float64(st.Bytes) }))
 
 	sstat := func(read func(StoreStats) float64) func() float64 {
 		return func() float64 { return read(s.store.Stats()) }
@@ -494,27 +617,35 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 	m.Nonce = tok.Nonce
 	m.ServerKeyID = keyID
 
+	// The serve pipeline below is reduced-copy: pick the payload bytes
+	// (cache- or store-owned, borrowed), then run exactly one producing
+	// pass — AES-CTR encryption into a fresh buffer, or a single clone
+	// when the bytes are served as-is — and finally block-register the
+	// wire bytes. The old shape cloned first and encrypted second, so
+	// every encrypted prepare paid for a clone that was thrown away one
+	// line later.
 	u := &Update{}
+	var plain []byte // borrowed reference; never returned to the caller
 	if base != nil {
+		s.pairs.record(appID, tok.CurrentVersion)
 		// The patch depends only on the version pair, not on the device:
 		// serve it from the cache, computing at most once per pair even
 		// under a thundering herd (see cache.go). A patch at least as
 		// large as the image is counterproductive; the cache remembers
 		// that verdict too and we fall back to the full image (the
 		// manifest then says so).
-		key := patchKey{appID: appID, from: tok.CurrentVersion, to: latest.Manifest.Version}
-		if res := s.cache.payload(key, base.Firmware, latest.Firmware); res.viable {
+		pk := patchKey{appID: appID, from: tok.CurrentVersion, to: latest.Manifest.Version}
+		res := s.cache.payload(pk, base.Manifest.FirmwareDigest, latest.Manifest.FirmwareDigest,
+			base.Firmware, latest.Firmware)
+		if res.viable {
 			m.OldVersion = tok.CurrentVersion
 			m.PatchSize = uint32(len(res.patch))
-			u.Payload = bytes.Clone(res.patch) // cache keeps the canonical copy
+			plain = res.patch
 			u.Differential = true
 		}
 	}
 	if !u.Differential {
-		// Clone: the caller owns the returned payload. Aliasing the
-		// stored release would let one caller's mutation corrupt the
-		// published image for every later request.
-		u.Payload = bytes.Clone(latest.Firmware)
+		plain = latest.Firmware
 	}
 	s.encMu.RLock()
 	payloadKey := s.payloadKey
@@ -522,21 +653,33 @@ func (s *Server) PrepareUpdate(appID uint32, tok manifest.DeviceToken) (*Update,
 	s.encMu.RUnlock()
 	if payloadKey != nil {
 		// PatchSize/Size describe the plaintext; both ends add the IV
-		// overhead to the wire length.
-		enc, err := security.EncryptPayload(payloadKey, u.Payload, entropy)
+		// overhead to the wire length. EncryptPayload writes IV ‖
+		// ciphertext into a buffer the caller then owns — the encryption
+		// pass IS the copy, so the borrowed plaintext is not cloned
+		// first.
+		enc, err := security.EncryptPayload(payloadKey, plain, entropy)
 		if err != nil {
 			s.met.reqError.Inc()
 			return nil, fmt.Errorf("updateserver: encrypt payload: %w", err)
 		}
 		u.Payload = enc
 		u.Encrypted = true
+		// Per-device ciphertext carries a fresh IV, so its name is
+		// unique and will never be requested by another device: register
+		// it in the segregated private registry, where it cannot evict
+		// the blocks an unencrypted fleet shares.
+		u.PayloadName = s.privBlocks.Put(u.Payload)
+	} else {
+		// Served as-is: clone, because the caller owns the returned
+		// payload and the canonical bytes belong to the cache (patch) or
+		// the release store (full image) — aliasing would let one
+		// caller's mutation corrupt every later request.
+		u.Payload = bytes.Clone(plain)
+		// Fleet-shared wire bytes: identical across devices on the same
+		// version pair, so the name coincides and caches share it.
+		u.PayloadName = s.blocks.Put(u.Payload)
 	}
-	// Register the final wire payload under its content name so the
-	// block serve path can answer for it. Encryption (fresh IV per
-	// device) has already run, so the name addresses exactly the bytes
-	// that travel.
-	u.PayloadName = s.blocks.Put(u.Payload)
-	if err := m.SignServer(s.suite, key); err != nil {
+	if err := s.signManifest(&m, key); err != nil {
 		s.met.reqError.Inc()
 		return nil, fmt.Errorf("updateserver: %w", err)
 	}

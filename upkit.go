@@ -53,6 +53,7 @@ import (
 	"upkit/internal/fleet"
 	"upkit/internal/httpapi"
 	"upkit/internal/manifest"
+	"upkit/internal/patchfarm"
 	"upkit/internal/platform"
 	"upkit/internal/proxy"
 	"upkit/internal/security"
@@ -454,6 +455,67 @@ func NewProxyCache(origin CoAPExchanger, opts ProxyCacheOptions) *ProxyCache {
 // WithBlockStoreSize bounds the update server's named-block store to n
 // bytes (a package default when <= 0).
 func WithBlockStoreSize(n int) UpdateServerOption { return updateserver.WithBlockStoreSize(n) }
+
+// WithPrivateBlockStoreSize bounds the private registry holding
+// per-device encrypted payloads — segregated from the fleet-shared
+// block store so an encrypted campaign cannot evict shared patch
+// blocks (a package default when <= 0).
+func WithPrivateBlockStoreSize(n int) UpdateServerOption {
+	return updateserver.WithPrivateBlockStoreSize(n)
+}
+
+// Serve-path patch farm: precomputed diffs, a durable patch store, and
+// parallel manifest signing.
+
+type (
+	// PatchStore is the durable tier behind the update server's patch
+	// cache: CRC-framed, fsynced-before-visible, digest-pinned patch
+	// records that survive a server restart. Open one with
+	// OpenPatchStore and attach it via WithPatchStore.
+	PatchStore = updateserver.PatchStore
+	// PatchStoreStats snapshots a PatchStore's counters.
+	PatchStoreStats = updateserver.PatchStoreStats
+	// VersionPair identifies one (from → to) differential for an app;
+	// To zero means "the latest at warm time".
+	VersionPair = updateserver.VersionPair
+	// WarmResult reports what UpdateServer.WarmPatch found or did.
+	WarmResult = updateserver.WarmResult
+	// PatchFarm is the worker pool precomputing differential patches
+	// off the serve path (internal/patchfarm).
+	PatchFarm = patchfarm.Farm
+	// PatchFarmConfig sizes a PatchFarm (workers, queue, auto-warm).
+	PatchFarmConfig = patchfarm.Config
+	// PatchFarmStats snapshots a PatchFarm's counters.
+	PatchFarmStats = patchfarm.FarmStats
+)
+
+// OpenPatchStore opens (creating if needed) the durable patch store
+// rooted at dir, bounded to maxBytes of live patch bytes (a package
+// default when <= 0), replaying its log and truncating any torn tail.
+func OpenPatchStore(dir string, maxBytes int) (*PatchStore, error) {
+	return updateserver.OpenPatchStore(dir, maxBytes)
+}
+
+// WithPatchStore attaches a durable patch store behind the in-memory
+// patch cache: memory misses probe it before diffing and fresh
+// computations are persisted, so warm patches survive restarts. The
+// caller keeps ownership and must Close it after the server.
+func WithPatchStore(ps *PatchStore) UpdateServerOption {
+	return updateserver.WithPatchStore(ps)
+}
+
+// WithSigners arms the update server's parallel manifest-signing pool
+// with n workers (n <= 0 selects GOMAXPROCS). The pool bounds ECDSA
+// concurrency under heavy request traffic; without it every request
+// signs inline.
+func WithSigners(n int) UpdateServerOption { return updateserver.WithSigners(n) }
+
+// NewPatchFarm starts a patch farm warming srv; Close it on shutdown.
+// Mount its admin endpoints (POST /api/v1/patchfarm/warm,
+// GET /api/v1/patchfarm/stats) with srv.Mount(farm.Register).
+func NewPatchFarm(srv *UpdateServer, cfg PatchFarmConfig) *PatchFarm {
+	return patchfarm.New(srv, cfg)
+}
 
 // Fleet campaigns.
 
